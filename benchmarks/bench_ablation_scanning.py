@@ -1,0 +1,69 @@
+"""Ablation: how each scanning strategy shapes hotspots.
+
+DESIGN.md calls out the worm target-generation strategy as the core
+algorithmic design choice; this bench sweeps every implemented
+strategy on the same source host and scores the resulting per-/8
+distribution, alongside raw generation throughput.
+
+Expected ordering: uniform and permutation scanning are flat; local
+preference, Slammer's cycles, Blaster's sweep, and hit-lists are
+progressively more concentrated.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hotspots import hotspot_report
+from repro.net.address import parse_addr
+from repro.net.cidr import BlockSet
+from repro.worms import (
+    BlasterWorm,
+    CodeRedIIWorm,
+    HitListWorm,
+    LocalPreferenceWorm,
+    PermutationScanWorm,
+    SlammerWorm,
+    UniformScanWorm,
+)
+
+SCANS = 200_000
+SOURCE = parse_addr("141.212.55.99")
+
+STRATEGIES = {
+    "uniform": UniformScanWorm,
+    "permutation": PermutationScanWorm,
+    "localpref-weak": lambda: LocalPreferenceWorm(0.25, 0.0),
+    "codered2": CodeRedIIWorm,
+    "slammer": SlammerWorm,
+    "blaster": BlasterWorm,
+    "hitlist": lambda: HitListWorm(BlockSet.parse(["128.32.0.0/16"])),
+}
+
+
+@pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+def test_scanning_strategy_hotspots(benchmark, strategy):
+    worm = STRATEGIES[strategy]()
+
+    def generate():
+        return worm.single_host_targets(
+            SOURCE, SCANS, np.random.default_rng(7)
+        )
+
+    targets = benchmark(generate)
+    report = hotspot_report(np.bincount(targets >> 24, minlength=256))
+    print(
+        f"\n{strategy:<16} gini={report.gini:.3f} "
+        f"entropy={report.normalized_entropy:.3f} "
+        f"peak/mean={report.peak_to_mean:.1f}"
+    )
+    benchmark.extra_info["gini"] = round(report.gini, 3)
+    benchmark.extra_info["peak_to_mean"] = round(report.peak_to_mean, 1)
+
+    if strategy in ("uniform", "permutation"):
+        assert report.gini < 0.05
+    elif strategy == "localpref-weak":
+        # A 25% same-/8 bias concentrates a quarter of the probes in
+        # one /8 — visible but milder than the real worms.
+        assert 0.1 < report.gini < 0.5
+    else:
+        assert report.gini > 0.3

@@ -1,0 +1,88 @@
+"""Benchmarks: the beyond-the-paper extension experiments.
+
+* local-detection — the paper's concluding argument quantified: an
+  organization's own dark space beats a global quorum detector.
+* containment — quorum-triggered quarantine caps a uniform worm but
+  not a hotspot worm.
+* visibility — same-size darknets at different positions see wildly
+  different unique-source counts under local preference (the
+  blackhole-placement observation the paper builds on).
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.analysis.visibility import placement_variability
+from repro.experiments import extension_containment, extension_local_detection
+from repro.net.address import parse_addr
+from repro.worms.codered2 import CodeRedIIWorm
+from repro.worms.uniform import UniformScanWorm
+
+
+def test_local_detection(benchmark):
+    result = run_once(
+        benchmark,
+        extension_local_detection.run,
+        num_target_slash16s=6,
+        hosts_per_slash16=400,
+        num_global_sensors=2_000,
+        max_time=600.0,
+    )
+    print()
+    print(extension_local_detection.format_result(result))
+    benchmark.extra_info["local_time"] = result.local_detection_time
+    benchmark.extra_info["global_alert_fraction"] = round(
+        result.global_alert_fraction, 4
+    )
+    assert result.local_wins
+    assert result.global_quorum_time is None
+
+
+def test_containment(benchmark):
+    result = run_once(benchmark, extension_containment.run, max_time=1_200.0)
+    print()
+    print(extension_containment.format_result(result))
+    benchmark.extra_info["uniform_final"] = round(
+        result.uniform.final_infected_fraction, 3
+    )
+    benchmark.extra_info["hotspot_final"] = round(
+        result.hotspot.final_infected_fraction, 3
+    )
+    assert result.hotspots_defeat_containment
+
+
+def test_placement_visibility(benchmark):
+    rng = np.random.default_rng(5)
+    hosts = (
+        np.uint32(50 << 24) + rng.choice(2**24, 500, replace=False)
+    ).astype(np.uint32)
+    positions = [
+        parse_addr("50.200.0.0"),
+        parse_addr("80.0.0.0"),
+        parse_addr("120.0.0.0"),
+        parse_addr("180.0.0.0"),
+    ]
+
+    def study():
+        local_rng = np.random.default_rng(6)
+        crii = placement_variability(
+            CodeRedIIWorm(), hosts, 5_000, positions, 12, local_rng
+        )
+        uniform = placement_variability(
+            UniformScanWorm(), hosts, 5_000, positions, 12, local_rng
+        )
+        return crii, uniform
+
+    crii, uniform = benchmark.pedantic(study, rounds=1, iterations=1)
+    print(
+        f"\nplacement spread (CV): codered2={crii.coefficient_of_variation:.2f} "
+        f"uniform={uniform.coefficient_of_variation:.2f}"
+    )
+    benchmark.extra_info["crii_cv"] = round(crii.coefficient_of_variation, 3)
+    benchmark.extra_info["uniform_cv"] = round(
+        uniform.coefficient_of_variation, 3
+    )
+    # "Orders-of-magnitude different amounts of traffic": local
+    # preference makes position dominate; uniform scanning does not.
+    assert crii.coefficient_of_variation > 3 * uniform.coefficient_of_variation

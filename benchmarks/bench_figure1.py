@@ -1,0 +1,21 @@
+"""Benchmark: Figure 1 — Blaster hotspots and boot-time inversion."""
+
+from conftest import run_once
+
+from repro.experiments import figure1
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, figure1.run, num_hosts=500_000, seed=2003)
+    print()
+    print(figure1.format_result(result))
+    counts = result.unique_sources
+    benchmark.extra_info["max_per_slash24"] = int(counts.max())
+    benchmark.extra_info["gini"] = round(result.hotspots.gini, 3)
+    benchmark.extra_info["spike_minutes"] = [
+        round(m, 1) for m in result.spike_boot_minutes
+    ]
+    # Paper shape: visible hotspots; spikes invert to minutes-scale
+    # worm-start times ("centered around 4-5 minutes").
+    assert not result.hotspots.is_uniform
+    assert result.spikes_have_plausible_start_times

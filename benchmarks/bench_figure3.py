@@ -1,0 +1,19 @@
+"""Benchmark: Figure 3 — per-host Slammer bias and cycle spectrum."""
+
+from conftest import run_once
+
+from repro.experiments import figure3
+
+
+def test_figure3(benchmark):
+    result = run_once(benchmark, figure3.run, probes_per_host=20_000_000)
+    print()
+    print(figure3.format_result(result))
+    benchmark.extra_info["host_a_I"] = result.host_a.total("I")
+    benchmark.extra_info["host_a_D"] = result.host_a.total("D")
+    benchmark.extra_info["num_cycles"] = len(result.cycle_lengths)
+    # Paper shape: Host A hits I but not D; 64 cycles spanning from
+    # period 1 to 2^30.
+    assert result.host_a_block_bias
+    assert len(result.cycle_lengths) == 64
+    assert result.spectrum_spans_orders_of_magnitude

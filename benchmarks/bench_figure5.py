@@ -1,0 +1,87 @@
+"""Benchmark: Figure 5 — hit-list outbreaks, NATs, and detection.
+
+Three benches mirror the paper's three panels.  They run at a scaled
+population (30,000 hosts in 1,000 /16s, same clustering anchors) so
+the whole suite completes in minutes; the experiments accept the
+full-scale :class:`~repro.population.synthesis.PopulationSpec` for
+paper-scale runs.
+"""
+
+from conftest import run_once
+
+from repro.experiments import figure5
+
+SMALL_HITLISTS = (10, 100, 1000)
+
+
+def test_figure5a_infection(benchmark, bench_spec):
+    result = run_once(
+        benchmark,
+        figure5.run_infection,
+        population_spec=bench_spec,
+        hitlist_sizes=SMALL_HITLISTS,
+        max_time=1_200.0,
+        seed=2005,
+    )
+    print()
+    print(figure5.format_infection(result))
+    for run in result.runs:
+        benchmark.extra_info[f"final_{run.num_prefixes}"] = round(
+            run.result.final_fraction_infected, 3
+        )
+    # Paper shape: the smallest hit-list saturates its reachable hosts
+    # fastest; larger lists reach a larger fraction of the population.
+    assert result.small_list_fastest
+    finals = [run.result.final_fraction_infected for run in result.runs]
+    assert finals[-1] > finals[0]
+
+
+def test_figure5b_detection(benchmark, bench_spec):
+    result = run_once(
+        benchmark,
+        figure5.run_detection,
+        population_spec=bench_spec,
+        hitlist_sizes=SMALL_HITLISTS,
+        max_time=1_200.0,
+        seed=2005,
+    )
+    print()
+    print(figure5.format_detection(result))
+    for run in result.runs:
+        benchmark.extra_info[f"alerted_{run.num_prefixes}"] = round(
+            run.alert_timeline.final_fraction(), 3
+        )
+    # Paper shape: sensors outside the hit-list never alert, so the
+    # alert fraction tracks the hit-list share and quorum detection
+    # starves ("a quorum-based alerting approach would likely never
+    # alert").
+    assert result.detection_starved
+    small_run = result.runs[0]
+    assert small_run.alert_timeline.final_fraction() < 0.05
+
+
+def test_figure5c_nat_placement(benchmark, bench_spec):
+    result = run_once(
+        benchmark,
+        figure5.run_nat_detection,
+        population_spec=bench_spec,
+        num_random_sensors=3_000,
+        max_time=1_000.0,
+        stop_at_fraction=0.4,
+        seed=2006,
+    )
+    print()
+    print(figure5.format_nat_detection(result))
+    for run in result.placements:
+        benchmark.extra_info[run.name] = round(
+            run.alerted_at_20pct_infected, 3
+        )
+    # Paper shape: random placement is starved; population-aware
+    # placement helps; "every single sensor [in 192/8] generated an
+    # alert before the worm has infected 20% of the vulnerable
+    # population".
+    assert result.targeted_placement_wins
+    assert (
+        result.placement("random").alerted_at_20pct_infected
+        <= result.placement("top-20 /8s").alerted_at_20pct_infected + 0.05
+    )

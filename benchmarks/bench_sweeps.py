@@ -1,0 +1,42 @@
+"""Benchmarks: sensitivity sweeps over the paper's estimated inputs."""
+
+from conftest import run_once
+
+from repro.experiments import sweeps
+
+
+def test_nat_fraction_sweep(benchmark, bench_spec):
+    result = run_once(
+        benchmark,
+        sweeps.sweep_nat_fraction,
+        fractions=(0.05, 0.15, 0.30),
+        population_spec=bench_spec,
+        num_random_sensors=2_000,
+        max_time=1_200.0,
+    )
+    print()
+    print(sweeps.format_nat_sweep(result))
+    for fraction, final in zip(result.fractions, result.targeted_final_alerts):
+        benchmark.extra_info[f"targeted_final_{fraction}"] = round(final, 3)
+    # The paper's conclusion survives its own "crude estimate": the
+    # targeted placement wins at every NATed fraction swept.
+    assert result.targeted_always_wins
+
+
+def test_hitlist_share_sweep(benchmark, bench_spec):
+    result = run_once(
+        benchmark,
+        sweeps.sweep_hitlist_share,
+        sizes=(5, 20, 50, 150, 400, 800),
+        population_spec=bench_spec,
+        max_time=900.0,
+    )
+    print()
+    print(sweeps.format_share_sweep(result))
+    benchmark.extra_info["shares"] = [round(s, 4) for s in result.shares]
+    benchmark.extra_info["alerts"] = [
+        round(a, 4) for a in result.final_alert_fractions
+    ]
+    # The detection-share law holds along the whole axis, not just at
+    # the paper's four sampled sizes.
+    assert result.share_law_holds

@@ -1,0 +1,18 @@
+"""Benchmark: Table 1 — captured botnet scan commands."""
+
+from conftest import run_once
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, table1.run, seed=2004)
+    print()
+    print(table1.format_result(result))
+    benchmark.extra_info["commands"] = len(result.rows)
+    benchmark.extra_info["restricted_fraction"] = round(
+        result.restricted_fraction, 3
+    )
+    # Paper shape: commands exist and overwhelmingly carry hit-lists.
+    assert len(result.rows) >= 11
+    assert result.restricted_fraction > 0.6

@@ -1,0 +1,31 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark runs one paper experiment (at a scale that keeps the
+whole suite in minutes), records its headline numbers in
+``benchmark.extra_info``, and prints the formatted table/series —
+run ``pytest benchmarks/ --benchmark-only -s`` to see them.
+"""
+
+import pytest
+
+from repro.population.synthesis import PopulationSpec
+
+SMALL_ANCHORS = ((0, 0.0), (10, 0.106), (100, 0.5049), (1000, 1.0))
+
+
+@pytest.fixture(scope="session")
+def bench_spec():
+    """A reduced population preserving the paper's clustering shape."""
+    return PopulationSpec(
+        total_hosts=30_000,
+        num_slash8=20,
+        num_slash16=1_000,
+        anchors=SMALL_ANCHORS,
+        major_slash8s=10,
+        major_share=0.94,
+    )
+
+
+def run_once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

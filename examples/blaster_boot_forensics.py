@@ -1,0 +1,57 @@
+"""Blaster boot-time forensics: from hotspot /24s back to reboots.
+
+Replays the paper's Section 4.2.2 analysis:
+
+1. model ``GetTickCount()`` seeds for a Blaster population (boot ≈30 s
+   plus a minutes-scale service-launch delay, quantized to the ~16 ms
+   tick resolution);
+2. fast-forward every host's sequential sweep and find the /24s of a
+   dark /17 that observe the most unique sources;
+3. invert the hot /24s through the decompiled seed-to-target map and
+   recover the worm-start times that explain them.
+
+Usage::
+
+    python examples/blaster_boot_forensics.py
+"""
+
+import numpy as np
+
+from repro.experiments import figure1
+
+
+def main() -> None:
+    print("Modelling 1,000,000 Blaster hosts (this takes a few seconds)...")
+    result = figure1.run(num_hosts=1_000_000, seed=2003)
+
+    counts = result.unique_sources
+    print(f"\nMonitored dark block: {result.block} ({len(counts)} /24 bins)")
+    print(
+        f"unique sources per /24: min={counts.min()} max={counts.max()} "
+        f"mean={counts.mean():.1f} gini={result.hotspots.gini:.3f}"
+    )
+
+    # A terminal-friendly sparkline of the histogram.
+    blocks = " ▁▂▃▄▅▆▇█"
+    top = max(counts.max(), 1)
+    line = "".join(blocks[int(c * (len(blocks) - 1) / top)] for c in counts)
+    print(f"per-/24 histogram: |{line}|")
+
+    low, high = result.plausible_window_minutes
+    print(
+        f"\nSpike /24s invert to worm-start times of "
+        f"{[round(m, 1) for m in result.spike_boot_minutes]} minutes "
+        f"(reboot-plausible window: {low:.1f}-{high:.1f} min)."
+    )
+    print(
+        f"Cold /24s invert to {[round(m, 1) for m in result.cold_boot_minutes]} "
+        "minutes — improbable uptimes, exactly the paper's cross-check."
+    )
+    print(
+        f"\nspikes plausible? {result.spikes_have_plausible_start_times}   "
+        f"cold bins implausible? {result.cold_bins_look_implausible}"
+    )
+
+
+if __name__ == "__main__":
+    main()

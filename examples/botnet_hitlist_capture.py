@@ -1,0 +1,69 @@
+"""Bot-command capture: from IRC payloads to hit-list worms.
+
+Replays the paper's Table 1 methodology end to end:
+
+1. synthesize a month of IRC traffic on a /15 academic network, with
+   bot controllers issuing propagation commands amid chatter;
+2. signature-match and parse the scan commands;
+3. print them anonymized, the way the paper's Table 1 does;
+4. turn one command into a live hit-list worm and confirm its probes
+   never leave the commanded prefix.
+
+Usage::
+
+    python examples/botnet_hitlist_capture.py
+"""
+
+import numpy as np
+
+from repro.botnet import (
+    BotController,
+    anonymize_command,
+    extract_commands,
+    synthesize_capture,
+)
+from repro.net.address import format_addr, parse_addrs
+
+
+def main() -> None:
+    rng = np.random.default_rng(2004)
+
+    capture = synthesize_capture(
+        num_bots=11, commands_per_bot=(1, 3), rng=rng, chatter_ratio=15.0
+    )
+    print(f"Synthetic capture: {len(capture)} payload lines")
+
+    extracted = extract_commands(capture)
+    print(f"Commands recovered by signature matching: {len(extracted)}\n")
+
+    print("Bot Propagation Command (anonymized, Table 1 style)")
+    for _, command in extracted:
+        print(f"  {anonymize_command(command)}")
+
+    restricted = [
+        command
+        for _, command in extracted
+        if command.hitlist_block().prefix_len >= 8
+    ]
+    print(
+        f"\n{len(restricted)}/{len(extracted)} commands restrict scanning "
+        "to a subnet — hit-lists in the wild."
+    )
+
+    # Execute one command with a small botnet.
+    controller = BotController(
+        parse_addrs(["141.212.1.10", "141.212.3.20", "141.212.9.30"])
+    )
+    command = controller.issue("ipscan 194.27.x.x dcom2 -s")
+    targets = controller.scan_targets(command, scans_per_bot=5_000, rng=rng)
+    block = command.hitlist_block()
+    inside = block.contains_array(targets).all()
+    print(
+        f"\nExecuted {command.render()!r} on {controller.size} bots: "
+        f"{targets.size:,} probes, all inside {block}? {inside}"
+    )
+    print(f"  sample targets: {[format_addr(t) for t in targets[0, :3]]}")
+
+
+if __name__ == "__main__":
+    main()

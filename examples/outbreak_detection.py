@@ -1,0 +1,58 @@
+"""Outbreak simulation: NATed CodeRedII vs three sensor placements.
+
+A scaled-down Figure 5(c): release a CodeRedII-type worm over a
+clustered vulnerable population with 15% of hosts NATed at 192.168/16
+addresses, and watch how three sensor deployments race the infection:
+
+* 3,000 random /24 sensors across the whole IPv4 space;
+* 3,000 random /24 sensors inside the top-20 populated /8s;
+* one /24 sensor in each /16 of 192/8 (except 192.168/16).
+
+Usage::
+
+    python examples/outbreak_detection.py
+"""
+
+from repro.experiments import figure5
+from repro.population.synthesis import PopulationSpec
+
+
+def main() -> None:
+    spec = PopulationSpec(
+        total_hosts=30_000,
+        num_slash8=20,
+        num_slash16=1_000,
+        anchors=((0, 0.0), (10, 0.106), (100, 0.5049), (1000, 1.0)),
+        major_slash8s=10,
+        major_share=0.94,
+    )
+    print("Simulating a NATed CodeRedII-type outbreak (scaled population)...")
+    result = figure5.run_nat_detection(
+        population_spec=spec,
+        num_random_sensors=3_000,
+        max_time=900.0,
+        stop_at_fraction=0.4,
+        seed=2006,
+    )
+    print(figure5.format_nat_detection(result))
+
+    print("\nAlert curves (fraction of sensors alerted over time):")
+    milestones = [60, 180, 300, 600]
+    header = "  time(s)      " + "".join(f"{t:>8}" for t in milestones)
+    print(header)
+    for placement in result.placements:
+        row = "".join(
+            f"{placement.timeline.fraction_at(t):>8.1%}" for t in milestones
+        )
+        print(f"  {placement.name:<13}{row}")
+
+    print(
+        "\nThe environmental hotspot (NAT leakage into 192/8) makes a "
+        "handful of well-placed local sensors worth more than thousands "
+        "of random ones — the paper's closing argument for local "
+        "detection."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: generate worm scan traffic and measure its hotspots.
+
+Runs each of the paper's worm models for one infected host, bins the
+targets by first octet (/8), and prints hotspot metrics against the
+uniform-scanning baseline.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    BlasterWorm,
+    BlockSet,
+    CodeRedIIWorm,
+    HitListWorm,
+    SlammerWorm,
+    UniformScanWorm,
+    hotspot_report,
+    parse_addr,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    source = parse_addr("141.212.55.99")
+    scans = 200_000
+
+    worms = [
+        UniformScanWorm(),
+        CodeRedIIWorm(),
+        SlammerWorm(),
+        BlasterWorm(),
+        HitListWorm(BlockSet.parse(["128.32.0.0/16", "194.27.0.0/16"])),
+    ]
+
+    print(f"{'worm':<28} {'gini':>6} {'entropy':>8} {'peak/mean':>10}")
+    for worm in worms:
+        targets = worm.single_host_targets(source, scans, rng)
+        per_slash8 = np.bincount(targets >> 24, minlength=256)
+        report = hotspot_report(per_slash8)
+        print(
+            f"{worm.name:<28} {report.gini:>6.3f} "
+            f"{report.normalized_entropy:>8.3f} {report.peak_to_mean:>10.1f}"
+        )
+
+    print()
+    print(
+        "Uniform scanning is flat (gini≈0); every real worm deviates —\n"
+        "those deviations are the paper's hotspots."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Run every experiment at paper scale and log the formatted results.
+
+This is the source of the numbers recorded in EXPERIMENTS.md::
+
+    python scripts/run_full_scale.py | tee fullscale_output.txt
+
+Budget: ~15-25 minutes on a laptop-class machine, dominated by the
+Figure 5 outbreak simulations over the full 134,586-host population.
+"""
+
+import time
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    table1,
+    table2,
+)
+
+
+def banner(title: str) -> None:
+    print(f"\n{'=' * 70}\n{title}\n{'=' * 70}", flush=True)
+
+
+def timed(label, func, **kwargs):
+    start = time.time()
+    result = func(**kwargs)
+    print(f"[{label}: {time.time() - start:.1f}s]", flush=True)
+    return result
+
+
+def main() -> None:
+    banner("Table 1 — botnet scan commands")
+    print(table1.format_result(timed("table1", table1.run)))
+
+    banner("Figure 1 — Blaster hotspots and boot-time inversion")
+    print(figure1.format_result(timed("figure1", figure1.run)))
+
+    banner("Figure 2 — aggregate Slammer bias (75,000 hosts)")
+    print(
+        figure2.format_result(
+            timed("figure2", figure2.run, num_hosts=75_000)
+        )
+    )
+
+    banner("Figure 3 — per-host Slammer footprints + cycle spectrum")
+    print(figure3.format_result(timed("figure3", figure3.run)))
+
+    banner("Figure 4 — CodeRedII NAT leakage")
+    print(figure4.format_result(timed("figure4", figure4.run)))
+
+    banner("Table 2 — enterprise egress filtering vs broadband")
+    print(table2.format_result(timed("table2", table2.run)))
+
+    banner("Figure 5(a/b) — hit-list outbreaks over 134,586 hosts")
+    ab = timed(
+        "figure5ab",
+        figure5.run_infection,
+        max_time=2_500.0,
+        seed=2005,
+    )
+    print(figure5.format_infection(ab))
+    print(figure5.format_detection(ab))
+
+    banner("Figure 5(c) — NATed worm vs sensor placements (full scale)")
+    c = timed(
+        "figure5c",
+        figure5.run_nat_detection,
+        max_time=1_500.0,
+        stop_at_fraction=0.5,
+        seed=2006,
+    )
+    print(figure5.format_nat_detection(c))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which build an editable wheel) fail.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+fall back to the legacy develop-mode install.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

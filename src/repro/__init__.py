@@ -1,0 +1,77 @@
+"""Hotspots: a reproduction of Cooke, Mao & Jahanian (DSN 2006).
+
+*Hotspots* are deviations from uniform self-propagating-malware
+targeting.  This library reimplements the paper's entire stack:
+
+* bit-exact worm target generators (CodeRedII, Slammer, Blaster,
+  hit-list bots) in :mod:`repro.worms`;
+* the PRNG forensics behind them (LCG cycle theory, MS CRT ``rand``,
+  boot-time entropy) in :mod:`repro.prng`;
+* the network environment (NATs/private space, filtering policy,
+  failures, topology) in :mod:`repro.env`;
+* darknet sensors and distributed detection in :mod:`repro.sensors`;
+* synthetic vulnerable populations and allocations in
+  :mod:`repro.population`;
+* the vectorized outbreak simulator in :mod:`repro.sim`;
+* hotspot metrics and case-study forensics in :mod:`repro.analysis`;
+* and one runnable module per paper table/figure in
+  :mod:`repro.experiments`.
+
+Quick start::
+
+    import numpy as np
+    from repro import CodeRedIIWorm
+
+    worm = CodeRedIIWorm()
+    targets = worm.single_host_targets(
+        source=0xC0A80064, scans=10_000, rng=np.random.default_rng(0)
+    )
+"""
+
+from repro.analysis import hotspot_report
+from repro.env import NetworkEnvironment
+from repro.net import BlockSet, CIDRBlock, format_addr, parse_addr
+from repro.population import (
+    HostPopulation,
+    PopulationSpec,
+    synthesize_clustered_population,
+)
+from repro.sensors import DarknetSensor, SensorGrid, ims_standard_deployment
+from repro.sim import EpidemicSimulator, SimulationConfig
+from repro.worms import (
+    BlasterWorm,
+    CodeRedIIWorm,
+    HitListWorm,
+    LocalPreferenceWorm,
+    PermutationScanWorm,
+    SlammerWorm,
+    UniformScanWorm,
+    build_greedy_hitlist,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlasterWorm",
+    "BlockSet",
+    "CIDRBlock",
+    "CodeRedIIWorm",
+    "DarknetSensor",
+    "EpidemicSimulator",
+    "HitListWorm",
+    "HostPopulation",
+    "LocalPreferenceWorm",
+    "NetworkEnvironment",
+    "PermutationScanWorm",
+    "PopulationSpec",
+    "SensorGrid",
+    "SimulationConfig",
+    "SlammerWorm",
+    "UniformScanWorm",
+    "build_greedy_hitlist",
+    "format_addr",
+    "hotspot_report",
+    "ims_standard_deployment",
+    "parse_addr",
+    "synthesize_clustered_population",
+]

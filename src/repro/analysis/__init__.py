@@ -1,0 +1,46 @@
+"""Hotspot quantification and per-case-study forensics.
+
+``hotspots``
+    Metrics that quantify deviation from uniform propagation over
+    binned observations (Gini, entropy, chi-square, peak ratios).
+``blaster_seeds``
+    The seed-to-target mapping for Blaster and the hot-/24 → boot-time
+    inversion of the paper's Figure 1 analysis.
+``slammer_cycles``
+    Analytic per-/24 and per-block Slammer observation predictions
+    from the LCG cycle structure (Figures 2/3).
+``filtering_study``
+    The Table 2 enterprise-vs-broadband leaked-infection comparison.
+"""
+
+from repro.analysis.blaster_seeds import BlasterSweepModel, SeedTargetMap
+from repro.analysis.filtering_study import (
+    FilteringStudyResult,
+    blaster_leak_counts,
+    run_filtering_study,
+)
+from repro.analysis.hotspots import HotspotReport, hotspot_report
+from repro.analysis.slammer_cycles import (
+    block_distinct_cycle_sum,
+    expected_unique_sources_per_slash24,
+    slash24_cycle_lengths,
+)
+from repro.analysis.coverage import scan_coverage_curve, uniform_coverage_expectation
+from repro.analysis.visibility import placement_variability, size_visibility
+
+__all__ = [
+    "BlasterSweepModel",
+    "FilteringStudyResult",
+    "HotspotReport",
+    "SeedTargetMap",
+    "blaster_leak_counts",
+    "block_distinct_cycle_sum",
+    "expected_unique_sources_per_slash24",
+    "hotspot_report",
+    "placement_variability",
+    "run_filtering_study",
+    "scan_coverage_curve",
+    "size_visibility",
+    "slash24_cycle_lengths",
+    "uniform_coverage_expectation",
+]

@@ -1,0 +1,129 @@
+"""Blaster seed forensics — the Figure 1 analysis.
+
+Two tools:
+
+* :class:`SeedTargetMap` — the deterministic map from candidate
+  ``GetTickCount()`` seeds to sequential-scan start addresses, built
+  "using the decompiled Blaster source code and a range of possible
+  tick count values from 1000 to 10,000,000".  It answers the inverse
+  query: which seeds (boot times) would make a host sweep through a
+  given /24?
+* :class:`BlasterSweepModel` — an exact fast-forward of Blaster's
+  sequential scanning for large host populations.  A host with start
+  ``s`` and total probe budget ``R`` observes address ``x`` iff
+  ``x ∈ [s, s+R]``, so per-/24 unique-source counts over millions of
+  hosts reduce to sorted-array window queries — no per-probe work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.cidr import CIDRBlock
+from repro.worms.blaster import blaster_starts_for_seeds
+
+MILLISECONDS = 1000.0
+
+
+class SeedTargetMap:
+    """Seed → start-address mapping over a tick-count range.
+
+    Only the random-start branch is invertible without knowing each
+    host's own address, so local-start seeds are excluded (matching
+    the paper, whose map targets the population-wide hotspots that
+    only the shared random branch can produce).
+    """
+
+    def __init__(self, tick_low: int = 1_000, tick_high: int = 10_000_000):
+        if tick_low >= tick_high:
+            raise ValueError("tick_low must be below tick_high")
+        seeds = np.arange(tick_low, tick_high, dtype=np.uint64)
+        starts, is_local = blaster_starts_for_seeds(seeds)
+        self.seeds = seeds[~is_local].astype(np.uint32)
+        self.starts = starts[~is_local]
+        order = np.argsort(self.starts, kind="stable")
+        self._sorted_starts = self.starts[order]
+        self._sorted_seeds = self.seeds[order]
+
+    def seeds_for_window(self, low_addr: int, high_addr: int) -> np.ndarray:
+        """Seeds whose start address falls inside ``[low, high]``."""
+        lo = np.searchsorted(self._sorted_starts, np.uint32(low_addr), side="left")
+        hi = np.searchsorted(self._sorted_starts, np.uint32(high_addr), side="right")
+        return np.sort(self._sorted_seeds[lo:hi])
+
+    def seeds_reaching_slash24(self, prefix: int, reach: int) -> np.ndarray:
+        """Seeds that make a host sweep through the /24 ``prefix``.
+
+        A sequential scanner reaches the /24 iff its start lies within
+        ``reach`` addresses before the end of the /24.
+        """
+        block_end = (int(prefix) << 8) | 0xFF
+        low = max(block_end - reach, 0)
+        return self.seeds_for_window(low, block_end)
+
+    def boot_times_for_slash24(self, prefix: int, reach: int) -> np.ndarray:
+        """Boot times (seconds) explaining observations at a /24."""
+        return self.seeds_reaching_slash24(prefix, reach) / MILLISECONDS
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-/24 unique-source counts for one monitored block."""
+
+    block: CIDRBlock
+    unique_sources: np.ndarray  # one entry per /24 in the block
+
+
+class BlasterSweepModel:
+    """Closed-form sequential-sweep observation model.
+
+    Parameters
+    ----------
+    starts:
+        Start address per infected host.
+    reach:
+        Scan budget per host in addresses (scan rate × active time).
+        The paper-era estimate: Blaster probes a few tens of addresses
+        per second, so weeks of activity sweep on the order of 10^7
+        addresses.
+    """
+
+    def __init__(self, starts: np.ndarray, reach: int):
+        if reach <= 0:
+            raise ValueError("reach must be positive")
+        self.reach = int(reach)
+        self._sorted_starts = np.sort(np.asarray(starts, dtype=np.uint32))
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of modelled hosts."""
+        return len(self._sorted_starts)
+
+    def sources_observing(self, addr: int) -> int:
+        """How many hosts sweep across one address.
+
+        Counts hosts with ``start ∈ [addr - reach, addr]``; sweeps are
+        treated as non-wrapping (starts near the top of the space stop
+        at 2^32, matching a bounded observation window).
+        """
+        high = np.uint32(addr)
+        low = np.uint32(max(int(addr) - self.reach, 0))
+        lo = np.searchsorted(self._sorted_starts, low, side="left")
+        hi = np.searchsorted(self._sorted_starts, high, side="right")
+        return int(hi - lo)
+
+    def sweep_block(self, block: CIDRBlock) -> SweepResult:
+        """Unique sources per /24 of a monitored block.
+
+        A host observes a /24 iff its sweep intersects it, i.e. its
+        start is at most ``reach`` below the /24's last address.
+        """
+        prefixes = block.slash24_prefixes()
+        last_addrs = (prefixes.astype(np.int64) << 8) + 0xFF
+        lows = np.maximum(last_addrs - self.reach, 0).astype(np.uint32)
+        highs = last_addrs.astype(np.uint32)
+        lo = np.searchsorted(self._sorted_starts, lows, side="left")
+        hi = np.searchsorted(self._sorted_starts, highs, side="right")
+        return SweepResult(block=block, unique_sources=(hi - lo).astype(np.int64))

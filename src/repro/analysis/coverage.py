@@ -1,0 +1,94 @@
+"""Scanning coverage and duplication.
+
+Staniford et al.'s scanning-strategy taxonomy (which the paper folds
+into its algorithmic factors) is ultimately about *coverage
+efficiency*: how fast a population of scanners touches new addresses
+and how much work it wastes re-probing old ones.  These helpers
+measure both for any worm model:
+
+* uniform scanning follows the coupon-collector curve
+  ``1 - exp(-probes / size)`` and wastes work at the same rate;
+* permutation scanning is (near) duplicate-free until wraparound;
+* local preference trades global coverage for local density — which
+  is exactly a hotspot, viewed from the coverage side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.cidr import CIDRBlock
+from repro.worms.base import WormModel
+
+
+@dataclass(frozen=True)
+class CoverageCurve:
+    """Coverage and duplication as probes accumulate."""
+
+    probes: np.ndarray          # cumulative probes after each step
+    covered_fraction: np.ndarray
+    duplicate_fraction: np.ndarray  # duplicates / probes, cumulative
+
+    def final_coverage(self) -> float:
+        """Fraction of the region touched by the end."""
+        return float(self.covered_fraction[-1]) if len(self.covered_fraction) else 0.0
+
+    def final_duplicate_rate(self) -> float:
+        """Fraction of all probes that were re-probes."""
+        return (
+            float(self.duplicate_fraction[-1])
+            if len(self.duplicate_fraction)
+            else 0.0
+        )
+
+
+def uniform_coverage_expectation(probes: np.ndarray, size: int) -> np.ndarray:
+    """Analytic coupon-collector coverage for uniform scanning."""
+    probes = np.asarray(probes, dtype=float)
+    if size <= 0:
+        raise ValueError("size must be positive")
+    return 1.0 - np.exp(-probes / size)
+
+
+def scan_coverage_curve(
+    worm: WormModel,
+    source_addrs: np.ndarray,
+    region: CIDRBlock,
+    steps: int,
+    probes_per_step: int,
+    rng: np.random.Generator,
+) -> CoverageCurve:
+    """Measure a worm population's coverage of a region over time.
+
+    Probes landing outside ``region`` count toward the probe budget
+    but not toward coverage — local preference pays for its density
+    by burning budget elsewhere.
+    """
+    if region.prefix_len < 12:
+        raise ValueError("refusing to track coverage of a region above /12")
+    state = worm.new_state()
+    worm.add_hosts(state, source_addrs, rng)
+    seen = np.zeros(region.size, dtype=bool)
+    cumulative_probes = []
+    covered = []
+    duplicates = []
+    total_probes = 0
+    duplicate_probes = 0
+    for _ in range(steps):
+        targets = worm.generate(state, probes_per_step, rng).ravel()
+        total_probes += len(targets)
+        inside = region.contains_array(targets)
+        offsets = (targets[inside] - np.uint32(region.first)).astype(np.int64)
+        already = seen[offsets]
+        duplicate_probes += int(already.sum())
+        seen[offsets] = True
+        cumulative_probes.append(total_probes)
+        covered.append(seen.mean())
+        duplicates.append(duplicate_probes / max(total_probes, 1))
+    return CoverageCurve(
+        probes=np.array(cumulative_probes, dtype=np.int64),
+        covered_fraction=np.array(covered),
+        duplicate_fraction=np.array(duplicates),
+    )

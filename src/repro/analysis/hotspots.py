@@ -1,0 +1,84 @@
+"""Quantifying hotspots.
+
+Hotspots are "deviations from uniform propagation behavior".  Given a
+vector of per-bin observation counts (probes or unique sources per
+/24), these metrics measure how far the distribution is from uniform:
+
+* Gini coefficient — 0 for perfectly uniform, → 1 for a single spike;
+* normalized Shannon entropy — 1 for uniform, → 0 for a spike;
+* chi-square statistic and p-value against the uniform null;
+* peak-to-mean ratio — how tall the worst hotspot stands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class HotspotReport:
+    """Summary statistics of a binned observation vector."""
+
+    bins: int
+    total: int
+    gini: float
+    normalized_entropy: float
+    chi2: float
+    chi2_pvalue: float
+    peak_to_mean: float
+    zero_fraction: float
+
+    @property
+    def is_uniform(self) -> bool:
+        """Whether the chi-square test fails to reject uniformity at 1%."""
+        return self.chi2_pvalue > 0.01
+
+
+def gini_coefficient(counts: np.ndarray) -> float:
+    """Gini coefficient of a non-negative count vector."""
+    counts = np.sort(np.asarray(counts, dtype=float))
+    if counts.sum() == 0:
+        return 0.0
+    n = len(counts)
+    index = np.arange(1, n + 1)
+    return float((2 * (index * counts).sum() / (n * counts.sum())) - (n + 1) / n)
+
+
+def normalized_entropy(counts: np.ndarray) -> float:
+    """Shannon entropy of the count distribution, normalized to [0, 1]."""
+    counts = np.asarray(counts, dtype=float)
+    total = counts.sum()
+    if total == 0 or len(counts) < 2:
+        return 1.0
+    p = counts[counts > 0] / total
+    entropy = -(p * np.log(p)).sum()
+    return float(entropy / np.log(len(counts)))
+
+
+def hotspot_report(counts: np.ndarray) -> HotspotReport:
+    """Full non-uniformity report for one binned observation vector."""
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1 or len(counts) == 0:
+        raise ValueError("counts must be a non-empty 1-D vector")
+    if (counts < 0).any():
+        raise ValueError("counts must be non-negative")
+    total = int(counts.sum())
+    if total > 0:
+        chi2, pvalue = stats.chisquare(counts)
+        peak_to_mean = float(counts.max() / counts.mean())
+    else:
+        chi2, pvalue = 0.0, 1.0
+        peak_to_mean = 0.0
+    return HotspotReport(
+        bins=len(counts),
+        total=total,
+        gini=gini_coefficient(counts),
+        normalized_entropy=normalized_entropy(counts),
+        chi2=float(chi2),
+        chi2_pvalue=float(pvalue),
+        peak_to_mean=peak_to_mean,
+        zero_fraction=float((counts == 0).mean()),
+    )

@@ -1,0 +1,181 @@
+"""Slammer cycle forensics — the Figures 2/3 analysis.
+
+Key fact (see :mod:`repro.worms.slammer`): the worm stores its LCG
+state little-endian into the destination address, so a destination
+/24 pins the state's low 24 bits.  All 256 addresses of a /24 then
+share ``v2(state - c)`` — they lie on a *single* cycle per ``b``
+value, whose length the affine theory gives in O(1).
+
+From that, the expected number of unique Slammer sources a /24
+observes is
+
+    E[sources] = Σ_b  N_b · min(256·T, L_b) / 2^32
+
+where ``N_b`` hosts run DLL version ``b``, each emitting ``T`` probes
+during the observation window, and ``L_b`` is the /24's cycle length
+under ``b``: a host observes the /24 iff its seed lands on that cycle
+(probability ``L_b / 2^32``) and its ``T``-probe walk reaches one of
+the /24's 256 states on the cycle (probability ``≈ min(256·T/L_b, 1)``
+for states spread evenly around the cycle).
+
+Blocks whose high octets select short cycles observe systematically
+fewer sources — the H-block deficit of Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.net.cidr import CIDRBlock
+from repro.prng.cycles import cycle_structure
+from repro.worms.slammer import SLAMMER_A, SLAMMER_B_VALUES, address_to_state
+
+
+def slash24_cycle_lengths(
+    prefixes: np.ndarray, b: int, a: int = SLAMMER_A
+) -> np.ndarray:
+    """Cycle length of each destination /24 under increment ``b``.
+
+    Uses the first address of each /24 as the representative; the
+    whole /24 shares the length except for the at-most-one /24 whose
+    low-bit offset from the fixed point is zero (where lengths vary —
+    the representative is still a valid member).
+    """
+    prefixes = np.asarray(prefixes, dtype=np.uint32)
+    structure = cycle_structure(a, b, bits=32)
+    first_addrs = (prefixes.astype(np.uint32) << np.uint32(8)).astype(np.uint32)
+    states = address_to_state(first_addrs)
+    return structure.cycle_lengths_of_states(states)
+
+
+def expected_unique_sources_per_slash24(
+    prefixes: np.ndarray,
+    num_hosts: int,
+    probes_per_host: int,
+    b_values: Sequence[int] = SLAMMER_B_VALUES,
+    a: int = SLAMMER_A,
+) -> np.ndarray:
+    """Expected unique sources per destination /24 (see module docs).
+
+    ``num_hosts`` is split evenly across the ``b_values`` (DLL
+    versions); increase ``probes_per_host`` toward the cycle lengths
+    to model a long observation window.
+    """
+    if num_hosts <= 0 or probes_per_host <= 0:
+        raise ValueError("num_hosts and probes_per_host must be positive")
+    prefixes = np.asarray(prefixes, dtype=np.uint32)
+    expected = np.zeros(len(prefixes), dtype=float)
+    hosts_per_version = num_hosts / len(b_values)
+    for b in b_values:
+        lengths = slash24_cycle_lengths(prefixes, b, a)
+        coverage = np.minimum(256.0 * probes_per_host, lengths.astype(float))
+        expected += hosts_per_version * coverage / 2.0**32
+    return expected
+
+
+def block_distinct_cycle_sum(
+    block: CIDRBlock, b: int, a: int = SLAMMER_A
+) -> float:
+    """Sum of the lengths of distinct cycles traversing a block.
+
+    The paper's block-level prediction metric ("computing the total
+    length of all cycles that traverse each block"), normalized by
+    2^32 so a block traversed by every long cycle scores near 1.
+    """
+    structure = cycle_structure(a, b, bits=32)
+    prefixes = block.slash24_prefixes()
+    first_addrs = (prefixes.astype(np.uint32) << np.uint32(8)).astype(np.uint32)
+    states = address_to_state(first_addrs)
+    seen: set[tuple] = set()
+    total = 0
+    for state in states:
+        cycle_id = structure.cycle_id_of_state(int(state))
+        if cycle_id in seen:
+            continue
+        seen.add(cycle_id)
+        total += structure.cycle_length_of_state(int(state))
+    return total / 2.0**32
+
+
+def slash16_observation_scores(
+    probes_per_host: int,
+    b_values: Sequence[int] = SLAMMER_B_VALUES,
+    a: int = SLAMMER_A,
+) -> np.ndarray:
+    """Expected-observation score for every possible /16 position.
+
+    Index ``low16`` is the LCG state's pinned low 16 bits — i.e. the
+    candidate block's first two address octets ``A = low16 & 0xFF``,
+    ``B = low16 >> 8``.  The score is the per-host probability weight
+    ``mean_b min(256·T, L_b) / 2^32``: multiply by the infected host
+    count to get the expected unique sources per /24 at that /16.
+
+    Because the three fixed points' low bits differ in their lowest
+    bit, no position is cold under every DLL version — the achievable
+    hot/cold contrast is a factor of ~2.5, which is exactly the
+    regime of the paper's D/H/I imbalance.
+    """
+    low16 = np.arange(65_536, dtype=np.int64)
+    score = np.zeros(65_536, dtype=float)
+    for b in b_values:
+        structure = cycle_structure(a, b, bits=32)
+        c_low = structure.fixed_point & 0xFFFF
+        diff = (low16 - c_low) % 65_536
+        nonzero = diff != 0
+        valuation = np.zeros(65_536, dtype=np.int64)
+        valuation[nonzero] = np.log2(
+            (diff[nonzero] & -diff[nonzero]).astype(float)
+        ).astype(np.int64)
+        # diff == 0 pins v2 >= 16: those /16s hold a mix of shorter
+        # cycles; score them with the v=16 length as a bound.
+        valuation[~nonzero] = 16
+        lengths = np.ldexp(1.0, 30 - valuation)
+        score += np.minimum(256.0 * probes_per_host, lengths) / 2.0**32
+    return score / len(b_values)
+
+
+def find_block_with_cycle_valuation(
+    target_v2: int,
+    prefix_len: int,
+    b_values: Sequence[int] = SLAMMER_B_VALUES,
+    a: int = SLAMMER_A,
+    search_limit: int = 65_536,
+) -> CIDRBlock:
+    """Find a block whose /24s share a given cycle-length class.
+
+    Searches (first, second) octet pairs for a block position where,
+    under *every* ``b`` version, ``v2(state - c)`` of the pinned low
+    bits equals ``target_v2`` — i.e. all its /24s sit on cycles of
+    length ``2^(30 - target_v2)``.  Used to place synthetic sensor
+    blocks that are provably hot (``target_v2 = 0``) or cold (larger
+    valuations), standing in for the paper's confidential block
+    positions.
+    """
+    if not 16 <= prefix_len <= 24:
+        raise ValueError(
+            "blocks share a valuation only when their first two octets "
+            "are fixed: use 16 <= prefix_len <= 24"
+        )
+    structures = [cycle_structure(a, b, bits=32) for b in b_values]
+    for low16 in range(search_limit):
+        ok = True
+        for structure in structures:
+            c_low16 = structure.fixed_point & 0xFFFF
+            diff = (low16 - c_low16) % 65_536
+            if diff == 0:
+                ok = False
+                break
+            valuation = (diff & -diff).bit_length() - 1
+            if valuation != target_v2:
+                ok = False
+                break
+        if ok:
+            # The state's low 16 bits are the first two address octets
+            # (little-endian store): bits 0-7 -> octet A, 8-15 -> B.
+            octet_a = low16 & 0xFF
+            octet_b = (low16 >> 8) & 0xFF
+            network = (octet_a << 24) | (octet_b << 16)
+            return CIDRBlock.containing(network, prefix_len)
+    raise ValueError(f"no block found with shared valuation {target_v2}")

@@ -1,0 +1,32 @@
+"""Botnet command capture, parsing, and propagation.
+
+The paper's Table 1 evidence: bot-controller commands captured on a
+live /15 academic network instruct bots to scan specific address
+ranges — hit-lists in the wild.  This package implements the command
+grammars of the bot families the paper monitors (Agobot/Phatbot's
+``advscan``, rbot/SDBot's ``ipscan``), a synthetic IRC capture corpus
+standing in for the proprietary network trace, the extractor that
+pulls propagation commands out of payloads, and the bridge from a
+parsed command to a running :class:`~repro.worms.hitlist.HitListWorm`.
+"""
+
+from repro.botnet.bots import BotController, worm_for_command
+from repro.botnet.commands import (
+    BotScanCommand,
+    OctetPattern,
+    anonymize_command,
+    parse_command,
+)
+from repro.botnet.corpus import CaptureLine, extract_commands, synthesize_capture
+
+__all__ = [
+    "BotController",
+    "BotScanCommand",
+    "CaptureLine",
+    "OctetPattern",
+    "anonymize_command",
+    "extract_commands",
+    "parse_command",
+    "synthesize_capture",
+    "worm_for_command",
+]

@@ -1,0 +1,67 @@
+"""From captured commands to running worms.
+
+Bots "typically wait for commands from a bot controller to initiate
+propagation" — so a parsed scan command plus a set of bot hosts is
+exactly a hit-list worm outbreak.  :class:`BotController` is the
+controller-side view used by the simulation experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.botnet.commands import BotScanCommand, parse_command
+from repro.net.cidr import BlockSet
+from repro.worms.hitlist import HitListWorm
+
+
+def worm_for_command(command: BotScanCommand) -> HitListWorm:
+    """The hit-list worm a bot population executes for a command."""
+    return HitListWorm(BlockSet([command.hitlist_block()]))
+
+
+class BotController:
+    """A bot herder: owns bots, issues scan commands.
+
+    Parameters
+    ----------
+    bot_addrs:
+        Addresses of the controlled (already compromised) hosts.
+    """
+
+    def __init__(self, bot_addrs: np.ndarray):
+        bot_addrs = np.asarray(bot_addrs, dtype=np.uint32)
+        if not len(bot_addrs):
+            raise ValueError("a botnet needs at least one bot")
+        self.bot_addrs = bot_addrs
+        self.issued: list[BotScanCommand] = []
+
+    @property
+    def size(self) -> int:
+        """Number of bots under control."""
+        return len(self.bot_addrs)
+
+    def issue(self, command_text: str) -> BotScanCommand:
+        """Parse and record a propagation command."""
+        command = parse_command(command_text)
+        self.issued.append(command)
+        return command
+
+    def scan_targets(
+        self,
+        command: BotScanCommand,
+        scans_per_bot: int,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Targets the botnet probes for a command, per bot.
+
+        Returns shape ``(num_bots, scans_per_bot)``.
+        """
+        worm = worm_for_command(command)
+        state = worm.new_state()
+        worm.add_hosts(state, self.bot_addrs, rng)
+        return worm.generate(state, scans_per_bot, rng)
+
+    def aggregate_hitlist(self) -> BlockSet:
+        """Union of every issued command's target block."""
+        return BlockSet(command.hitlist_block() for command in self.issued)

@@ -1,0 +1,214 @@
+"""Bot propagation-command grammar.
+
+Two dialects cover the families the paper monitors:
+
+* **rbot/SDBot**: ``ipscan <pattern> <exploit> [flags...]``
+  e.g. ``ipscan 194.27.x.x dcom2 -s``
+* **Agobot/Phatbot**: ``advscan <exploit> [threads] [delay] [pattern] [flags...]``
+  e.g. ``advscan lsass 200 5 0 -r -b -s`` or
+  ``advscan dcom2 100 3 128.32.x.x -s``
+
+An address *pattern* is up to four dot-separated octet positions,
+each a literal number or a wildcard (``x``).  Literal octets form the
+fixed prefix; trailing wildcards are scanned — i.e. the pattern *is*
+a hit-list prefix.  A pattern with fewer than four positions implies
+trailing wildcards (``194.27`` ≡ ``194.27.x.x``).  Agobot's ``0``
+pattern means "no restriction" (scan everything).
+
+The paper prints captured commands with octets anonymized to letters
+(``194.s.s.s``); :func:`anonymize_command` renders the same style so
+the Table 1 reproduction is visually comparable.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.cidr import CIDRBlock
+
+#: Exploit modules seen in the paper's Table 1 commands.
+KNOWN_EXPLOITS = frozenset(
+    {
+        "dcom2",
+        "dcass",
+        "lsass",
+        "wkssvceng",
+        "mssql2000",
+        "webdav3",
+        "netbios",
+        "ntpass",
+    }
+)
+
+_WILDCARDS = {"x", "X", "*", "s", "i", "r"}
+
+
+@dataclass(frozen=True)
+class OctetPattern:
+    """A dotted octet pattern like ``194.27.x.x``.
+
+    ``octets`` holds literal values or ``None`` for wildcards; short
+    patterns are padded with trailing wildcards.
+    """
+
+    octets: tuple[Optional[int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.octets) != 4:
+            raise ValueError("octet patterns are exactly four positions")
+        seen_wildcard = False
+        for octet in self.octets:
+            if octet is None:
+                seen_wildcard = True
+            else:
+                if seen_wildcard:
+                    raise ValueError(
+                        "literal octets after a wildcard are not scannable "
+                        "as a prefix hit-list"
+                    )
+                if not 0 <= octet <= 255:
+                    raise ValueError(f"octet out of range: {octet}")
+
+    @classmethod
+    def parse(cls, text: str) -> "OctetPattern":
+        """Parse ``a.b.x.x`` style text (short forms padded)."""
+        parts = text.strip().split(".")
+        if not 1 <= len(parts) <= 4:
+            raise ValueError(f"bad octet pattern: {text!r}")
+        octets: list[Optional[int]] = []
+        for part in parts:
+            if part in _WILDCARDS:
+                octets.append(None)
+            elif part.isdigit():
+                octets.append(int(part))
+            else:
+                raise ValueError(f"bad octet {part!r} in pattern {text!r}")
+        octets.extend([None] * (4 - len(octets)))
+        return cls(tuple(octets))
+
+    @property
+    def prefix_len(self) -> int:
+        """Bits pinned by literal octets (0, 8, 16, 24 or 32)."""
+        fixed = sum(1 for octet in self.octets if octet is not None)
+        return fixed * 8
+
+    def to_block(self) -> CIDRBlock:
+        """The CIDR block this pattern scans."""
+        network = 0
+        for octet in self.octets:
+            network = (network << 8) | (octet or 0)
+        return CIDRBlock(network, self.prefix_len)
+
+    def __str__(self) -> str:
+        return ".".join(
+            "x" if octet is None else str(octet) for octet in self.octets
+        )
+
+
+@dataclass(frozen=True)
+class BotScanCommand:
+    """A parsed propagation command."""
+
+    dialect: str  # "ipscan" | "advscan"
+    exploit: str
+    pattern: OctetPattern
+    flags: tuple[str, ...]
+    threads: Optional[int] = None
+    delay: Optional[int] = None
+
+    def hitlist_block(self) -> CIDRBlock:
+        """The address block this command restricts scanning to."""
+        return self.pattern.to_block()
+
+    def render(self) -> str:
+        """Back to command-line text."""
+        flag_text = (" " + " ".join(self.flags)) if self.flags else ""
+        if self.dialect == "ipscan":
+            return f"ipscan {self.pattern} {self.exploit}{flag_text}"
+        pattern = "0" if self.pattern.prefix_len == 0 else str(self.pattern)
+        return (
+            f"advscan {self.exploit} {self.threads} {self.delay} "
+            f"{pattern}{flag_text}"
+        )
+
+
+_FLAG_RE = re.compile(r"^-[a-z]$")
+_ANY_PATTERN = OctetPattern((None, None, None, None))
+
+
+def parse_command(text: str) -> BotScanCommand:
+    """Parse one propagation command in either dialect.
+
+    Raises ``ValueError`` for anything that is not a recognizable
+    scan command (callers use this as the detection signature).
+    """
+    tokens = text.strip().lstrip(".").split()
+    if not tokens:
+        raise ValueError("empty command")
+    dialect = tokens[0].lower()
+    if dialect == "ipscan":
+        return _parse_ipscan(tokens)
+    if dialect == "advscan":
+        return _parse_advscan(tokens)
+    raise ValueError(f"not a scan command: {text!r}")
+
+
+def _split_flags(tokens: list[str]) -> tuple[list[str], tuple[str, ...]]:
+    body = list(tokens)
+    flags: list[str] = []
+    while body and _FLAG_RE.match(body[-1]):
+        flags.append(body.pop())
+    return body, tuple(reversed(flags))
+
+
+def _parse_ipscan(tokens: list[str]) -> BotScanCommand:
+    body, flags = _split_flags(tokens[1:])
+    if len(body) != 2:
+        raise ValueError(f"ipscan needs a pattern and an exploit: {tokens!r}")
+    pattern = OctetPattern.parse(body[0])
+    exploit = body[1].lower()
+    if exploit not in KNOWN_EXPLOITS:
+        raise ValueError(f"unknown exploit module: {exploit!r}")
+    return BotScanCommand("ipscan", exploit, pattern, flags)
+
+
+def _parse_advscan(tokens: list[str]) -> BotScanCommand:
+    body, flags = _split_flags(tokens[1:])
+    if not body:
+        raise ValueError("advscan needs an exploit")
+    exploit = body[0].lower()
+    if exploit not in KNOWN_EXPLOITS:
+        raise ValueError(f"unknown exploit module: {exploit!r}")
+    threads = int(body[1]) if len(body) > 1 else 100
+    delay = int(body[2]) if len(body) > 2 else 5
+    pattern = _ANY_PATTERN
+    if len(body) > 3 and body[3] != "0":
+        pattern = OctetPattern.parse(body[3])
+    return BotScanCommand("advscan", exploit, pattern, flags, threads, delay)
+
+
+def anonymize_command(command: BotScanCommand) -> str:
+    """Render a command with octets anonymized, Table 1 style.
+
+    Literal octets below 128 that are not well-known scan prefixes
+    are replaced by ``s`` (subnet), mirroring how the paper masks the
+    targeted networks while keeping recognizable first octets.
+    """
+    octet_texts = []
+    for index, octet in enumerate(command.pattern.octets):
+        if octet is None:
+            break
+        if index == 0 and octet >= 128:
+            octet_texts.append(str(octet))
+        else:
+            octet_texts.append("s")
+    pattern_text = ".".join(octet_texts) if octet_texts else "0"
+    flag_text = (" " + " ".join(command.flags)) if command.flags else ""
+    if command.dialect == "ipscan":
+        return f"ipscan {pattern_text} {command.exploit}{flag_text}"
+    return (
+        f"advscan {command.exploit} {command.threads} {command.delay} "
+        f"{pattern_text}{flag_text}"
+    )

@@ -1,0 +1,77 @@
+"""Command-line entry point.
+
+Run any paper experiment by id::
+
+    hotspots table1
+    hotspots figure5b --set max_time=600
+    hotspots --list
+
+Keyword overrides use ``--set name=value``; values parse as Python
+literals (ints, floats, tuples), falling back to strings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from typing import Any, Sequence
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _parse_override(text: str) -> tuple[str, Any]:
+    name, separator, raw = text.partition("=")
+    if not separator:
+        raise argparse.ArgumentTypeError(
+            f"override must look like name=value, got {text!r}"
+        )
+    try:
+        value = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw
+    return name, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hotspots",
+        description="Reproduce the tables and figures of the Hotspots "
+        "paper (Cooke, Mao, Jahanian — DSN 2006).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        choices=sorted(EXPERIMENTS),
+        help="experiment id to run",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        type=_parse_override,
+        metavar="NAME=VALUE",
+        help="override a run() keyword argument (repeatable)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+    overrides = dict(args.overrides)
+    _, text = run_experiment(args.experiment, **overrides)
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

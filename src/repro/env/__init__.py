@@ -1,0 +1,29 @@
+"""Environmental factors — the network between source and target.
+
+The paper's second hotspot class is everything the worm code does not
+control: NATs and private address space, routing and filtering policy,
+failures and misconfiguration, and topology.  This package models each
+as a composable predicate over batches of ``(source, target)`` probes;
+:class:`~repro.env.environment.NetworkEnvironment` stacks them into a
+single ``deliverable`` decision the simulator consults every tick.
+"""
+
+from repro.env.environment import NetworkEnvironment, ProbeVerdict
+from repro.env.failures import LossModel, RegionLoss
+from repro.env.filtering import FilterAction, FilterRule, FilteringPolicy
+from repro.env.nat import NATDeployment
+from repro.env.topology import LatencyModel, RegionLink, Topology
+
+__all__ = [
+    "FilterAction",
+    "FilterRule",
+    "FilteringPolicy",
+    "LatencyModel",
+    "LossModel",
+    "NATDeployment",
+    "NetworkEnvironment",
+    "ProbeVerdict",
+    "RegionLink",
+    "RegionLoss",
+    "Topology",
+]

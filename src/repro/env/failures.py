@@ -1,0 +1,78 @@
+"""Network failures and misconfigurations.
+
+"Dropped and mangled packets can significantly impact the probability
+of a successful infection" — modelled as a base loss rate for the
+whole Internet plus elevated per-region rates standing in for broken
+equipment, congested links, and misconfigured devices on particular
+paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.net.cidr import CIDRBlock
+
+
+@dataclass(frozen=True)
+class RegionLoss:
+    """Extra loss applied to probes *toward* one region."""
+
+    region: CIDRBlock
+    loss_rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate <= 1.0:
+            raise ValueError(f"loss rate out of range: {self.loss_rate}")
+
+
+class LossModel:
+    """Independent per-probe loss with regional hot spots.
+
+    Parameters
+    ----------
+    base_rate:
+        Probability any probe is lost in transit.
+    region_losses:
+        Additional, independent loss applied when the *target* lies in
+        the region (failure or misconfiguration near the destination).
+    """
+
+    def __init__(
+        self,
+        base_rate: float = 0.0,
+        region_losses: Iterable[RegionLoss] = (),
+    ):
+        if not 0.0 <= base_rate <= 1.0:
+            raise ValueError(f"base rate out of range: {base_rate}")
+        self.base_rate = base_rate
+        self.region_losses = list(region_losses)
+
+    def deliverable(
+        self, targets: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Mask of probes that survive loss (sampled per call)."""
+        targets = np.asarray(targets, dtype=np.uint32)
+        survive = np.ones(targets.shape, dtype=bool)
+        if self.base_rate > 0:
+            survive &= rng.random(targets.shape) >= self.base_rate
+        for regional in self.region_losses:
+            if regional.loss_rate <= 0:
+                continue
+            inside = regional.region.contains_array(targets)
+            if inside.any():
+                dropped = rng.random(targets.shape) < regional.loss_rate
+                survive &= ~(inside & dropped)
+        return survive
+
+    def delivery_probability(self, targets: np.ndarray) -> np.ndarray:
+        """Expected delivery probability per probe (no sampling)."""
+        targets = np.asarray(targets, dtype=np.uint32)
+        prob = np.full(targets.shape, 1.0 - self.base_rate)
+        for regional in self.region_losses:
+            inside = regional.region.contains_array(targets)
+            prob[inside] *= 1.0 - regional.loss_rate
+        return prob

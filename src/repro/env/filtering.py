@@ -1,0 +1,120 @@
+"""Routing and filtering policy.
+
+Two policy behaviours from the paper's case studies:
+
+* **Egress filtering** — Fortune-100-style enterprises block outgoing
+  worm probes at their border, so infections inside never show up at
+  external sensors (Table 2).
+* **Ingress filtering** — the M sensor block "did not see any Slammer
+  infection attempts ... due to policy blocking the worm deployed at
+  its upstream provider" (Figure 2).
+
+A rule names a direction, a CIDR region, and optionally the worm it
+applies to (firewalls match on ports/payloads, so per-threat rules are
+realistic).  Probes matching any rule are dropped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.net.cidr import BlockSet, CIDRBlock
+
+
+class FilterAction(enum.Enum):
+    """What a matching rule does to a probe."""
+
+    DROP = "drop"
+    ALLOW = "allow"
+
+
+@dataclass(frozen=True)
+class FilterRule:
+    """One filtering rule.
+
+    Attributes
+    ----------
+    direction:
+        ``"egress"`` — matches probes whose *source* is inside
+        ``region`` and target outside it; ``"ingress"`` — matches
+        probes whose *target* is inside ``region`` and source outside.
+    region:
+        The filtered network.
+    worm:
+        Restrict the rule to one worm name (``None`` = all worms);
+        models port- or signature-specific firewall rules.
+    action:
+        :attr:`FilterAction.DROP` (default) or an explicit ALLOW that
+        exempts matching probes from later DROP rules.
+    """
+
+    direction: str
+    region: CIDRBlock
+    worm: Optional[str] = None
+    action: FilterAction = FilterAction.DROP
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("egress", "ingress"):
+            raise ValueError(f"unknown direction: {self.direction!r}")
+
+    def matches(
+        self, sources: np.ndarray, targets: np.ndarray, worm: Optional[str]
+    ) -> np.ndarray:
+        """Mask of probes this rule matches."""
+        if self.worm is not None and worm != self.worm:
+            return np.zeros(np.asarray(targets).shape, dtype=bool)
+        source_inside = self.region.contains_array(sources)
+        target_inside = self.region.contains_array(targets)
+        if self.direction == "egress":
+            return source_inside & ~target_inside
+        return target_inside & ~source_inside
+
+
+class FilteringPolicy:
+    """An ordered rule list evaluated first-match-wins."""
+
+    def __init__(self, rules: Iterable[FilterRule] = ()):
+        self.rules = list(rules)
+
+    @classmethod
+    def egress_filtered_enterprises(
+        cls, regions: Iterable[CIDRBlock], worm: Optional[str] = None
+    ) -> "FilteringPolicy":
+        """Convenience: egress-drop every region (the Table 2 setup)."""
+        return cls(
+            FilterRule("egress", region, worm=worm) for region in regions
+        )
+
+    def add(self, rule: FilterRule) -> None:
+        """Append a rule (evaluated after all existing rules)."""
+        self.rules.append(rule)
+
+    def deliverable(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        worm: Optional[str] = None,
+    ) -> np.ndarray:
+        """Mask of probes the policy lets through (first match wins)."""
+        targets = np.asarray(targets, dtype=np.uint32)
+        sources = np.asarray(sources, dtype=np.uint32)
+        ok = np.ones(targets.shape, dtype=bool)
+        decided = np.zeros(targets.shape, dtype=bool)
+        for rule in self.rules:
+            matched = rule.matches(sources, targets, worm) & ~decided
+            if not matched.any():
+                continue
+            ok[matched] = rule.action is FilterAction.ALLOW
+            decided |= matched
+        return ok
+
+    @property
+    def filtered_regions(self) -> BlockSet:
+        """All DROP-rule regions, as one block set (for reporting)."""
+        return BlockSet(
+            rule.region for rule in self.rules if rule.action is FilterAction.DROP
+        )

@@ -1,0 +1,124 @@
+"""NAT gateways and private-address reachability semantics.
+
+The paper's CodeRedII case study hinges on hosts that live at RFC 1918
+addresses behind NAT devices.  The reachability rules this module
+implements:
+
+* **private source → public target**: deliverable (outbound NAT
+  translation works — this is how the 192.168 hotspot leaks out);
+* **any source → private target**: deliverable only when source and
+  target sit behind the *same* NAT (same "realm"); private addresses
+  are not routed on the public Internet and inbound connections
+  through a NAT fail;
+* **public source → public target**: not this module's concern.
+
+A *realm* is one private network instance (a home or an enterprise
+site).  Millions of disjoint networks reuse 192.168/16, so realm
+membership — not the address — decides reachability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.special import is_private
+
+NO_REALM = -1
+
+
+class NATDeployment:
+    """Assigns (some) hosts to NAT realms and answers reachability.
+
+    Parameters
+    ----------
+    host_addrs:
+        Addresses of the NATed hosts (typically RFC 1918 addresses).
+        Hosts not listed here are public, un-NATed hosts.
+    realm_ids:
+        Realm identifier per host; hosts sharing an id sit behind the
+        same NAT and can reach each other directly.  Defaults to a
+        distinct realm per host (every host alone behind its own home
+        NAT), the worst case for worm spread and the common broadband
+        deployment.
+    intra_private_model:
+        ``"strict"`` (default): a private target is reachable only
+        from a source in the same realm.  ``"statistical"``: a probe
+        from any *private* source to a private target address reaches
+        the simulated host holding that address.  The statistical mode
+        models the real-world ensemble in which millions of disjoint
+        networks reuse 192.168/16 — a locally preferred probe to
+        192.168.x.y always stays inside the prober's own realm and
+        hits *somebody's* host there; the unique address slots of this
+        simulation stand in for that population in aggregate.  The
+        paper's Figure 5(c) experiment uses this mode.
+    """
+
+    def __init__(
+        self,
+        host_addrs: np.ndarray,
+        realm_ids: np.ndarray | None = None,
+        intra_private_model: str = "strict",
+    ):
+        if intra_private_model not in ("strict", "statistical"):
+            raise ValueError(
+                f"unknown intra_private_model: {intra_private_model!r}"
+            )
+        self.intra_private_model = intra_private_model
+        host_addrs = np.asarray(host_addrs, dtype=np.uint32)
+        if realm_ids is None:
+            realm_ids = np.arange(len(host_addrs), dtype=np.int64)
+        realm_ids = np.asarray(realm_ids, dtype=np.int64)
+        if len(realm_ids) != len(host_addrs):
+            raise ValueError("realm_ids must align with host_addrs")
+        if len(np.unique(host_addrs)) != len(host_addrs):
+            raise ValueError(
+                "duplicate NATed host addresses: within this model each "
+                "simulated private host needs a unique address; realms "
+                "express sharing"
+            )
+        order = np.argsort(host_addrs)
+        self._addrs = host_addrs[order]
+        self._realms = realm_ids[order]
+
+    @classmethod
+    def empty(cls) -> "NATDeployment":
+        """A deployment with no NATed hosts."""
+        return cls(np.empty(0, dtype=np.uint32))
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of NATed hosts."""
+        return len(self._addrs)
+
+    def realm_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Realm id per address (:data:`NO_REALM` for public hosts)."""
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        out = np.full(addrs.shape, NO_REALM, dtype=np.int64)
+        if not len(self._addrs):
+            return out
+        idx = np.searchsorted(self._addrs, addrs)
+        idx = np.clip(idx, 0, len(self._addrs) - 1)
+        found = self._addrs[idx] == addrs
+        out[found] = self._realms[idx[found]]
+        return out
+
+    def deliverable(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Mask of probes NAT semantics allow through.
+
+        Probes to private targets survive only inside a shared realm;
+        probes to public targets always pass this layer (the NAT
+        translates outbound traffic).
+        """
+        sources = np.asarray(sources, dtype=np.uint32)
+        targets = np.asarray(targets, dtype=np.uint32)
+        target_private = is_private(targets)
+        ok = np.ones(targets.shape, dtype=bool)
+        if target_private.any():
+            if self.intra_private_model == "statistical":
+                ok[target_private] = is_private(sources[target_private])
+            else:
+                src_realm = self.realm_of(sources[target_private])
+                dst_realm = self.realm_of(targets[target_private])
+                same_realm = (src_realm == dst_realm) & (src_realm != NO_REALM)
+                ok[target_private] = same_realm
+        return ok

@@ -1,0 +1,96 @@
+"""Lightweight topology: latency and bandwidth between regions.
+
+"Network topology ... determines message latency and bandwidth and
+thus the rate at which an infection can progress."  The vectorized
+epidemic simulator runs at one-second resolution, where per-probe
+latency is invisible; this model exists for the packet-level
+discrete-event kernel (:mod:`repro.sim.events`) and for bandwidth-
+capped scan-rate adjustments (Slammer was famously bandwidth-limited).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.net.cidr import CIDRBlock
+
+
+@dataclass(frozen=True)
+class RegionLink:
+    """Per-region access-link characteristics."""
+
+    region: CIDRBlock
+    latency_ms: float
+    bandwidth_scans_per_sec: float
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0:
+            raise ValueError("latency must be non-negative")
+        if self.bandwidth_scans_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+
+
+class LatencyModel:
+    """Base one-way latency plus per-region additions and jitter."""
+
+    def __init__(
+        self,
+        base_ms: float = 50.0,
+        jitter_ms: float = 10.0,
+        region_links: Iterable[RegionLink] = (),
+    ):
+        if base_ms < 0 or jitter_ms < 0:
+            raise ValueError("latencies must be non-negative")
+        self.base_ms = base_ms
+        self.jitter_ms = jitter_ms
+        self.region_links = list(region_links)
+
+    def sample_latency_ms(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """One-way latency per probe, in milliseconds."""
+        targets = np.asarray(targets, dtype=np.uint32)
+        sources = np.asarray(sources, dtype=np.uint32)
+        latency = np.full(targets.shape, self.base_ms, dtype=float)
+        for link in self.region_links:
+            latency[link.region.contains_array(sources)] += link.latency_ms
+            latency[link.region.contains_array(targets)] += link.latency_ms
+        if self.jitter_ms > 0:
+            latency += rng.exponential(self.jitter_ms, size=targets.shape)
+        return latency
+
+
+class Topology:
+    """Region-level scan-rate caps (access bandwidth).
+
+    A worm instance can emit at most its host's access-link budget;
+    Slammer's aggregate was limited by exactly this.  The simulator
+    asks for each infected host's effective scan rate.
+    """
+
+    def __init__(
+        self,
+        default_scan_rate: float,
+        region_links: Iterable[RegionLink] = (),
+    ):
+        if default_scan_rate <= 0:
+            raise ValueError("default scan rate must be positive")
+        self.default_scan_rate = default_scan_rate
+        self.region_links = list(region_links)
+
+    def scan_rates(self, hosts: np.ndarray) -> np.ndarray:
+        """Effective scans/second per host (region caps applied)."""
+        hosts = np.asarray(hosts, dtype=np.uint32)
+        rates = np.full(hosts.shape, self.default_scan_rate, dtype=float)
+        for link in self.region_links:
+            inside = link.region.contains_array(hosts)
+            rates[inside] = np.minimum(
+                rates[inside], link.bandwidth_scans_per_sec
+            )
+        return rates

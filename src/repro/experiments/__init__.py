@@ -1,0 +1,12 @@
+"""One module per table and figure of the paper's evaluation.
+
+Every experiment exposes a ``run(...)`` function returning a plain
+dataclass of series/rows, plus a ``format_result`` helper that prints
+them the way the paper's artifact does.  The registry maps experiment
+ids (``table1``, ``figure5b``, ...) to their runners for the CLI and
+the benchmark harness.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,163 @@
+"""Extension — can quorum-triggered quarantine contain a hotspot worm?
+
+The paper: "After 11 minutes the worm has already infected more than
+50% of the vulnerable population making global containment difficult
+or impossible."  This extension closes the loop it implies, running
+two outbreaks against an identical quorum-triggered quarantine in a
+scale-model Internet (one /8 universe, vulnerable hosts clustered in a
+few /16s, random /24 sensors across the universe):
+
+* a **uniform** scanner sweeps the whole universe — the propagation
+  model quorum systems were designed around.  Its probes rain on
+  sensors everywhere, the quorum fires early, and quarantine caps the
+  outbreak;
+* the **hotspot** variant (CodeRedII local preference confined to a
+  /16 hit-list) sends *every* probe into the hit-list.  Only the few
+  sensors inside it can ever alert, the quorum never fires, and the
+  worm saturates.
+
+Same vulnerable hosts, same sensors, same quarantine — the only
+difference is where the probes go.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sensors.deployment import SensorGrid, place_random
+from repro.sim.containment import QuorumTriggeredContainment
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.worms.hitlist import HitListCodeRedIIWorm, HitListWorm
+
+
+@dataclass(frozen=True)
+class ContainmentRun:
+    """One worm variant's outcome under quarantine."""
+
+    worm_name: str
+    containment_triggered_at: Optional[float]
+    final_infected_fraction: float
+    infected_when_triggered: Optional[float]
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """Uniform vs hotspot under identical quarantine."""
+
+    uniform: ContainmentRun
+    hotspot: ContainmentRun
+
+    @property
+    def hotspots_defeat_containment(self) -> bool:
+        """Quarantine caps the uniform worm but not the hotspot one."""
+        return (
+            self.uniform.containment_triggered_at is not None
+            and self.hotspot.final_infected_fraction
+            > 2 * self.uniform.final_infected_fraction
+        )
+
+
+def _one_run(
+    worm,
+    hosts: np.ndarray,
+    universe: CIDRBlock,
+    num_sensors: int,
+    quorum_fraction: float,
+    reaction_delay: float,
+    scan_rate: float,
+    max_time: float,
+    seed: int,
+) -> ContainmentRun:
+    rng = np.random.default_rng(seed)
+    population = HostPopulation(hosts)
+    grid = SensorGrid(
+        place_random(num_sensors, rng, within=BlockSet([universe])),
+        alert_threshold=5,
+    )
+    containment = QuorumTriggeredContainment(
+        grid,
+        quorum_fraction=quorum_fraction,
+        reaction_delay=reaction_delay,
+    )
+    simulator = EpidemicSimulator(
+        worm, population, sensor_grids=[grid], containment=containment
+    )
+    config = SimulationConfig(
+        scan_rate=scan_rate, max_time=max_time, seed_count=10
+    )
+    result = simulator.run(config, rng)
+    infected_at_trigger = None
+    if containment.triggered_at is not None:
+        infected_at_trigger = result.fraction_infected_at(
+            containment.triggered_at
+        )
+    return ContainmentRun(
+        worm_name=worm.name,
+        containment_triggered_at=containment.triggered_at,
+        final_infected_fraction=result.final_fraction_infected,
+        infected_when_triggered=infected_at_trigger,
+    )
+
+
+def run(
+    universe_spec: str = "60.0.0.0/8",
+    num_target_slash16s: int = 6,
+    hosts_per_slash16: int = 700,
+    num_sensors: int = 500,
+    quorum_fraction: float = 0.05,
+    reaction_delay: float = 30.0,
+    scan_rate: float = 50.0,
+    max_time: float = 1_500.0,
+    seed: int = 2008,
+) -> ContainmentResult:
+    """Race quarantine against the uniform and hotspot variants."""
+    rng = np.random.default_rng(seed)
+    universe = CIDRBlock.parse(universe_spec)
+    second_octets = rng.choice(256, size=num_target_slash16s, replace=False)
+    hitlist = BlockSet(
+        CIDRBlock(universe.network | (int(octet) << 16), 16)
+        for octet in second_octets
+    )
+    hosts = np.unique(
+        hitlist.random_addresses(num_target_slash16s * hosts_per_slash16, rng)
+    )
+
+    shared = dict(
+        hosts=hosts,
+        universe=universe,
+        num_sensors=num_sensors,
+        quorum_fraction=quorum_fraction,
+        reaction_delay=reaction_delay,
+        scan_rate=scan_rate,
+        max_time=max_time,
+        seed=seed,
+    )
+    return ContainmentResult(
+        uniform=_one_run(HitListWorm(BlockSet([universe])), **shared),
+        hotspot=_one_run(HitListCodeRedIIWorm(hitlist), **shared),
+    )
+
+
+def format_result(result: ContainmentResult) -> str:
+    """Both runs side by side."""
+    lines = ["Quorum-triggered quarantine vs worm variants:"]
+    for label, run_ in (("uniform", result.uniform), ("hotspot", result.hotspot)):
+        trigger = (
+            f"{run_.containment_triggered_at:.0f}s "
+            f"(at {run_.infected_when_triggered:.1%} infected)"
+            if run_.containment_triggered_at is not None
+            else "never"
+        )
+        lines.append(
+            f"  {label:<8} ({run_.worm_name:<26}) quorum fired: {trigger:<24} "
+            f"final infected: {run_.final_infected_fraction:.1%}"
+        )
+    lines.append(
+        f"  hotspots defeat containment? {result.hotspots_defeat_containment}"
+    )
+    return "\n".join(lines)

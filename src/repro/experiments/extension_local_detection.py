@@ -1,0 +1,159 @@
+"""Extension — local detection vs global quorum detection.
+
+The paper's conclusion: "while global distributed detection systems
+have an important function, it is critical to invest in local
+detection systems to protect networks from the targeted impact of
+hotspots."  The paper argues this qualitatively; this extension
+quantifies it.
+
+Setup: a hit-list worm (the bot behaviour of Table 1 / Figure 5)
+targets a handful of /16 networks, one of which belongs to a defended
+organization.  Two detectors race the infection:
+
+* **global quorum** — thousands of /24 sensors placed randomly across
+  the Internet, declaring an outbreak when a quorum fraction alerts;
+* **local detector** — the organization's *own* dark /24s (unused
+  space inside its /16), alerting at the same payload threshold.
+
+Because the worm's hotspot covers only the hit-list, the global
+quorum starves, while the organization's own dark space sits inside
+the hotspot and fires early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sensors.deployment import SensorGrid, place_random
+from repro.sensors.detection import quorum_detection_time
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.worms.hitlist import HitListCodeRedIIWorm
+
+
+@dataclass(frozen=True)
+class LocalDetectionResult:
+    """Outcome of the local-vs-global race."""
+
+    org_block: CIDRBlock
+    local_detection_time: Optional[float]
+    global_quorum_time: Optional[float]
+    org_half_infected_time: Optional[float]
+    final_infected_fraction: float
+    global_alert_fraction: float
+
+    @property
+    def local_wins(self) -> bool:
+        """The local detector fires while the global quorum stays silent
+        or fires later."""
+        if self.local_detection_time is None:
+            return False
+        if self.global_quorum_time is None:
+            return True
+        return self.local_detection_time <= self.global_quorum_time
+
+    @property
+    def local_fires_before_org_saturates(self) -> bool:
+        """Detection early enough for the organization to react."""
+        if self.local_detection_time is None:
+            return False
+        if self.org_half_infected_time is None:
+            return True
+        return self.local_detection_time <= self.org_half_infected_time
+
+
+def run(
+    num_target_slash16s: int = 8,
+    hosts_per_slash16: int = 800,
+    org_dark_slash24s: int = 32,
+    num_global_sensors: int = 4_000,
+    quorum_fraction: float = 0.05,
+    alert_threshold: int = 5,
+    scan_rate: float = 10.0,
+    max_time: float = 900.0,
+    seed: int = 2007,
+) -> LocalDetectionResult:
+    """Race a local darknet against a global quorum detector."""
+    rng = np.random.default_rng(seed)
+
+    # Build the targeted /16s; the first one is the defended org.
+    first_octets = rng.choice(np.arange(60, 200), size=num_target_slash16s, replace=False)
+    blocks = [
+        CIDRBlock((int(octet) << 24) | (int(rng.integers(0, 256)) << 16), 16)
+        for octet in first_octets
+    ]
+    org_block = blocks[0]
+    hitlist = BlockSet(blocks)
+
+    # Vulnerable hosts cluster in the targeted /16s, avoiding the
+    # org's dark /24s (dark space is unused by definition).
+    dark_prefixes = rng.choice(
+        org_block.slash24_prefixes(), size=org_dark_slash24s, replace=False
+    )
+    dark_set = BlockSet(
+        CIDRBlock(int(prefix) << 8, 24) for prefix in dark_prefixes
+    )
+    host_arrays = []
+    for block in blocks:
+        addrs = block.random_addresses(hosts_per_slash16 * 2, rng)
+        addrs = addrs[~dark_set.contains_array(addrs)]
+        host_arrays.append(np.unique(addrs)[:hosts_per_slash16])
+    hosts = np.unique(np.concatenate(host_arrays))
+    population = HostPopulation(hosts)
+
+    local_grid = SensorGrid(dark_prefixes, alert_threshold=alert_threshold)
+    global_grid = SensorGrid(
+        place_random(num_global_sensors, rng), alert_threshold=alert_threshold
+    )
+
+    worm = HitListCodeRedIIWorm(hitlist)
+    simulator = EpidemicSimulator(
+        worm, population, sensor_grids=[local_grid, global_grid]
+    )
+    config = SimulationConfig(
+        scan_rate=scan_rate,
+        max_time=max_time,
+        seed_count=10,
+        stop_at_fraction=0.95,
+    )
+    result = simulator.run(config, rng)
+
+    # Organization-level milestone, approximated from the global
+    # infection curve: the time the outbreak has infected as many
+    # hosts as half the organization holds.  (The engine does not
+    # record per-infection addresses; since the hit-list spreads
+    # near-symmetrically across its /16s, this is a tight proxy.)
+    org_hosts = hosts[org_block.contains_array(hosts)]
+    org_half_time = result.time_to_fraction(0.5 * len(org_hosts) / len(hosts))
+
+    local_time = quorum_detection_time(local_grid.alert_times(), 1e-9)
+    global_time = quorum_detection_time(
+        global_grid.alert_times(), quorum_fraction
+    )
+    return LocalDetectionResult(
+        org_block=org_block,
+        local_detection_time=local_time,
+        global_quorum_time=global_time,
+        org_half_infected_time=org_half_time,
+        final_infected_fraction=result.final_fraction_infected,
+        global_alert_fraction=global_grid.fraction_alerted(),
+    )
+
+
+def format_result(result: LocalDetectionResult) -> str:
+    """Summary of the race."""
+    lines = [
+        f"Local detection (own dark space in {result.org_block}) vs "
+        "global quorum:",
+        f"  local detector fired at: {result.local_detection_time}s",
+        f"  global quorum fired at: {result.global_quorum_time}",
+        f"  global sensors ever alerting: {result.global_alert_fraction:.2%}",
+        f"  outbreak final infected fraction: "
+        f"{result.final_infected_fraction:.1%}",
+        f"  local wins? {result.local_wins}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,184 @@
+"""Figure 4 — CodeRedII, private address space, and the M-block
+hotspot.
+
+* (a) a CodeRedII-infected population containing hosts NATed at
+  192.168/16 addresses produces a large unique-source hotspot at the
+  M sensor block (which sits inside 192/8): a NATed host's /8-local
+  probes target 192/8, and since 192.168/16 is the only private /16
+  there, almost all of them leak onto the public Internet.
+* (b) the quarantine experiment, public source: one captured worm
+  instance at an address outside 192/8 sends ~7.57 M probes; only a
+  trickle reaches the monitored blocks.
+* (c) the quarantine experiment repeated with the host at
+  192.168.0.100: the same probe budget now puts a distinct spike on
+  the M block.
+
+The quarantine harness is exactly the paper's honeypot/VMWare setup:
+the worm's target generator run standalone with a controlled source
+address, binned over the same sensor /24s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.env.environment import NetworkEnvironment
+from repro.net.address import parse_addr
+from repro.net.cidr import CIDRBlock
+from repro.population.synthesis import (
+    PopulationSpec,
+    nat_population,
+    synthesize_clustered_population,
+)
+from repro.sensors.darknet import DarknetSensor, ims_standard_deployment
+from repro.worms.codered2 import CodeRedIIWorm
+
+
+@dataclass(frozen=True)
+class QuarantineRun:
+    """Scan-target histogram of one quarantined infected host."""
+
+    source: int
+    probes: int
+    hits_by_block: Mapping[str, np.ndarray]
+
+    def total(self, name: str) -> int:
+        """Probes that landed in one block."""
+        return int(self.hits_by_block[name].sum())
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Population observations plus the two quarantine runs."""
+
+    unique_sources_by_block: Mapping[str, np.ndarray]
+    public_quarantine: QuarantineRun
+    private_quarantine: QuarantineRun
+
+    def per_slash24_mean(self, name: str) -> float:
+        """Mean unique sources per /24 of one block."""
+        return float(self.unique_sources_by_block[name].mean())
+
+    @property
+    def m_block_hotspot(self) -> bool:
+        """M sees far more unique sources per /24 than other blocks."""
+        m_mean = self.per_slash24_mean("M")
+        others = [
+            self.per_slash24_mean(name)
+            for name in self.unique_sources_by_block
+            if name != "M"
+        ]
+        return m_mean > 5 * max(others)
+
+    @property
+    def quarantine_contrast(self) -> bool:
+        """Only the 192.168 source produces the M spike."""
+        return (
+            self.private_quarantine.total("M")
+            > 20 * max(self.public_quarantine.total("M"), 1)
+        )
+
+
+def _quarantine(
+    source_text: str,
+    probes: int,
+    sensors: list[DarknetSensor],
+    rng: np.random.Generator,
+) -> QuarantineRun:
+    """The honeypot harness: one infected host, raw target binning."""
+    worm = CodeRedIIWorm()
+    source = parse_addr(source_text)
+    hits: dict[str, np.ndarray] = {
+        sensor.name: np.zeros(sensor.num_slash24, dtype=np.int64)
+        for sensor in sensors
+    }
+    state = worm.new_state()
+    worm.add_hosts(state, np.array([source], dtype=np.uint32), rng)
+    remaining = probes
+    while remaining > 0:
+        chunk = min(remaining, 1_000_000)
+        remaining -= chunk
+        targets = worm.generate(state, chunk, rng)[0]
+        for sensor in sensors:
+            inside = sensor.block.contains_array(targets)
+            if not inside.any():
+                continue
+            bins = (
+                targets[inside] - np.uint32(sensor.block.first)
+            ) >> np.uint32(8)
+            hits[sensor.name] += np.bincount(
+                bins.astype(np.int64), minlength=sensor.num_slash24
+            )
+    return QuarantineRun(source=source, probes=probes, hits_by_block=hits)
+
+
+def run(
+    num_hosts: int = 3_000,
+    nat_fraction: float = 0.15,
+    probes_per_host: int = 20_000,
+    quarantine_probes: int = 7_567_093,
+    seed: int = 2005,
+) -> Figure4Result:
+    """Run the population observation and both quarantine runs."""
+    rng = np.random.default_rng(seed)
+    sensors = ims_standard_deployment()
+
+    # Population study (a): persistent CRII-infected hosts, a
+    # fraction NATed at 192.168/16, scanning through the environment.
+    population = synthesize_clustered_population(PopulationSpec(), rng)
+    infected = rng.choice(population, size=num_hosts, replace=False)
+    infected, nat = nat_population(infected, nat_fraction, rng)
+    environment = NetworkEnvironment(nat=nat)
+
+    worm = CodeRedIIWorm()
+    state = worm.new_state()
+    worm.add_hosts(state, infected, rng)
+    remaining = probes_per_host
+    while remaining > 0:
+        chunk = min(remaining, max(1, 2_000_000 // num_hosts))
+        remaining -= chunk
+        targets = worm.generate(state, chunk, rng)
+        sources = np.broadcast_to(state.addresses()[:, None], targets.shape)
+        deliverable = environment.deliverable(
+            sources.ravel(), targets.ravel(), rng, worm=worm.name
+        )
+        flat_sources = sources.ravel()[deliverable]
+        flat_targets = targets.ravel()[deliverable]
+        for sensor in sensors:
+            sensor.observe(flat_sources, flat_targets)
+    unique_by_block = {
+        sensor.name: sensor.unique_sources_by_slash24() for sensor in sensors
+    }
+
+    # Quarantine runs (b) and (c).
+    public_run = _quarantine("141.213.4.4", quarantine_probes, sensors, rng)
+    private_run = _quarantine("192.168.0.100", quarantine_probes, sensors, rng)
+
+    return Figure4Result(
+        unique_sources_by_block=unique_by_block,
+        public_quarantine=public_run,
+        private_quarantine=private_run,
+    )
+
+
+def format_result(result: Figure4Result) -> str:
+    """Figure 4 as per-block summaries."""
+    lines = ["CodeRedII unique sources per /24 (population with NATed hosts):"]
+    for name, counts in sorted(result.unique_sources_by_block.items()):
+        lines.append(
+            f"  {name}: mean/24={counts.mean():.3f}  max={counts.max()}"
+        )
+    lines.append(
+        "Quarantine (public source) hits by block: "
+        + str({n: result.public_quarantine.total(n) for n in result.unique_sources_by_block})
+    )
+    lines.append(
+        "Quarantine (192.168.0.100) hits by block: "
+        + str({n: result.private_quarantine.total(n) for n in result.unique_sources_by_block})
+    )
+    lines.append(f"  M-block hotspot? {result.m_block_hotspot}")
+    lines.append(f"  quarantine contrast? {result.quarantine_contrast}")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Experiment registry: id → (runner, formatter).
+
+Populated as each experiment module lands; the CLI and benchmark
+harness look experiments up here so there is exactly one definition
+of "run Figure 5b".
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Mapping
+
+#: Experiment id → module path.  Each module exposes ``run`` and
+#: ``format_result``.
+EXPERIMENTS: Mapping[str, str] = {
+    "table1": "repro.experiments.table1",
+    "figure1": "repro.experiments.figure1",
+    "figure2": "repro.experiments.figure2",
+    "figure3": "repro.experiments.figure3",
+    "figure4": "repro.experiments.figure4",
+    "table2": "repro.experiments.table2",
+    "figure5a": "repro.experiments.figure5",
+    "figure5b": "repro.experiments.figure5",
+    "figure5c": "repro.experiments.figure5",
+    # Beyond the paper: quantify its concluding arguments.
+    "local-detection": "repro.experiments.extension_local_detection",
+    "containment": "repro.experiments.extension_containment",
+}
+
+#: Experiments living in a shared module use a dedicated run function.
+_RUNNERS: Mapping[str, str] = {
+    "figure5a": "run_infection",
+    "figure5b": "run_detection",
+    "figure5c": "run_nat_detection",
+}
+
+_FORMATTERS: Mapping[str, str] = {
+    "figure5a": "format_infection",
+    "figure5b": "format_detection",
+    "figure5c": "format_nat_detection",
+}
+
+
+def get_runner(experiment_id: str) -> tuple[Callable[..., Any], Callable[[Any], str]]:
+    """The (run, format) pair for an experiment id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(EXPERIMENTS)}"
+        )
+    module = importlib.import_module(EXPERIMENTS[experiment_id])
+    run = getattr(module, _RUNNERS.get(experiment_id, "run"))
+    formatter = getattr(module, _FORMATTERS.get(experiment_id, "format_result"))
+    return run, formatter
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> tuple[Any, str]:
+    """Run an experiment and return ``(result, formatted_text)``."""
+    run, formatter = get_runner(experiment_id)
+    result = run(**kwargs)
+    return result, formatter(result)

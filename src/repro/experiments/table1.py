@@ -1,0 +1,73 @@
+"""Table 1 — botnet scan commands captured on a live /15 network.
+
+The paper's table lists ~15 anonymized propagation commands from
+about 11 bots seen in one month.  We synthesize an IRC capture with
+the same structure, run the signature extractor over it, and render
+the recovered commands in the paper's anonymized style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.botnet.commands import anonymize_command
+from repro.botnet.corpus import extract_commands, synthesize_capture
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One recovered command."""
+
+    bot_id: int
+    command: str  # anonymized, Table 1 style
+    hitlist_prefix_len: int
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """The reproduced table."""
+
+    rows: tuple[Table1Row, ...]
+    num_bots: int
+    capture_lines: int
+
+    @property
+    def restricted_fraction(self) -> float:
+        """Fraction of commands restricting scans to a subnet."""
+        if not self.rows:
+            return 0.0
+        restricted = sum(1 for row in self.rows if row.hitlist_prefix_len >= 8)
+        return restricted / len(self.rows)
+
+
+def run(
+    num_bots: int = 11,
+    commands_per_bot: tuple[int, int] = (1, 3),
+    seed: int = 2004,
+) -> Table1Result:
+    """Synthesize the capture, extract commands, build the table."""
+    rng = np.random.default_rng(seed)
+    capture = synthesize_capture(num_bots, commands_per_bot, rng)
+    extracted = extract_commands(capture)
+    rows = tuple(
+        Table1Row(
+            bot_id=line.source_bot,
+            command=anonymize_command(command),
+            hitlist_prefix_len=command.hitlist_block().prefix_len,
+        )
+        for line, command in extracted
+    )
+    return Table1Result(rows=rows, num_bots=num_bots, capture_lines=len(capture))
+
+
+def format_result(result: Table1Result) -> str:
+    """Render rows the way the paper's Table 1 prints them."""
+    lines = ["Bot Propagation Command (captured on synthetic /15 capture)"]
+    lines.extend(f"  {row.command}" for row in result.rows)
+    lines.append(
+        f"-- {len(result.rows)} commands from {result.num_bots} bots; "
+        f"{result.restricted_fraction:.0%} restrict scanning to a subnet"
+    )
+    return "\n".join(lines)

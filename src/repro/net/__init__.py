@@ -1,0 +1,59 @@
+"""IPv4 address-space substrate.
+
+Everything in the hot path treats IPv4 addresses as unsigned 32-bit
+integers (scalars or numpy ``uint32`` arrays).  Dotted-quad strings only
+appear at the edges (parsing configuration, printing reports).
+
+Modules
+-------
+``address``
+    Scalar and vectorized conversions between dotted-quad strings,
+    integers, and octets.
+``cidr``
+    :class:`~repro.net.cidr.CIDRBlock` — a contiguous power-of-two
+    aligned address block — and :class:`~repro.net.cidr.BlockSet`, a
+    collection of blocks with vectorized membership tests.
+``special``
+    Well-known ranges (RFC 1918 private space, loopback, multicast,
+    class E) and routability predicates.
+``prefixtree``
+    A binary radix trie with longest-prefix-match lookup, used by the
+    policy layers.
+"""
+
+from repro.net.address import (
+    format_addr,
+    format_addrs,
+    from_octets,
+    octets,
+    parse_addr,
+    parse_addrs,
+)
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.net.prefixtree import PrefixTree
+from repro.net.special import (
+    LOOPBACK,
+    MULTICAST,
+    PRIVATE_BLOCKS,
+    RESERVED_CLASS_E,
+    is_private,
+    is_routable,
+)
+
+__all__ = [
+    "BlockSet",
+    "CIDRBlock",
+    "LOOPBACK",
+    "MULTICAST",
+    "PRIVATE_BLOCKS",
+    "PrefixTree",
+    "RESERVED_CLASS_E",
+    "format_addr",
+    "format_addrs",
+    "from_octets",
+    "is_private",
+    "is_routable",
+    "octets",
+    "parse_addr",
+    "parse_addrs",
+]

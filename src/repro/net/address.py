@@ -1,0 +1,75 @@
+"""Conversions between IPv4 representations.
+
+Addresses are plain Python ``int`` (scalar) or numpy ``uint32`` arrays
+(batch).  These helpers are the only sanctioned way to move between the
+integer world and dotted-quad strings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+ADDRESS_SPACE_SIZE = 2**32
+MAX_ADDRESS = ADDRESS_SPACE_SIZE - 1
+
+
+def parse_addr(text: str) -> int:
+    """Parse a dotted-quad string into an integer address.
+
+    >>> parse_addr("192.168.0.1")
+    3232235521
+    """
+    parts = text.strip().split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not a dotted-quad address: {text!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_addr(addr: int) -> str:
+    """Format an integer address as a dotted-quad string.
+
+    >>> format_addr(3232235521)
+    '192.168.0.1'
+    """
+    addr = int(addr)
+    if not 0 <= addr <= MAX_ADDRESS:
+        raise ValueError(f"address out of range: {addr}")
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def octets(addr: int) -> tuple[int, int, int, int]:
+    """Split an integer address into its four octets (most significant first)."""
+    addr = int(addr)
+    return ((addr >> 24) & 0xFF, (addr >> 16) & 0xFF, (addr >> 8) & 0xFF, addr & 0xFF)
+
+
+def from_octets(a: int, b: int, c: int, d: int) -> int:
+    """Build an integer address from four octets.
+
+    >>> format_addr(from_octets(10, 0, 0, 1))
+    '10.0.0.1'
+    """
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError(f"octet out of range: {octet}")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def parse_addrs(texts: Iterable[str]) -> np.ndarray:
+    """Parse an iterable of dotted-quad strings into a ``uint32`` array."""
+    return np.array([parse_addr(text) for text in texts], dtype=np.uint64).astype(
+        np.uint32
+    )
+
+
+def format_addrs(addrs: Sequence[int] | np.ndarray) -> list[str]:
+    """Format an array of integer addresses as dotted-quad strings."""
+    return [format_addr(int(addr)) for addr in np.asarray(addrs).ravel()]

@@ -1,0 +1,210 @@
+"""CIDR blocks and block sets.
+
+:class:`CIDRBlock` models one aligned, power-of-two sized address block
+(the paper's sensor blocks, hit-list prefixes, and private ranges are
+all CIDR blocks).  :class:`BlockSet` holds many blocks and answers
+vectorized membership queries, which is how the simulator decides which
+scan probes landed on a darknet sensor or inside a policy region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.net.address import ADDRESS_SPACE_SIZE, format_addr, parse_addr
+
+
+@dataclass(frozen=True, order=True)
+class CIDRBlock:
+    """An aligned IPv4 CIDR block, e.g. ``192.0.0.0/8``.
+
+    Attributes
+    ----------
+    network:
+        Integer address of the first address in the block.  Must be
+        aligned to the prefix length.
+    prefix_len:
+        Number of leading prefix bits (0-32).
+    """
+
+    network: int
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise ValueError(f"prefix length out of range: {self.prefix_len}")
+        if not 0 <= self.network < ADDRESS_SPACE_SIZE:
+            raise ValueError(f"network address out of range: {self.network}")
+        if self.network & (self.size - 1):
+            raise ValueError(
+                f"network {format_addr(self.network)} not aligned to /{self.prefix_len}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "CIDRBlock":
+        """Parse ``"a.b.c.d/len"`` notation.
+
+        >>> CIDRBlock.parse("10.0.0.0/8").size
+        16777216
+        """
+        addr_text, _, len_text = text.partition("/")
+        if not len_text:
+            raise ValueError(f"missing prefix length in {text!r}")
+        return cls(parse_addr(addr_text), int(len_text))
+
+    @classmethod
+    def containing(cls, addr: int, prefix_len: int) -> "CIDRBlock":
+        """The /``prefix_len`` block that contains ``addr``."""
+        mask = ~((1 << (32 - prefix_len)) - 1) & 0xFFFFFFFF if prefix_len else 0
+        return cls(int(addr) & mask, prefix_len)
+
+    @property
+    def size(self) -> int:
+        """Number of addresses in the block."""
+        return 1 << (32 - self.prefix_len)
+
+    @property
+    def first(self) -> int:
+        """First (lowest) address in the block."""
+        return self.network
+
+    @property
+    def last(self) -> int:
+        """Last (highest) address in the block."""
+        return self.network + self.size - 1
+
+    def __contains__(self, addr: object) -> bool:
+        if not isinstance(addr, (int, np.integer)):
+            return NotImplemented
+        return self.first <= int(addr) <= self.last
+
+    def contains_array(self, addrs: np.ndarray) -> np.ndarray:
+        """Boolean mask of which ``addrs`` fall inside this block."""
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        return (addrs >= np.uint32(self.first)) & (addrs <= np.uint32(self.last))
+
+    def subblocks(self, prefix_len: int) -> Iterator["CIDRBlock"]:
+        """Iterate the /``prefix_len`` blocks inside this block."""
+        if prefix_len < self.prefix_len:
+            raise ValueError(
+                f"/{prefix_len} blocks are larger than this /{self.prefix_len}"
+            )
+        step = 1 << (32 - prefix_len)
+        for network in range(self.first, self.last + 1, step):
+            yield CIDRBlock(network, prefix_len)
+
+    def slash24_prefixes(self) -> np.ndarray:
+        """The ``addr >> 8`` prefixes of every /24 inside this block."""
+        if self.prefix_len > 24:
+            return np.array([self.network >> 8], dtype=np.uint32)
+        start = self.network >> 8
+        count = 1 << (24 - self.prefix_len)
+        return (start + np.arange(count, dtype=np.uint32)).astype(np.uint32)
+
+    def overlaps(self, other: "CIDRBlock") -> bool:
+        """Whether the two blocks share any address."""
+        return self.first <= other.last and other.first <= self.last
+
+    def random_addresses(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` uniform random addresses inside this block."""
+        offsets = rng.integers(0, self.size, size=count, dtype=np.uint64)
+        return (np.uint64(self.network) + offsets).astype(np.uint32)
+
+    def addresses(self) -> np.ndarray:
+        """All addresses in the block (use only for small blocks)."""
+        if self.prefix_len < 16:
+            raise ValueError("refusing to materialize a block larger than /16")
+        return (np.uint64(self.network) + np.arange(self.size, dtype=np.uint64)).astype(
+            np.uint32
+        )
+
+    def __str__(self) -> str:
+        return f"{format_addr(self.network)}/{self.prefix_len}"
+
+
+class BlockSet:
+    """A set of CIDR blocks with vectorized membership tests.
+
+    Blocks may overlap; membership means "inside at least one block".
+    Internally the block intervals are merged and sorted so a lookup is
+    one ``searchsorted`` per query batch.
+    """
+
+    def __init__(self, blocks: Iterable[CIDRBlock] = ()):
+        self._blocks: list[CIDRBlock] = sorted(set(blocks))
+        starts = []
+        ends = []
+        for block in self._blocks:
+            if starts and block.first <= ends[-1] + 1:
+                ends[-1] = max(ends[-1], block.last)
+            else:
+                starts.append(block.first)
+                ends.append(block.last)
+        self._starts = np.array(starts, dtype=np.uint64)
+        self._ends = np.array(ends, dtype=np.uint64)
+
+    @classmethod
+    def parse(cls, texts: Iterable[str]) -> "BlockSet":
+        """Build a block set from ``"a.b.c.d/len"`` strings."""
+        return cls(CIDRBlock.parse(text) for text in texts)
+
+    @property
+    def blocks(self) -> Sequence[CIDRBlock]:
+        """The original (deduplicated, sorted) blocks."""
+        return tuple(self._blocks)
+
+    @property
+    def address_count(self) -> int:
+        """Total number of distinct addresses covered."""
+        if not len(self._starts):
+            return 0
+        return int(np.sum(self._ends - self._starts + 1))
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, addr: object) -> bool:
+        if not isinstance(addr, (int, np.integer)):
+            return NotImplemented
+        return bool(self.contains_array(np.array([addr], dtype=np.uint32))[0])
+
+    def contains_array(self, addrs: np.ndarray) -> np.ndarray:
+        """Boolean mask of which ``addrs`` fall inside any block."""
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        if not len(self._starts):
+            return np.zeros(addrs.shape, dtype=bool)
+        wide = addrs.astype(np.uint64)
+        idx = np.searchsorted(self._starts, wide, side="right") - 1
+        valid = idx >= 0
+        result = np.zeros(addrs.shape, dtype=bool)
+        result[valid] = wide[valid] <= self._ends[idx[valid]]
+        return result
+
+    def random_addresses(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` addresses uniformly over the covered space.
+
+        Each covered address is equally likely regardless of which
+        block it belongs to (blocks are merged first, so overlaps do
+        not double-weight).
+        """
+        if not len(self._starts):
+            raise ValueError("cannot sample from an empty block set")
+        sizes = self._ends - self._starts + 1
+        cumulative = np.cumsum(sizes)
+        total = int(cumulative[-1])
+        offsets = rng.integers(0, total, size=count, dtype=np.uint64)
+        interval = np.searchsorted(cumulative, offsets, side="right")
+        base = np.concatenate([[np.uint64(0)], cumulative[:-1]])
+        return (self._starts[interval] + (offsets - base[interval])).astype(np.uint32)
+
+    def union(self, other: "BlockSet") -> "BlockSet":
+        """A new block set covering both operands."""
+        return BlockSet(list(self.blocks) + list(other.blocks))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(str(block) for block in self._blocks[:4])
+        suffix = ", ..." if len(self._blocks) > 4 else ""
+        return f"BlockSet([{preview}{suffix}], n={len(self._blocks)})"

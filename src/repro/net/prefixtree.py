@@ -1,0 +1,91 @@
+"""Binary radix trie with longest-prefix-match lookup.
+
+The filtering-policy layer stores per-prefix actions here, mirroring
+how routers and firewalls evaluate rules.  Lookups return the value of
+the most specific matching prefix.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, Optional, TypeVar
+
+import numpy as np
+
+from repro.net.cidr import CIDRBlock
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: list[Optional["_Node[V]"]] = [None, None]
+        self.value: Optional[V] = None
+        self.has_value = False
+
+
+class PrefixTree(Generic[V]):
+    """Maps CIDR prefixes to values with longest-prefix-match semantics."""
+
+    def __init__(self) -> None:
+        self._root: _Node[V] = _Node()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, block: CIDRBlock, value: V) -> None:
+        """Associate ``value`` with ``block``; replaces any prior value."""
+        node = self._root
+        for depth in range(block.prefix_len):
+            bit = (block.network >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if not node.has_value:
+            self._count += 1
+        node.value = value
+        node.has_value = True
+
+    def lookup(self, addr: int) -> Optional[V]:
+        """Value of the longest prefix containing ``addr``, or ``None``."""
+        addr = int(addr)
+        node = self._root
+        best: Optional[V] = node.value if node.has_value else None
+        for depth in range(32):
+            bit = (addr >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            if node.has_value:
+                best = node.value
+        return best
+
+    def lookup_array(self, addrs: np.ndarray, default: Any = None) -> list[Any]:
+        """Longest-prefix lookup for each address in a batch.
+
+        This walks the trie per address; use it for moderate batch
+        sizes (policy tables are small, so each walk is short).
+        """
+        results = []
+        for addr in np.asarray(addrs).ravel():
+            value = self.lookup(int(addr))
+            results.append(default if value is None else value)
+        return results
+
+    def items(self) -> Iterator[tuple[CIDRBlock, V]]:
+        """Iterate ``(block, value)`` pairs in prefix order."""
+
+        def walk(node: _Node[V], prefix: int, depth: int) -> Iterator[tuple[CIDRBlock, V]]:
+            if node.has_value:
+                yield CIDRBlock(prefix << (32 - depth) if depth else 0, depth), node.value
+            for bit in (0, 1):
+                child = node.children[bit]
+                if child is not None:
+                    yield from walk(child, (prefix << 1) | bit, depth + 1)
+
+        yield from walk(self._root, 0, 0)

@@ -1,0 +1,45 @@
+"""Well-known IPv4 ranges and routability predicates.
+
+The paper's environmental factors hinge on RFC 1918 private space
+(``192.168/16`` in particular), so these ranges are first-class here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.net.cidr import BlockSet, CIDRBlock
+
+#: RFC 1918 private address blocks.
+PRIVATE_10 = CIDRBlock.parse("10.0.0.0/8")
+PRIVATE_172 = CIDRBlock.parse("172.16.0.0/12")
+PRIVATE_192 = CIDRBlock.parse("192.168.0.0/16")
+PRIVATE_BLOCKS = BlockSet([PRIVATE_10, PRIVATE_172, PRIVATE_192])
+
+#: Loopback (127/8), multicast (224/4), and class E reserved (240/4).
+LOOPBACK = CIDRBlock.parse("127.0.0.0/8")
+MULTICAST = CIDRBlock.parse("224.0.0.0/4")
+RESERVED_CLASS_E = CIDRBlock.parse("240.0.0.0/4")
+ZERO_NETWORK = CIDRBlock.parse("0.0.0.0/8")
+
+#: Everything that is never a legitimate unicast destination on the
+#: public Internet.
+UNROUTABLE = BlockSet(
+    [LOOPBACK, MULTICAST, RESERVED_CLASS_E, ZERO_NETWORK]
+)
+
+
+def is_private(addrs: np.ndarray) -> np.ndarray:
+    """Boolean mask of RFC 1918 private addresses."""
+    return PRIVATE_BLOCKS.contains_array(np.asarray(addrs, dtype=np.uint32))
+
+
+def is_routable(addrs: np.ndarray) -> np.ndarray:
+    """Boolean mask of addresses routable on the public Internet.
+
+    Private space is *not* routable publicly; reachability between
+    private hosts behind the same NAT is handled by the environment
+    layer, not here.
+    """
+    addrs = np.asarray(addrs, dtype=np.uint32)
+    return ~(UNROUTABLE.contains_array(addrs) | is_private(addrs))

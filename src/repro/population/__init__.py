@@ -1,0 +1,36 @@
+"""Host populations and synthetic address allocations.
+
+The paper's simulations run over the *measured* CodeRedII-infected
+population (134,586 addresses clustered in 47 /8 networks) and over
+ARIN allocations of Fortune-100 enterprises and broadband ISPs.  Both
+data sets are proprietary, so this package synthesizes populations
+with the same documented structure (see DESIGN.md for the
+calibration anchors).
+"""
+
+from repro.population.allocation import (
+    OrganizationAllocation,
+    place_infected_hosts,
+    synthesize_broadband_isps,
+    synthesize_enterprises,
+)
+from repro.population.model import HostPopulation, HostStatus
+from repro.population.synthesis import (
+    CODERED2_ANCHORS,
+    PopulationSpec,
+    nat_population,
+    synthesize_clustered_population,
+)
+
+__all__ = [
+    "CODERED2_ANCHORS",
+    "HostPopulation",
+    "HostStatus",
+    "OrganizationAllocation",
+    "PopulationSpec",
+    "nat_population",
+    "place_infected_hosts",
+    "synthesize_broadband_isps",
+    "synthesize_clustered_population",
+    "synthesize_enterprises",
+]

@@ -1,0 +1,138 @@
+"""Synthetic organizational address allocations.
+
+Table 2 compares infections leaking from Fortune-100 enterprise
+allocations against broadband ISP allocations.  The real allocations
+come from ARIN; we synthesize organizations with the same gross
+structure: enterprises hold a handful of /16s (large companies manage
+hundreds of thousands of addresses), broadband ISPs hold /8-to-/10
+scale blocks serving millions of subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.net.cidr import BlockSet, CIDRBlock
+
+
+@dataclass(frozen=True)
+class OrganizationAllocation:
+    """One organization's address holdings."""
+
+    name: str
+    kind: str  # "enterprise" | "broadband"
+    blocks: BlockSet
+
+    @property
+    def address_count(self) -> int:
+        """Total addresses allocated to this organization."""
+        return self.blocks.address_count
+
+
+def _distinct_slash16s(
+    count: int, rng: np.random.Generator, used: set[int], first_octets: Sequence[int]
+) -> list[CIDRBlock]:
+    """Pick ``count`` fresh /16s within the given first octets."""
+    blocks: list[CIDRBlock] = []
+    attempts = 0
+    while len(blocks) < count:
+        attempts += 1
+        if attempts > 100_000:
+            raise RuntimeError("address space exhausted while allocating /16s")
+        octet_a = int(rng.choice(first_octets))
+        octet_b = int(rng.integers(0, 256))
+        prefix = (octet_a << 8) | octet_b
+        if prefix in used:
+            continue
+        used.add(prefix)
+        blocks.append(CIDRBlock(prefix << 16, 16))
+    return blocks
+
+
+def synthesize_enterprises(
+    count: int,
+    rng: np.random.Generator,
+    first_octets: Sequence[int] = tuple(range(129, 170)),
+    slash16s_per_org: tuple[int, int] = (2, 8),
+) -> list[OrganizationAllocation]:
+    """Synthetic Fortune-100-style enterprises.
+
+    Each enterprise receives between ``slash16s_per_org`` /16 blocks
+    (hundreds of thousands of addresses, per the paper), drawn without
+    overlap from legacy class-B style space.
+    """
+    used: set[int] = set()
+    organizations = []
+    for index in range(count):
+        num_blocks = int(rng.integers(slash16s_per_org[0], slash16s_per_org[1] + 1))
+        blocks = _distinct_slash16s(num_blocks, rng, used, first_octets)
+        organizations.append(
+            OrganizationAllocation(
+                name=f"enterprise-{index:03d}",
+                kind="enterprise",
+                blocks=BlockSet(blocks),
+            )
+        )
+    return organizations
+
+
+def synthesize_broadband_isps(
+    count: int,
+    rng: np.random.Generator,
+    first_octets: Sequence[int] = (24, 65, 66, 67, 68, 69, 70, 71, 98, 99),
+    slash10s_per_org: tuple[int, int] = (2, 6),
+) -> list[OrganizationAllocation]:
+    """Synthetic broadband providers holding /10-scale blocks."""
+    available = [
+        (octet << 24) | (quadrant << 22)
+        for octet in first_octets
+        for quadrant in range(4)
+    ]
+    rng.shuffle(available)
+    organizations = []
+    cursor = 0
+    for index in range(count):
+        num_blocks = int(rng.integers(slash10s_per_org[0], slash10s_per_org[1] + 1))
+        if cursor + num_blocks > len(available):
+            raise ValueError("not enough /10 blocks for the requested ISPs")
+        blocks = [
+            CIDRBlock(network, 10)
+            for network in available[cursor : cursor + num_blocks]
+        ]
+        cursor += num_blocks
+        organizations.append(
+            OrganizationAllocation(
+                name=f"isp-{chr(ord('A') + index)}",
+                kind="broadband",
+                blocks=BlockSet(blocks),
+            )
+        )
+    return organizations
+
+
+def place_infected_hosts(
+    organizations: Iterable[OrganizationAllocation],
+    infected_per_org: Sequence[int],
+    rng: np.random.Generator,
+) -> dict[str, np.ndarray]:
+    """Scatter infected hosts inside each organization's blocks.
+
+    Returns a mapping of organization name to the infected addresses.
+    The per-organization counts model internal infection prevalence
+    *before* any egress filtering is applied — the paper's point is
+    that filtering hides them from external view, not that enterprises
+    have none.
+    """
+    organizations = list(organizations)
+    if len(infected_per_org) != len(organizations):
+        raise ValueError("infected_per_org must align with organizations")
+    placements: dict[str, np.ndarray] = {}
+    for organization, count in zip(organizations, infected_per_org):
+        if count < 0:
+            raise ValueError("infection counts must be non-negative")
+        addrs = organization.blocks.random_addresses(int(count), rng)
+        placements[organization.name] = np.unique(addrs)
+    return placements

@@ -1,0 +1,131 @@
+"""Host population state.
+
+The paper's epidemic model has three host populations — vulnerable,
+infected, and immune — with hosts moving vulnerable → infected on a
+successful infection attempt.  :class:`HostPopulation` keeps the
+vulnerable address set sorted so the simulator can match millions of
+probe targets against it with one ``searchsorted`` per tick.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class HostStatus(enum.IntEnum):
+    """Lifecycle state of a host in the population."""
+
+    VULNERABLE = 0
+    INFECTED = 1
+    IMMUNE = 2
+
+
+class HostPopulation:
+    """The vulnerable/infected/immune host sets.
+
+    Parameters
+    ----------
+    vulnerable_addrs:
+        Unique addresses of all hosts running the vulnerable service.
+    """
+
+    def __init__(self, vulnerable_addrs: np.ndarray):
+        addrs = np.unique(np.asarray(vulnerable_addrs, dtype=np.uint32))
+        if len(addrs) != len(vulnerable_addrs):
+            raise ValueError("vulnerable addresses must be unique")
+        self._addrs = addrs
+        self._status = np.full(len(addrs), HostStatus.VULNERABLE, dtype=np.int8)
+
+    @property
+    def size(self) -> int:
+        """Total number of hosts (any status)."""
+        return len(self._addrs)
+
+    @property
+    def num_infected(self) -> int:
+        """Hosts currently infected."""
+        return int((self._status == HostStatus.INFECTED).sum())
+
+    @property
+    def num_vulnerable(self) -> int:
+        """Hosts still vulnerable (not infected, not immune)."""
+        return int((self._status == HostStatus.VULNERABLE).sum())
+
+    @property
+    def num_immune(self) -> int:
+        """Hosts patched or otherwise immune."""
+        return int((self._status == HostStatus.IMMUNE).sum())
+
+    @property
+    def fraction_infected(self) -> float:
+        """Infected / total."""
+        return self.num_infected / self.size if self.size else 0.0
+
+    def addresses(self) -> np.ndarray:
+        """All host addresses (sorted)."""
+        return self._addrs
+
+    def infected_addresses(self) -> np.ndarray:
+        """Addresses of currently infected hosts."""
+        return self._addrs[self._status == HostStatus.INFECTED]
+
+    def vulnerable_addresses(self) -> np.ndarray:
+        """Addresses of currently vulnerable hosts."""
+        return self._addrs[self._status == HostStatus.VULNERABLE]
+
+    def _indices_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Indices of known addresses; raises on unknown addresses."""
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        idx = np.searchsorted(self._addrs, addrs)
+        idx = np.clip(idx, 0, len(self._addrs) - 1)
+        if not (self._addrs[idx] == addrs).all():
+            raise KeyError("address not in population")
+        return idx
+
+    def status_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Status per address (addresses must belong to the population)."""
+        return self._status[self._indices_of(addrs)]
+
+    def infect(self, addrs: np.ndarray) -> np.ndarray:
+        """Mark hosts infected; returns the newly infected addresses.
+
+        Already-infected and immune hosts are unaffected, so feeding
+        duplicate infection attempts is safe and cheap.
+        """
+        if len(np.asarray(addrs)) == 0:
+            return np.empty(0, dtype=np.uint32)
+        idx = self._indices_of(addrs)
+        fresh = self._status[idx] == HostStatus.VULNERABLE
+        fresh_idx = np.unique(idx[fresh])
+        self._status[fresh_idx] = HostStatus.INFECTED
+        return self._addrs[fresh_idx]
+
+    def immunize(self, addrs: np.ndarray) -> None:
+        """Mark hosts immune (patched); infected hosts stay infected."""
+        if len(np.asarray(addrs)) == 0:
+            return
+        idx = self._indices_of(addrs)
+        vulnerable = self._status[idx] == HostStatus.VULNERABLE
+        self._status[idx[vulnerable]] = HostStatus.IMMUNE
+
+    def vulnerable_hits(self, targets: np.ndarray) -> np.ndarray:
+        """Addresses of *vulnerable* hosts hit by a batch of probes.
+
+        ``targets`` may contain anything; only probes that land
+        exactly on a currently vulnerable host are returned (with
+        duplicates collapsed).
+        """
+        targets = np.asarray(targets, dtype=np.uint32).ravel()
+        if not len(targets) or not len(self._addrs):
+            return np.empty(0, dtype=np.uint32)
+        idx = np.searchsorted(self._addrs, targets)
+        idx = np.clip(idx, 0, len(self._addrs) - 1)
+        hit = self._addrs[idx] == targets
+        hit &= self._status[idx] == HostStatus.VULNERABLE
+        return np.unique(targets[hit])
+
+    def reset(self) -> None:
+        """Return every host to the vulnerable state."""
+        self._status[:] = HostStatus.VULNERABLE

@@ -1,0 +1,43 @@
+"""Pseudo-random number generator substrate.
+
+The paper's algorithmic-factor case studies are PRNG forensics: the
+Blaster worm seeds Microsoft's CRT ``rand()`` from ``GetTickCount()``,
+and the Slammer worm uses a linear congruential generator whose
+increment is corrupted by an ``OR``-for-``XOR`` coding bug.  This
+package implements those generators exactly and provides the cycle
+theory needed to predict their hotspots.
+
+Modules
+-------
+``lcg``
+    Generic linear congruential generators, scalar and vectorized.
+``msrand``
+    Microsoft CRT ``rand()``/``srand()`` (the Blaster PRNG).
+``cycles``
+    Analytic cycle structure of affine maps ``x -> a*x + b (mod 2^n)``
+    plus brute-force enumeration for small ``n`` used in tests.
+``entropy``
+    The ``GetTickCount()`` boot-time entropy model from the paper's
+    reboot-measurement study.
+"""
+
+from repro.prng.cycles import (
+    AffineCycleStructure,
+    CycleInfo,
+    brute_force_cycles,
+    cycle_structure,
+)
+from repro.prng.entropy import BootTimeModel, HARDWARE_GENERATIONS
+from repro.prng.lcg import LCG
+from repro.prng.msrand import MSRand
+
+__all__ = [
+    "AffineCycleStructure",
+    "BootTimeModel",
+    "CycleInfo",
+    "HARDWARE_GENERATIONS",
+    "LCG",
+    "MSRand",
+    "brute_force_cycles",
+    "cycle_structure",
+]

@@ -1,0 +1,314 @@
+"""Cycle structure of affine maps ``f(x) = a*x + b (mod 2^n)``.
+
+The Slammer worm's target generator is such a map with ``a`` odd, so
+``f`` is a permutation of ``Z/2^n`` and the address space decomposes
+into disjoint cycles.  A Slammer instance's scanning footprint *is*
+the cycle its seed lands in, which is why the paper's per-host traces
+(Figure 3a/b) are so skewed and why short cycles act like targeted
+denial of service.
+
+This module computes the full cycle decomposition **analytically** for
+``a ≡ 1 (mod 4)`` — which covers both the Slammer LCG and Microsoft's
+CRT ``rand()`` (both use ``a = 214013``):
+
+Let ``d = v2(a - 1) >= 2`` be the 2-adic valuation of ``a - 1``.
+
+* If ``v2(b) >= d``, the map has ``2^d`` fixed points ``c`` solving
+  ``(a-1)c ≡ -b``, and conjugating by one of them reduces ``f`` to
+  pure multiplication ``y -> a*y`` with ``y = x - c``.  The orbit of
+  ``y`` has length ``ord(a mod 2^(n-v)) = 2^(n-v-d)`` where
+  ``v = v2(y)`` (length 1 when the exponent is non-positive).  Since
+  ``<a>`` is exactly the subgroup ``{u ≡ 1 mod 2^d}`` of the units,
+  counting cosets gives ``2^(d-1)`` cycles of length ``2^(n-v-d)``
+  for each ``v = 0 .. n-d-1``, plus ``2^d`` fixed points.  For
+  Slammer (``n = 32, d = 2``) that is ``2*30 + 4 = 64`` cycles,
+  matching the count reported in the paper.
+
+* If ``v2(b) < d`` there is no fixed point, ``x mod 2^(v2(b))`` is an
+  invariant of ``f``, and every cycle has the same length
+  ``2^(n - v2(b))`` (there are ``2^(v2(b))`` of them).
+
+``brute_force_cycles`` enumerates cycles directly and is used by the
+test suite to verify the theory for every small modulus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+#: Sentinel valuation for zero ("infinite" valuation) — larger than
+#: any word size we support.
+INFINITE_VALUATION = 64
+
+
+def v2(x: int) -> int:
+    """2-adic valuation: exponent of the largest power of 2 dividing ``x``.
+
+    ``v2(0)`` returns :data:`INFINITE_VALUATION`.
+    """
+    if x == 0:
+        return INFINITE_VALUATION
+    return (x & -x).bit_length() - 1
+
+
+def v2_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`v2` for unsigned integer arrays."""
+    values = np.asarray(values, dtype=np.uint64)
+    low_bit = values & (~values + np.uint64(1))
+    out = np.full(values.shape, INFINITE_VALUATION, dtype=np.int64)
+    nonzero = values != 0
+    # log2 of an exact power of two is exact in float64 up to 2^63.
+    out[nonzero] = np.log2(low_bit[nonzero].astype(np.float64)).astype(np.int64)
+    return out
+
+
+def modinv_pow2(x: int, bits: int) -> int:
+    """Inverse of odd ``x`` modulo ``2**bits`` by Newton iteration."""
+    if x % 2 == 0:
+        raise ValueError("only odd numbers are invertible modulo a power of two")
+    mask = (1 << bits) - 1
+    inv = 1
+    for _ in range(bits.bit_length() + 1):
+        inv = (inv * (2 - x * inv)) & mask
+    return inv & mask
+
+
+def multiplicative_order_mod_pow2(a: int, bits: int) -> int:
+    """Order of odd ``a`` in the unit group of ``Z/2^bits``."""
+    mask = (1 << bits) - 1
+    a &= mask
+    if a == 1 or bits == 0:
+        return 1
+    order = 1
+    power = a
+    while power != 1:
+        power = (power * power) & mask
+        order *= 2
+        if order > (1 << bits):
+            raise ArithmeticError("order computation diverged (a even?)")
+    return order
+
+
+@dataclass(frozen=True)
+class CycleInfo:
+    """One class of cycles of an affine permutation.
+
+    Attributes
+    ----------
+    length:
+        Number of states in each cycle of this class.
+    count:
+        How many distinct cycles share this length/valuation.
+    valuation:
+        2-adic valuation ``v2(x - c)`` of the cycles' members in the
+        conjugated coordinate (``None`` for fixed points and for the
+        fixed-point-free case).
+    representative:
+        One state belonging to a cycle of this class.
+    """
+
+    length: int
+    count: int
+    valuation: Optional[int]
+    representative: int
+
+
+@dataclass(frozen=True)
+class AffineCycleStructure:
+    """Complete cycle decomposition of ``x -> a*x + b (mod 2^bits)``."""
+
+    a: int
+    b: int
+    bits: int
+    cycles: tuple[CycleInfo, ...]
+    fixed_point: Optional[int]
+
+    @property
+    def total_cycles(self) -> int:
+        """Total number of distinct cycles."""
+        return sum(info.count for info in self.cycles)
+
+    @property
+    def cycle_lengths(self) -> list[int]:
+        """Every cycle length, one entry per cycle, sorted ascending."""
+        lengths: list[int] = []
+        for info in self.cycles:
+            lengths.extend([info.length] * info.count)
+        return sorted(lengths)
+
+    def total_states(self) -> int:
+        """Sum of ``length * count`` over all cycles (equals ``2^bits``)."""
+        return sum(info.length * info.count for info in self.cycles)
+
+    @property
+    def _d(self) -> int:
+        return v2((self.a - 1) & ((1 << self.bits) - 1))
+
+    def cycle_length_of_state(self, state: int) -> int:
+        """Length of the cycle containing ``state`` (O(1) via theory)."""
+        mask = (1 << self.bits) - 1
+        state &= mask
+        if self.fixed_point is None:
+            return 1 << (self.bits - v2(self.b & mask))
+        y = (state - self.fixed_point) & mask
+        if y == 0:
+            return 1
+        exponent = self.bits - v2(y) - self._d
+        return 1 << exponent if exponent > 0 else 1
+
+    def cycle_lengths_of_states(self, states: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`cycle_length_of_state` for a batch."""
+        mask = np.uint64((1 << self.bits) - 1)
+        states = np.asarray(states, dtype=np.uint64) & mask
+        if self.fixed_point is None:
+            length = 1 << (self.bits - v2(self.b & int(mask)))
+            return np.full(states.shape, length, dtype=np.int64)
+        y = (states - np.uint64(self.fixed_point)) & mask
+        exponents = self.bits - v2_array(y) - self._d
+        return np.int64(1) << np.maximum(exponents, 0)
+
+    def cycle_id_of_state(self, state: int) -> tuple[str, int, int]:
+        """A stable identifier of the cycle containing ``state``.
+
+        Two states are on the same cycle iff their identifiers are
+        equal.  The identifier is one of:
+
+        * ``("fixed", y, 0)`` for fixed points (``y = state - c``);
+        * ``("orbit", v, u)`` with ``v = v2(y)`` and
+          ``u = (y >> v) mod 2^d`` (a complete coset invariant since
+          ``<a> = {u ≡ 1 mod 2^d}``);
+        * ``("residue", 0, state mod 2^(v2(b)))`` in the
+          fixed-point-free case (the residue is invariant under f).
+        """
+        mask = (1 << self.bits) - 1
+        state &= mask
+        if self.fixed_point is None:
+            return ("residue", 0, state % (1 << v2(self.b & mask)))
+        d = self._d
+        y = (state - self.fixed_point) & mask
+        if y == 0 or self.bits - v2(y) - d <= 0:
+            return ("fixed", y, 0)
+        v = v2(y)
+        return ("orbit", v, (y >> v) % (1 << d))
+
+
+def cycle_structure(a: int, b: int, bits: int = 32) -> AffineCycleStructure:
+    """Analytic cycle decomposition of ``x -> a*x + b (mod 2^bits)``.
+
+    Supports ``a = 1`` (translations) and ``a ≡ 1 (mod 4)``; for
+    ``a ≡ 3 (mod 4)`` the unit-group bookkeeping differs and only
+    :func:`brute_force_cycles` is provided.
+    """
+    mask = (1 << bits) - 1
+    a &= mask
+    b &= mask
+    if a % 2 == 0:
+        raise ValueError("a must be odd for the map to be a permutation")
+    if a == 1:
+        return _translation_structure(b, bits)
+    if bits >= 2 and a % 4 == 3:
+        raise NotImplementedError(
+            "analytic structure implemented for a ≡ 1 (mod 4) only; "
+            "use brute_force_cycles for small moduli"
+        )
+
+    d = v2(a - 1)
+    vb = v2(b)
+
+    if b != 0 and vb < d:
+        length = 1 << (bits - vb)
+        cycles = (
+            CycleInfo(length=length, count=1 << vb, valuation=None, representative=0),
+        )
+        return AffineCycleStructure(a=a, b=b, bits=bits, cycles=cycles, fixed_point=None)
+
+    # A fixed point exists: (a-1) c ≡ -b with a-1 = 2^d * m, m odd.
+    m = (a - 1) >> d
+    if b == 0:
+        c = 0
+    else:
+        b_reduced = ((-b) & mask) >> d
+        c = (b_reduced * modinv_pow2(m, bits - d)) % (1 << (bits - d))
+
+    cycles: list[CycleInfo] = []
+    for valuation in range(max(bits - d, 0)):
+        cycles.append(
+            CycleInfo(
+                length=1 << (bits - valuation - d),
+                count=1 << (d - 1),
+                valuation=valuation,
+                representative=(c + (1 << valuation)) & mask,
+            )
+        )
+    fixed_count = min(1 << d, 1 << bits)
+    cycles.append(
+        CycleInfo(length=1, count=fixed_count, valuation=None, representative=c)
+    )
+    return AffineCycleStructure(
+        a=a, b=b, bits=bits, cycles=tuple(cycles), fixed_point=c
+    )
+
+
+def _translation_structure(b: int, bits: int) -> AffineCycleStructure:
+    """Cycle structure of the pure translation ``x -> x + b``."""
+    if b == 0:
+        cycles = (
+            CycleInfo(length=1, count=1 << bits, valuation=None, representative=0),
+        )
+        return AffineCycleStructure(a=1, b=0, bits=bits, cycles=cycles, fixed_point=0)
+    count = 1 << v2(b)
+    cycles = (
+        CycleInfo(
+            length=(1 << bits) // count, count=count, valuation=None, representative=0
+        ),
+    )
+    return AffineCycleStructure(a=1, b=b, bits=bits, cycles=cycles, fixed_point=None)
+
+
+def brute_force_cycles(a: int, b: int, bits: int) -> list[int]:
+    """Enumerate all cycle lengths by direct iteration (small ``bits`` only).
+
+    Returns the sorted list of cycle lengths.  Used to validate
+    :func:`cycle_structure` in tests.
+    """
+    if bits > 22:
+        raise ValueError("brute force limited to bits <= 22")
+    size = 1 << bits
+    mask = size - 1
+    successor = (a * np.arange(size, dtype=np.int64) + b) & mask
+    visited = np.zeros(size, dtype=bool)
+    lengths: list[int] = []
+    for start in range(size):
+        if visited[start]:
+            continue
+        length = 0
+        node = start
+        while not visited[node]:
+            visited[node] = True
+            node = int(successor[node])
+            length += 1
+        lengths.append(length)
+    return sorted(lengths)
+
+
+def cycle_members(
+    a: int, b: int, bits: int, start: int, limit: int
+) -> np.ndarray:
+    """Iterate the affine map from ``start`` until the cycle closes.
+
+    Stops after ``limit`` steps even if the cycle has not closed, so
+    callers can sample long cycles safely.  Returns the visited states
+    (including ``start``) as ``uint64``.
+    """
+    mask = (1 << bits) - 1
+    out = [start & mask]
+    state = start & mask
+    for _ in range(limit):
+        state = (a * state + b) & mask
+        if state == out[0]:
+            break
+        out.append(state)
+    return np.array(out, dtype=np.uint64)

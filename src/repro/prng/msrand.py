@@ -1,0 +1,66 @@
+"""Microsoft CRT ``rand()`` — the Blaster worm's PRNG.
+
+The Visual C runtime implements ``rand()`` as the LCG
+``state = state * 214013 + 2531011 (mod 2^32)`` and returns bits 16-30
+of the state (``(state >> 16) & 0x7fff``).  Blaster calls ``srand``
+with ``GetTickCount()`` at startup, which is the poor entropy source
+the paper dissects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MS_RAND_A = 214013
+MS_RAND_B = 2531011
+RAND_MAX = 0x7FFF
+
+
+class MSRand:
+    """Bit-exact Microsoft CRT ``rand()``/``srand()``."""
+
+    def __init__(self, seed: int = 1):
+        self.state = seed & 0xFFFFFFFF
+
+    def srand(self, seed: int) -> None:
+        """Reset the state, exactly like CRT ``srand``."""
+        self.state = seed & 0xFFFFFFFF
+
+    def rand(self) -> int:
+        """Next value in ``[0, 32767]``."""
+        self.state = (self.state * MS_RAND_A + MS_RAND_B) & 0xFFFFFFFF
+        return (self.state >> 16) & RAND_MAX
+
+    def randint(self, modulus: int) -> int:
+        """``rand() % modulus`` — the idiom worm code uses."""
+        return self.rand() % modulus
+
+    def stream(self, count: int) -> np.ndarray:
+        """The next ``count`` outputs of ``rand()`` as an int64 array."""
+        out = np.empty(count, dtype=np.int64)
+        state = self.state
+        for i in range(count):
+            state = (state * MS_RAND_A + MS_RAND_B) & 0xFFFFFFFF
+            out[i] = (state >> 16) & RAND_MAX
+        self.state = state
+        return out
+
+
+def msrand_outputs_for_seeds(seeds: np.ndarray, count: int) -> np.ndarray:
+    """Vectorized: the first ``count`` ``rand()`` outputs for many seeds.
+
+    Returns an array of shape ``(len(seeds), count)``.  Used by the
+    Blaster seed-to-target mapping, which must sweep millions of
+    candidate ``GetTickCount()`` seeds.
+    """
+    states = np.asarray(seeds, dtype=np.uint64) & np.uint64(0xFFFFFFFF)
+    outputs = np.empty((len(states), count), dtype=np.int64)
+    a = np.uint64(MS_RAND_A)
+    b = np.uint64(MS_RAND_B)
+    mask = np.uint64(0xFFFFFFFF)
+    for i in range(count):
+        states = (states * a + b) & mask
+        outputs[:, i] = ((states >> np.uint64(16)) & np.uint64(RAND_MAX)).astype(
+            np.int64
+        )
+    return outputs

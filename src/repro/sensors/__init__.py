@@ -1,0 +1,41 @@
+"""Darknet sensors, distributed deployments, and detection logic.
+
+Models the Internet Motion Sensor (IMS) substrate the paper measures
+with: darknet blocks that record scan traffic, per-/24 observation
+histograms with unique-source tracking, grids of thousands of small
+/24 sensors with threshold alerting, and the quorum detection logic
+whose blindness to hotspots is the paper's headline result.
+"""
+
+from repro.sensors.darknet import DarknetSensor, ims_standard_deployment
+from repro.sensors.deployment import (
+    SensorGrid,
+    place_one_per_block,
+    place_random,
+    place_within_blocks,
+)
+from repro.sensors.detection import AlertTimeline, quorum_detection_time
+from repro.sensors.earlywarning import ExponentialTrendDetector, TrendAlarm
+from repro.sensors.identification import (
+    IdentificationOutcome,
+    PayloadIdentifier,
+    Transport,
+    WormSignature,
+)
+
+__all__ = [
+    "AlertTimeline",
+    "DarknetSensor",
+    "ExponentialTrendDetector",
+    "IdentificationOutcome",
+    "PayloadIdentifier",
+    "SensorGrid",
+    "Transport",
+    "TrendAlarm",
+    "WormSignature",
+    "ims_standard_deployment",
+    "place_one_per_block",
+    "place_random",
+    "place_within_blocks",
+    "quorum_detection_time",
+]

@@ -1,0 +1,94 @@
+"""Distributed detection logic.
+
+The paper's argument: quorum/prevalence systems aggregate alerts from
+many sensors and declare an outbreak when enough of them agree.
+Hotspots starve most sensors, so the quorum is never reached even as
+the worm saturates its target population.  These helpers turn raw
+per-sensor alert times into the curves of Figure 5(b/c) and compute
+quorum detection times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AlertTimeline:
+    """Fraction of sensors alerted as a function of time."""
+
+    times: np.ndarray
+    fraction_alerted: np.ndarray
+
+    @classmethod
+    def from_alert_times(
+        cls, alert_times: np.ndarray, horizon: float, step: float = 1.0
+    ) -> "AlertTimeline":
+        """Build the cumulative alert curve from per-sensor times."""
+        grid = np.arange(0.0, horizon + step, step)
+        alerted = np.asarray(alert_times, dtype=float)
+        valid = alerted[~np.isnan(alerted)]
+        fractions = np.searchsorted(np.sort(valid), grid, side="right") / max(
+            len(alerted), 1
+        )
+        return cls(times=grid, fraction_alerted=fractions)
+
+    def fraction_at(self, time: float) -> float:
+        """Fraction alerted at (or before) ``time``."""
+        index = int(np.searchsorted(self.times, time, side="right")) - 1
+        if index < 0:
+            return 0.0
+        return float(self.fraction_alerted[index])
+
+    def final_fraction(self) -> float:
+        """Fraction alerted by the end of the horizon."""
+        return float(self.fraction_alerted[-1]) if len(self.fraction_alerted) else 0.0
+
+
+def quorum_detection_time(
+    alert_times: np.ndarray, quorum_fraction: float
+) -> Optional[float]:
+    """When a quorum of sensors has alerted, or ``None`` if never.
+
+    ``quorum_fraction`` is the fraction of *all* sensors (alerting or
+    not) that must have alerted — the aggregation rule whose failure
+    under hotspots is the paper's point.
+    """
+    if not 0.0 < quorum_fraction <= 1.0:
+        raise ValueError("quorum fraction must be in (0, 1]")
+    alert_times = np.asarray(alert_times, dtype=float)
+    needed = math.ceil(quorum_fraction * len(alert_times))
+    valid = np.sort(alert_times[~np.isnan(alert_times)])
+    if len(valid) < needed or needed == 0:
+        return None if needed else 0.0
+    return float(valid[needed - 1])
+
+
+def detection_lag(
+    alert_times: np.ndarray,
+    infection_times: Sequence[float],
+    infected_fraction: float,
+    quorum_fraction: float,
+) -> Optional[float]:
+    """Quorum detection time minus the time the worm reached a given
+    infected fraction (negative = detected before that point).
+
+    ``infection_times`` is the cumulative infection timestamp list
+    (one entry per infection, sorted).
+    """
+    detection = quorum_detection_time(alert_times, quorum_fraction)
+    if detection is None:
+        return None
+    infection_times = np.asarray(infection_times, dtype=float)
+    index = min(
+        int(math.ceil(infected_fraction * len(infection_times))),
+        len(infection_times),
+    )
+    if index == 0:
+        return detection
+    milestone = float(np.sort(infection_times)[index - 1])
+    return detection - milestone

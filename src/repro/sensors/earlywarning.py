@@ -1,0 +1,118 @@
+"""Trend-based early warning on darknet time series.
+
+The paper contrasts its quorum/threshold detectors with monitoring
+systems like Zou et al.'s, which watch the *aggregate* scan-traffic
+time series at a monitor and alarm on sustained exponential growth
+(the signature of an epidemic's early phase).
+
+:class:`ExponentialTrendDetector` implements that check: it keeps a
+sliding window of per-interval probe counts, fits a log-linear trend,
+and alarms when the growth rate is positive, statistically stable,
+and sustained over enough intervals.  Hotspots attack this detector
+the same way they attack quorums: a monitor outside the hotspot sees
+a flat (empty) series no matter how fast the worm grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TrendAlarm:
+    """An early-warning alarm."""
+
+    time: float
+    growth_rate: float
+    window_counts: tuple[int, ...]
+
+
+class ExponentialTrendDetector:
+    """Alarms on sustained exponential growth in observed counts.
+
+    Parameters
+    ----------
+    window:
+        Number of most recent intervals considered.
+    min_growth_rate:
+        Per-interval exponential rate required (e.g. 0.05 = +5% per
+        interval).
+    min_count:
+        Ignore windows whose total observations are below this (noise
+        guard — darknets see background radiation).
+    min_rising_intervals:
+        Consecutive rising-trend checks required before alarming.
+    """
+
+    def __init__(
+        self,
+        window: int = 10,
+        min_growth_rate: float = 0.05,
+        min_count: int = 20,
+        min_rising_intervals: int = 3,
+    ):
+        if window < 3:
+            raise ValueError("window must be at least 3 intervals")
+        if min_growth_rate <= 0:
+            raise ValueError("min_growth_rate must be positive")
+        if min_rising_intervals < 1:
+            raise ValueError("min_rising_intervals must be at least 1")
+        self.window = window
+        self.min_growth_rate = min_growth_rate
+        self.min_count = min_count
+        self.min_rising_intervals = min_rising_intervals
+        self._counts: list[int] = []
+        self._times: list[float] = []
+        self._rising_streak = 0
+        self.alarm: Optional[TrendAlarm] = None
+
+    def observe_interval(self, time: float, count: int) -> Optional[TrendAlarm]:
+        """Feed one interval's probe count; returns the alarm if it fires."""
+        if count < 0:
+            raise ValueError("counts must be non-negative")
+        self._counts.append(int(count))
+        self._times.append(float(time))
+        if self.alarm is not None:
+            return self.alarm
+
+        recent = self._counts[-self.window :]
+        if len(recent) < self.window or sum(recent) < self.min_count:
+            self._rising_streak = 0
+            return None
+
+        rate = self._fit_growth_rate(recent)
+        if rate >= self.min_growth_rate:
+            self._rising_streak += 1
+        else:
+            self._rising_streak = 0
+
+        if self._rising_streak >= self.min_rising_intervals:
+            self.alarm = TrendAlarm(
+                time=time,
+                growth_rate=rate,
+                window_counts=tuple(recent),
+            )
+        return self.alarm
+
+    @staticmethod
+    def _fit_growth_rate(counts: list[int]) -> float:
+        """Log-linear slope of the (smoothed) count series."""
+        values = np.asarray(counts, dtype=float) + 1.0  # log-safe
+        x = np.arange(len(values), dtype=float)
+        slope, _ = np.polyfit(x, np.log(values), 1)
+        return float(slope)
+
+    @property
+    def alarmed(self) -> bool:
+        """Whether the alarm has fired."""
+        return self.alarm is not None
+
+    def reset(self) -> None:
+        """Clear history and any latched alarm."""
+        self._counts.clear()
+        self._times.clear()
+        self._rising_streak = 0
+        self.alarm = None

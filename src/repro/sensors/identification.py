@@ -1,0 +1,111 @@
+"""Worm identification at the sensor — the IMS active responder.
+
+The paper's sensors "actively responded to TCP SYN packets with a
+SYN-ACK packet to elicit the first data payload on all TCP streams.
+This approach provided the necessary payload data to uniquely
+identify the threats studied in this paper."
+
+The distinction matters: a **UDP** worm (Slammer) carries its payload
+in the very first packet, so any passive darknet identifies it; a
+**TCP** worm (CodeRedII, Blaster) only reveals a payload after the
+handshake, so a passive sensor sees anonymous SYNs.  This module
+models that pipeline: per-worm transport/signature registry, passive
+vs active sensor modes, and the identification outcome per probe.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+
+class Transport(enum.Enum):
+    """Transport the worm's first infection packet uses."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+
+@dataclass(frozen=True)
+class WormSignature:
+    """What a sensor needs to recognize one threat."""
+
+    name: str
+    transport: Transport
+    port: int
+    payload_marker: str
+
+
+#: The threats the paper identifies at its sensors.
+KNOWN_SIGNATURES: Mapping[str, WormSignature] = {
+    "codered2": WormSignature(
+        "codered2", Transport.TCP, 80, "GET /default.ida?XXXX"
+    ),
+    "slammer": WormSignature("slammer", Transport.UDP, 1434, "\x04\x01\x01"),
+    "blaster": WormSignature(
+        "blaster", Transport.TCP, 135, "DCOM RPC overflow"
+    ),
+}
+
+
+class IdentificationOutcome(enum.Enum):
+    """What the sensor learned from one probe."""
+
+    IDENTIFIED = "identified"        # payload seen and matched
+    UNIDENTIFIED_SYN = "syn-only"    # TCP SYN, no payload elicited
+    UNKNOWN_PAYLOAD = "unknown"      # payload seen, no signature match
+
+
+class PayloadIdentifier:
+    """Sensor-side identification pipeline.
+
+    Parameters
+    ----------
+    active_responder:
+        ``True`` models the IMS behaviour (SYN-ACK elicitation, TCP
+        payloads recovered); ``False`` models a passive darknet that
+        only identifies self-contained UDP threats.
+    signatures:
+        The signature registry (defaults to the paper's threats).
+    """
+
+    def __init__(
+        self,
+        active_responder: bool = True,
+        signatures: Optional[Mapping[str, WormSignature]] = None,
+    ):
+        self.active_responder = active_responder
+        self.signatures = dict(
+            signatures if signatures is not None else KNOWN_SIGNATURES
+        )
+
+    def identify(self, worm_name: str) -> IdentificationOutcome:
+        """Outcome for one probe from a worm (by its true name)."""
+        signature = self.signatures.get(worm_name)
+        if signature is None:
+            return IdentificationOutcome.UNKNOWN_PAYLOAD
+        if signature.transport is Transport.TCP and not self.active_responder:
+            return IdentificationOutcome.UNIDENTIFIED_SYN
+        return IdentificationOutcome.IDENTIFIED
+
+    def identify_batch(self, worm_names: np.ndarray) -> np.ndarray:
+        """Boolean mask of probes the sensor can attribute to a threat."""
+        worm_names = np.asarray(worm_names)
+        out = np.zeros(worm_names.shape, dtype=bool)
+        for name in np.unique(worm_names):
+            outcome = self.identify(str(name))
+            out[worm_names == name] = (
+                outcome is IdentificationOutcome.IDENTIFIED
+            )
+        return out
+
+    def identification_rate(self, worm_name: str, probes: int) -> int:
+        """How many of ``probes`` from a worm the sensor attributes."""
+        if probes < 0:
+            raise ValueError("probes must be non-negative")
+        if self.identify(worm_name) is IdentificationOutcome.IDENTIFIED:
+            return probes
+        return 0

@@ -1,0 +1,29 @@
+"""Worm outbreak simulation.
+
+``engine``
+    The vectorized time-stepped epidemic simulator used for every
+    outbreak experiment in the paper's Section 5.
+``epidemic``
+    The classic analytic SI ("simple epidemic") model, used to
+    validate the simulator and as the uniform-propagation baseline the
+    paper defines hotspots against.
+``events``
+    A small discrete-event kernel for packet-level micro-simulations
+    (latency-sensitive scenarios the 1-second engine cannot resolve).
+"""
+
+from repro.sim.containment import QuorumTriggeredContainment
+from repro.sim.engine import EpidemicSimulator, SimulationConfig, SimulationResult
+from repro.sim.epidemic import si_curve, si_time_to_fraction
+from repro.sim.events import Event, EventKernel
+
+__all__ = [
+    "EpidemicSimulator",
+    "Event",
+    "EventKernel",
+    "QuorumTriggeredContainment",
+    "SimulationConfig",
+    "SimulationResult",
+    "si_curve",
+    "si_time_to_fraction",
+]

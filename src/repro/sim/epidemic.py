@@ -1,0 +1,59 @@
+"""Analytic SI ("simple epidemic") model.
+
+The uniform-propagation baseline: with ``N`` vulnerable hosts in an
+address space of ``Ω`` addresses, each infected host scanning ``r``
+addresses per second, the infected count ``i(t)`` follows the logistic
+
+    di/dt = (r / Ω) * i * (N - i)
+    i(t)  = N / (1 + (N / i0 - 1) * exp(-(r N / Ω) t))
+
+This is the model the paper cites from Staniford et al. and the curve
+hotspot-free propagation should follow; the test suite checks the
+vectorized simulator converges to it for the uniform worm.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def si_curve(
+    t: ArrayLike,
+    population: int,
+    seeds: int,
+    scan_rate: float,
+    address_space: float = 2.0**32,
+) -> np.ndarray:
+    """Infected count at time(s) ``t`` under the SI model."""
+    if population <= 0 or seeds <= 0 or seeds > population:
+        raise ValueError("need 0 < seeds <= population")
+    if scan_rate <= 0 or address_space <= 0:
+        raise ValueError("scan_rate and address_space must be positive")
+    t = np.asarray(t, dtype=float)
+    beta = scan_rate / address_space
+    growth = np.exp(-beta * population * t)
+    return population / (1.0 + (population / seeds - 1.0) * growth)
+
+
+def si_time_to_fraction(
+    fraction: float,
+    population: int,
+    seeds: int,
+    scan_rate: float,
+    address_space: float = 2.0**32,
+) -> float:
+    """Time for the SI model to reach an infected fraction."""
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    i0 = seeds
+    target = fraction * population
+    if target <= i0:
+        return 0.0
+    beta = scan_rate / address_space
+    ratio = (population / i0 - 1.0) / (population / target - 1.0)
+    return math.log(ratio) / (beta * population)

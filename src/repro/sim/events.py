@@ -1,0 +1,105 @@
+"""A small discrete-event kernel.
+
+The time-stepped engine cannot resolve sub-second effects (latency
+races between an infection and a competing patch, per-packet jitter).
+This kernel is a classic heap scheduler for the handful of scenarios
+that need packet-level fidelity, e.g. latency-aware quarantine
+micro-simulations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, sequence)`` so simultaneous events fire in
+    scheduling order (deterministic runs).
+    """
+
+    time: float
+    sequence: int
+    action: Callable[["EventKernel"], Any] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (O(1); skipped when popped)."""
+        self.cancelled = True
+
+
+class EventKernel:
+    """Heap-based discrete-event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self._events_fired = 0
+
+    @property
+    def events_fired(self) -> int:
+        """How many events have executed."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Events still queued (including cancelled ones not yet popped)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, action: Callable[["EventKernel"], Any]) -> Event:
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = Event(self.now + delay, next(self._counter), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self, time: float, action: Callable[["EventKernel"], Any]
+    ) -> Event:
+        """Schedule ``action`` at an absolute time."""
+        if time < self.now:
+            raise ValueError("cannot schedule into the past")
+        event = Event(time, next(self._counter), action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action(self)
+            self._events_fired += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the queue drains, the horizon, or an event budget."""
+        fired = 0
+        while self._queue:
+            if max_events is not None and fired >= max_events:
+                return
+            next_event = self._queue[0]
+            if next_event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and next_event.time > until:
+                self.now = until
+                return
+            self.step()
+            fired += 1
+        if until is not None:
+            self.now = max(self.now, until)

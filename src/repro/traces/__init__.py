@@ -1,0 +1,19 @@
+"""Probe-trace recording, storage, and replay.
+
+The measurement side of the paper is built on stored darknet traces
+(two months of IMS data).  This package provides the equivalent
+plumbing for simulated data: an append-only structured recorder for
+probe events, compact NPZ persistence, time/space filtering, and
+replay into sensors — so an experiment can be run once, archived, and
+re-analyzed without re-simulating.
+"""
+
+from repro.traces.record import ProbeTrace, TraceRecorder
+from repro.traces.replay import replay_into_grid, replay_into_sensors
+
+__all__ = [
+    "ProbeTrace",
+    "TraceRecorder",
+    "replay_into_grid",
+    "replay_into_sensors",
+]

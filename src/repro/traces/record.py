@@ -1,0 +1,198 @@
+"""Probe trace recording and persistence.
+
+A trace is a columnar set of probe events: timestamp, source address,
+destination address, and a worm id (small int mapped through a name
+table).  Columns are numpy arrays, so a month-scale simulated trace
+stays compact and every query is vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.net.cidr import BlockSet, CIDRBlock
+
+_CHUNK = 1 << 20
+
+
+@dataclass(frozen=True)
+class ProbeTrace:
+    """An immutable columnar probe trace.
+
+    Attributes
+    ----------
+    times:
+        Event timestamps (seconds, float64), non-decreasing if
+        produced by :class:`TraceRecorder`.
+    sources, targets:
+        Addresses (``uint32``).
+    worm_ids:
+        Index into :attr:`worm_names` per event.
+    worm_names:
+        Name table.
+    """
+
+    times: np.ndarray
+    sources: np.ndarray
+    targets: np.ndarray
+    worm_ids: np.ndarray
+    worm_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.times),
+            len(self.sources),
+            len(self.targets),
+            len(self.worm_ids),
+        }
+        if len(lengths) != 1:
+            raise ValueError("trace columns must have equal lengths")
+        if len(self.worm_ids) and self.worm_ids.max() >= len(self.worm_names):
+            raise ValueError("worm id out of range of the name table")
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        """Span between first and last event (0 for empty traces)."""
+        if not len(self.times):
+            return 0.0
+        return float(self.times.max() - self.times.min())
+
+    def _select(self, mask: np.ndarray) -> "ProbeTrace":
+        return ProbeTrace(
+            times=self.times[mask],
+            sources=self.sources[mask],
+            targets=self.targets[mask],
+            worm_ids=self.worm_ids[mask],
+            worm_names=self.worm_names,
+        )
+
+    def between(self, start: float, end: float) -> "ProbeTrace":
+        """Events with ``start <= time < end``."""
+        return self._select((self.times >= start) & (self.times < end))
+
+    def to_block(self, block: Union[CIDRBlock, BlockSet]) -> "ProbeTrace":
+        """Events whose *target* lies inside a block (set)."""
+        return self._select(block.contains_array(self.targets))
+
+    def from_block(self, block: Union[CIDRBlock, BlockSet]) -> "ProbeTrace":
+        """Events whose *source* lies inside a block (set)."""
+        return self._select(block.contains_array(self.sources))
+
+    def for_worm(self, name: str) -> "ProbeTrace":
+        """Events attributed to one worm."""
+        if name not in self.worm_names:
+            raise KeyError(f"unknown worm {name!r}")
+        worm_id = self.worm_names.index(name)
+        return self._select(self.worm_ids == worm_id)
+
+    def unique_sources(self) -> np.ndarray:
+        """Distinct source addresses."""
+        return np.unique(self.sources)
+
+    def targets_by_slash24(self) -> tuple[np.ndarray, np.ndarray]:
+        """(/24 prefixes, probe counts) over the targets."""
+        prefixes = self.targets >> np.uint32(8)
+        return np.unique(prefixes, return_counts=True)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist to compressed NPZ."""
+        np.savez_compressed(
+            path,
+            times=self.times,
+            sources=self.sources,
+            targets=self.targets,
+            worm_ids=self.worm_ids,
+            worm_names=np.array(self.worm_names, dtype=object),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ProbeTrace":
+        """Load a trace saved with :meth:`save`."""
+        with np.load(path, allow_pickle=True) as data:
+            return cls(
+                times=data["times"],
+                sources=data["sources"].astype(np.uint32),
+                targets=data["targets"].astype(np.uint32),
+                worm_ids=data["worm_ids"],
+                worm_names=tuple(data["worm_names"].tolist()),
+            )
+
+
+class TraceRecorder:
+    """Append-only probe recorder with chunked storage.
+
+    Use as the capture point inside a simulation loop::
+
+        recorder = TraceRecorder()
+        recorder.record(now, sources, targets, worm="codered2")
+        trace = recorder.finish()
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._worm_names: list[str] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _worm_id(self, name: str) -> int:
+        try:
+            return self._worm_names.index(name)
+        except ValueError:
+            self._worm_names.append(name)
+            return len(self._worm_names) - 1
+
+    def record(
+        self,
+        time: float,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        worm: str = "unknown",
+    ) -> None:
+        """Append one batch of probes sharing a timestamp and worm."""
+        sources = np.asarray(sources, dtype=np.uint32).ravel()
+        targets = np.asarray(targets, dtype=np.uint32).ravel()
+        if len(sources) != len(targets):
+            raise ValueError("sources and targets must align")
+        if not len(targets):
+            return
+        worm_id = self._worm_id(worm)
+        self._chunks.append(
+            (
+                np.full(len(targets), time, dtype=np.float64),
+                sources.copy(),
+                targets.copy(),
+                np.full(len(targets), worm_id, dtype=np.int16),
+            )
+        )
+        self._count += len(targets)
+
+    def finish(self) -> ProbeTrace:
+        """Assemble the immutable trace (recorder stays usable)."""
+        if not self._chunks:
+            empty32 = np.empty(0, dtype=np.uint32)
+            return ProbeTrace(
+                times=np.empty(0, dtype=np.float64),
+                sources=empty32,
+                targets=empty32.copy(),
+                worm_ids=np.empty(0, dtype=np.int16),
+                worm_names=tuple(self._worm_names) or ("unknown",),
+            )
+        times, sources, targets, worm_ids = (
+            np.concatenate(cols) for cols in zip(*self._chunks)
+        )
+        return ProbeTrace(
+            times=times,
+            sources=sources,
+            targets=targets,
+            worm_ids=worm_ids,
+            worm_names=tuple(self._worm_names),
+        )

@@ -1,0 +1,58 @@
+"""Worm target-generation models.
+
+Each worm is a :class:`~repro.worms.base.WormModel`: a factory for
+per-host scanning state plus a vectorized batch step that produces the
+next targets for every infected host at once.  The concrete models
+implement the paper's case studies from their decompiled descriptions:
+
+* :class:`~repro.worms.uniform.UniformScanWorm` — the uniform-random
+  baseline of the simple epidemic model.
+* :class:`~repro.worms.codered2.CodeRedIIWorm` — 1/8 random, 3/8
+  same-/16, 1/2 same-/8 local preference (the NAT hotspot driver).
+* :class:`~repro.worms.slammer.SlammerWorm` — the broken LCG
+  ``x*214013 + b (mod 2^32)`` with the OR-bug ``b`` values.
+* :class:`~repro.worms.blaster.BlasterWorm` — MS CRT ``rand()`` seeded
+  from ``GetTickCount()``, 40% local start, sequential scanning.
+* :class:`~repro.worms.hitlist.HitListWorm` — scans only a prefix
+  list (the bot behaviour of Table 1 and Figure 5a/b).
+* :class:`~repro.worms.localpref.LocalPreferenceWorm` — generic
+  octet-mask local preference.
+* :class:`~repro.worms.permutation.PermutationScanWorm` — Staniford
+  et al. permutation scanning (taxonomy extension).
+"""
+
+from repro.worms.base import WormModel, WormState
+from repro.worms.blaster import BlasterWorm, blaster_start_for_seed
+from repro.worms.codered2 import CodeRedIIWorm
+from repro.worms.hitlist import (
+    HitListCodeRedIIWorm,
+    HitListWorm,
+    build_greedy_hitlist,
+)
+from repro.worms.flash import FlashWorm
+from repro.worms.localpref import LocalPreferenceWorm
+from repro.worms.nimda import NimdaWorm
+from repro.worms.permutation import PermutationScanWorm
+from repro.worms.slammer import SLAMMER_A, SLAMMER_B_VALUES, SlammerWorm
+from repro.worms.uniform import UniformScanWorm
+from repro.worms.witty import WittyWorm
+
+__all__ = [
+    "BlasterWorm",
+    "CodeRedIIWorm",
+    "FlashWorm",
+    "HitListCodeRedIIWorm",
+    "HitListWorm",
+    "LocalPreferenceWorm",
+    "NimdaWorm",
+    "PermutationScanWorm",
+    "SLAMMER_A",
+    "SLAMMER_B_VALUES",
+    "SlammerWorm",
+    "UniformScanWorm",
+    "WittyWorm",
+    "WormModel",
+    "WormState",
+    "blaster_start_for_seed",
+    "build_greedy_hitlist",
+]

@@ -1,0 +1,94 @@
+"""Worm model interface.
+
+A :class:`WormModel` separates the *algorithm* (shared constants,
+probabilities, PRNG parameters) from the *state* of the currently
+infected hosts.  The simulator drives it in batches:
+
+1. ``new_state()`` creates an empty population state;
+2. ``add_hosts(state, addrs)`` infects a batch of hosts (seeding their
+   per-host PRNGs / counters);
+3. ``generate(state, scans)`` returns the next ``scans`` targets for
+   every infected host as a ``(num_hosts, scans)`` ``uint32`` array.
+
+Rows of the target matrix correspond to :meth:`WormState.addresses`
+order, so the environment layer can pair each probe with its source.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+
+class WormState:
+    """Base per-population scanning state: the infected hosts' addresses.
+
+    Subclasses append parallel arrays (PRNG states, scan counters) and
+    must keep them aligned with :attr:`_addresses`.
+    """
+
+    def __init__(self) -> None:
+        self._addresses = np.empty(0, dtype=np.uint32)
+
+    @property
+    def num_hosts(self) -> int:
+        """Number of infected hosts currently scanning."""
+        return len(self._addresses)
+
+    def addresses(self) -> np.ndarray:
+        """Source addresses of the infected hosts (row order of targets)."""
+        return self._addresses
+
+    def _append_addresses(self, addrs: np.ndarray) -> None:
+        self._addresses = np.concatenate(
+            [self._addresses, np.asarray(addrs, dtype=np.uint32)]
+        )
+
+
+class WormModel(abc.ABC):
+    """Abstract worm: creates states, infects hosts, generates targets."""
+
+    #: Human-readable name used in reports and benchmarks.
+    name: str = "worm"
+
+    @abc.abstractmethod
+    def new_state(self) -> WormState:
+        """An empty population state for this worm."""
+
+    @abc.abstractmethod
+    def add_hosts(
+        self, state: WormState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        """Infect ``addrs``; initialize their per-host scanning state."""
+
+    @abc.abstractmethod
+    def generate(
+        self, state: WormState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Next ``scans`` targets per host, shape ``(num_hosts, scans)``."""
+
+    def single_host_targets(
+        self,
+        source: int,
+        scans: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Convenience: the scan stream of one infected host.
+
+        This is the "quarantine harness" the paper builds with a
+        honeypot: one infected host, its target stream observed
+        directly (Figure 4b/c).
+        """
+        rng = rng if rng is not None else np.random.default_rng()
+        state = self.new_state()
+        self.add_hosts(state, np.array([source], dtype=np.uint32), rng)
+        return self.generate(state, scans, rng)[0]
+
+
+def uniform_random_addresses(
+    count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` uniform random addresses over the whole IPv4 space."""
+    return rng.integers(0, 2**32, size=count, dtype=np.uint64).astype(np.uint32)

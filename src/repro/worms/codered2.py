@@ -1,0 +1,106 @@
+"""CodeRedII target generation.
+
+From the disassembly (as reconstructed in the paper's simulation
+platform): each probe keeps the source's /8 with probability 1/2,
+keeps the source's /16 with probability 3/8, and is fully random with
+probability 1/8 — "a completely random target address is chosen only
+12.5% of the time".  Probes to 127/8, multicast/class-E space, or the
+source's own address are discarded and redrawn.
+
+The NAT hotspot (Figure 4) follows directly: a host NATed at
+``192.168.x.y`` prefers 192/8 half the time, and since ``192.168/16``
+is the only private /16 inside ``192/8``, most of those locally
+preferred probes leak onto the public Internet and concentrate on
+192/8 — where the paper's M sensor block sits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.worms.base import WormModel, WormState, uniform_random_addresses
+from repro.worms.localpref import MASK_8, MASK_16
+
+P_SAME_8 = 0.5
+P_SAME_16 = 0.375
+P_RANDOM = 0.125
+
+_LOOPBACK_PREFIX = np.uint32(127)
+_MULTICAST_FLOOR = np.uint32(224)
+
+# Redraw passes for excluded targets.  Each pass redraws only the
+# still-invalid probes; the invalid probability per draw is < 15%, so
+# the residual after 8 passes is negligible (< 1e-7).
+_REDRAW_PASSES = 8
+
+
+class CodeRedIIWorm(WormModel):
+    """CodeRedII's masked target generator (1/2 /8, 3/8 /16, 1/8 random)."""
+
+    name = "codered2"
+
+    def new_state(self) -> WormState:
+        return WormState()
+
+    def add_hosts(
+        self, state: WormState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        state._append_addresses(addrs)
+
+    def generate(
+        self, state: WormState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        shape = (state.num_hosts, scans)
+        sources = np.broadcast_to(state.addresses()[:, None], shape)
+        targets = self._draw(sources, shape, rng)
+        invalid = self._excluded(targets, sources)
+        for _ in range(_REDRAW_PASSES):
+            if not invalid.any():
+                break
+            redrawn = self._draw(sources, shape, rng)
+            targets[invalid] = redrawn[invalid]
+            invalid = self._excluded(targets, sources)
+        if invalid.any():
+            # A source inside an excluded /8 (e.g. a test host at
+            # 127.x) can make its local-preference branches invalid
+            # forever; fall back to valid uniform draws so generation
+            # always terminates with conforming targets.
+            targets[invalid] = self._valid_uniform(int(invalid.sum()), rng)
+        return targets
+
+    @staticmethod
+    def _valid_uniform(count: int, rng: np.random.Generator) -> np.ndarray:
+        """Uniform draws over addresses with a non-excluded first octet."""
+        valid_octets = np.array(
+            [o for o in range(224) if o != 127], dtype=np.uint32
+        )
+        first = rng.choice(valid_octets, size=count)
+        rest = rng.integers(0, 2**24, size=count, dtype=np.uint64).astype(np.uint32)
+        return (first << np.uint32(24)) | rest
+
+    def _draw(
+        self, sources: np.ndarray, shape: tuple[int, int], rng: np.random.Generator
+    ) -> np.ndarray:
+        random_targets = uniform_random_addresses(
+            shape[0] * shape[1], rng
+        ).reshape(shape)
+        choice = rng.random(shape)
+        targets = random_targets.copy()
+        same_16 = choice < P_SAME_16
+        same_8 = (~same_16) & (choice < P_SAME_16 + P_SAME_8)
+        targets[same_16] = (sources[same_16] & MASK_16) | (
+            random_targets[same_16] & ~MASK_16
+        )
+        targets[same_8] = (sources[same_8] & MASK_8) | (
+            random_targets[same_8] & ~MASK_8
+        )
+        return targets
+
+    @staticmethod
+    def _excluded(targets: np.ndarray, sources: np.ndarray) -> np.ndarray:
+        first_octet = targets >> np.uint32(24)
+        return (
+            (first_octet == _LOOPBACK_PREFIX)
+            | (first_octet >= _MULTICAST_FLOOR)
+            | (targets == sources)
+        )

@@ -1,0 +1,129 @@
+"""Flash worms (Staniford et al., "The top speed of flash worms").
+
+The paper cites flash worms as the extreme of the hit-list idea: the
+attacker pre-computes the *complete* list of vulnerable hosts and
+embeds a spread tree in the payload — every probe hits a vulnerable
+host, so propagation is limited only by latency and fan-out, not by
+scanning.
+
+:class:`FlashWorm` models the tree directly: on infection, a host
+receives a slice of the global list and forwards equal sub-slices to
+its first ``fanout`` children.  :func:`flash_infection_times` gives
+the closed-form depth-based infection schedule the simulator's
+time-stepped loop cannot resolve (whole populations fall in seconds).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.worms.base import WormModel, WormState
+
+
+class FlashState(WormState):
+    """Per-host work lists (the assigned slice, minus forwarded parts)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.pending: list[np.ndarray] = []
+
+
+class FlashWorm(WormModel):
+    """Spread-tree worm over a precomputed vulnerable-host list.
+
+    Parameters
+    ----------
+    target_list:
+        The complete vulnerable population, in attack order.
+    fanout:
+        Children per infected host.
+    """
+
+    name = "flash"
+
+    def __init__(self, target_list: np.ndarray, fanout: int = 10):
+        target_list = np.asarray(target_list, dtype=np.uint32)
+        if not len(target_list):
+            raise ValueError("flash worms need a target list")
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        self.target_list = target_list
+        self.fanout = fanout
+        self._assignments: dict[int, np.ndarray] = {}
+
+    def new_state(self) -> FlashState:
+        return FlashState()
+
+    def add_hosts(
+        self, state: FlashState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        first_seed = state.num_hosts == 0
+        state._append_addresses(addrs)
+        for addr in addrs:
+            assignment = self._assignments.pop(int(addr), None)
+            if assignment is None and first_seed:
+                # The first host ever seeded owns the whole list.
+                assignment = self.target_list
+                first_seed = False
+            state.pending.append(
+                assignment if assignment is not None else np.empty(0, np.uint32)
+            )
+
+    def generate(
+        self, state: FlashState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        targets = np.zeros((state.num_hosts, scans), dtype=np.uint32)
+        for row, work in enumerate(state.pending):
+            if not len(work):
+                continue
+            # A host's slice may contain its own address (the seed
+            # owns the full list); drop it or its sub-slice strands.
+            work = work[work != state.addresses()[row]]
+            if not len(work):
+                state.pending[row] = np.empty(0, np.uint32)
+                continue
+            # Probe the first `scans` children; each takes an equal
+            # slice of the remainder to hand onward.
+            children = work[: self.fanout][:scans]
+            targets[row, : len(children)] = children
+            remainder = work[len(children) :]
+            slices = np.array_split(remainder, max(len(children), 1))
+            for child, child_slice in zip(children, slices):
+                self._assignments[int(child)] = child_slice
+            state.pending[row] = np.empty(0, np.uint32)
+        return targets
+
+
+def flash_infection_times(
+    population: int, fanout: int, hop_latency: float
+) -> np.ndarray:
+    """Closed-form infection times under an ideal spread tree.
+
+    Generation ``g`` completes ``hop_latency * g`` seconds after
+    release; generation sizes follow ``fanout**g``.  Returns one
+    timestamp per infected host (sorted).
+    """
+    if population < 1 or fanout < 1 or hop_latency <= 0:
+        raise ValueError("population, fanout and hop_latency must be positive")
+    times = []
+    infected = 1
+    generation = 0
+    times.extend([0.0])
+    while infected < population:
+        generation += 1
+        new = min(infected * fanout, population - infected)
+        times.extend([generation * hop_latency] * new)
+        infected += new
+    return np.array(times)
+
+
+def flash_time_to_full_infection(
+    population: int, fanout: int, hop_latency: float
+) -> float:
+    """Seconds to total infection: ``ceil(log_fanout(N)) * latency``."""
+    if population <= 1:
+        return 0.0
+    return math.ceil(math.log(population, fanout)) * hop_latency

@@ -1,0 +1,109 @@
+"""Hit-list worms.
+
+A hit-list restricts propagation to a pre-programmed set of prefixes —
+the behaviour the paper captures live in bot commands (Table 1) and
+simulates in Figure 5(a/b).  Each probe targets a uniformly random
+address *within the hit-list space*; addresses outside the list are
+never probed, which is what starves sensors placed elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.worms.base import WormModel, WormState
+from repro.worms.codered2 import CodeRedIIWorm
+
+
+class HitListWorm(WormModel):
+    """Scans uniformly within a fixed prefix list."""
+
+    name = "hitlist"
+
+    def __init__(self, hitlist: BlockSet | Iterable[CIDRBlock]):
+        blocks = hitlist if isinstance(hitlist, BlockSet) else BlockSet(hitlist)
+        if not len(blocks):
+            raise ValueError("hit-list must contain at least one prefix")
+        self.hitlist = blocks
+        self.name = f"hitlist({len(blocks)} prefixes)"
+
+    def new_state(self) -> WormState:
+        return WormState()
+
+    def add_hosts(
+        self, state: WormState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        state._append_addresses(addrs)
+
+    def generate(
+        self, state: WormState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        targets = self.hitlist.random_addresses(state.num_hosts * scans, rng)
+        return targets.reshape(state.num_hosts, scans)
+
+
+class HitListCodeRedIIWorm(CodeRedIIWorm):
+    """CodeRedII's propagation algorithm confined to a hit-list.
+
+    The paper's Figure 5(a/b) threat: "a worm that uses a list of
+    prefixes that specify /16 IPv4 networks as targets", built on the
+    simulation platform's CodeRedII internals.  Targets are drawn
+    with CRII's mask preference (1/2 same /8, 3/8 same /16, 1/8
+    random); any draw landing outside the hit-list is replaced by a
+    uniform draw *within* it, so "each newly infected host may only
+    propagate to the addresses covered by the prefixes in the
+    hit-list" holds exactly.
+    """
+
+    def __init__(self, hitlist: BlockSet | Iterable[CIDRBlock]):
+        blocks = hitlist if isinstance(hitlist, BlockSet) else BlockSet(hitlist)
+        if not len(blocks):
+            raise ValueError("hit-list must contain at least one prefix")
+        self.hitlist = blocks
+        self.name = f"hitlist-crii({len(blocks)} prefixes)"
+
+    def generate(self, state, scans, rng):
+        targets = super().generate(state, scans, rng)
+        outside = ~self.hitlist.contains_array(targets)
+        if outside.any():
+            targets[outside] = self.hitlist.random_addresses(
+                int(outside.sum()), rng
+            )
+        return targets
+
+
+def build_greedy_hitlist(
+    vulnerable: np.ndarray, num_prefixes: int, prefix_len: int = 16
+) -> tuple[BlockSet, float]:
+    """Choose prefixes covering the most vulnerable hosts.
+
+    Mirrors the paper's hit-list construction: "Each /16 was chosen to
+    cover as many remaining vulnerable hosts as possible."  Because
+    same-length prefixes are disjoint, the greedy choice is simply the
+    ``num_prefixes`` most-populated /``prefix_len`` blocks.
+
+    Returns the hit-list and the fraction of ``vulnerable`` it covers.
+    """
+    if num_prefixes <= 0:
+        raise ValueError("num_prefixes must be positive")
+    vulnerable = np.asarray(vulnerable, dtype=np.uint32)
+    if not len(vulnerable):
+        raise ValueError("vulnerable population is empty")
+    shift = np.uint32(32 - prefix_len)
+    prefixes = vulnerable >> shift
+    unique, counts = np.unique(prefixes, return_counts=True)
+    order = np.argsort(counts)[::-1]
+    chosen = unique[order[:num_prefixes]]
+    covered = counts[order[:num_prefixes]].sum()
+    blocks = BlockSet(
+        CIDRBlock(int(prefix) << int(shift), prefix_len) for prefix in chosen
+    )
+    return blocks, float(covered / len(vulnerable))
+
+
+def hitlist_from_prefix_specs(specs: Sequence[str]) -> BlockSet:
+    """Build a hit-list from ``"a.b.c.d/len"`` strings (bot-command output)."""
+    return BlockSet.parse(specs)

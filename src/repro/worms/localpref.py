@@ -1,0 +1,72 @@
+"""Generic octet-mask local preference.
+
+Many worms bias targeting toward nearby address space by reusing the
+high octets of their own address.  This model draws, per probe, one of
+three behaviours: keep the source's /8, keep the source's /16, or pick
+a fully random address.  CodeRedII is the canonical instance (see
+:mod:`repro.worms.codered2`); other mixes let the benchmarks ablate
+how the strength of local preference shapes hotspots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.worms.base import WormModel, WormState, uniform_random_addresses
+
+MASK_8 = np.uint32(0xFF000000)
+MASK_16 = np.uint32(0xFFFF0000)
+
+
+class LocalPreferenceWorm(WormModel):
+    """Targets same-/8 or same-/16 space with configurable probabilities.
+
+    Parameters
+    ----------
+    p_same_8:
+        Probability a probe keeps the source's first octet (and
+        randomizes the rest).
+    p_same_16:
+        Probability a probe keeps the source's first two octets.
+    name:
+        Report label; defaults to a descriptive string.
+
+    The remaining probability mass picks a uniformly random target.
+    """
+
+    def __init__(self, p_same_8: float, p_same_16: float, name: str = ""):
+        if p_same_8 < 0 or p_same_16 < 0 or p_same_8 + p_same_16 > 1:
+            raise ValueError("probabilities must be non-negative and sum to <= 1")
+        self.p_same_8 = p_same_8
+        self.p_same_16 = p_same_16
+        self.name = name or f"localpref(p8={p_same_8}, p16={p_same_16})"
+
+    def new_state(self) -> WormState:
+        return WormState()
+
+    def add_hosts(
+        self, state: WormState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        state._append_addresses(addrs)
+
+    def generate(
+        self, state: WormState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        num_hosts = state.num_hosts
+        shape = (num_hosts, scans)
+        random_targets = uniform_random_addresses(num_hosts * scans, rng).reshape(shape)
+        sources = np.broadcast_to(state.addresses()[:, None], shape)
+
+        choice = rng.random(shape)
+        targets = random_targets.copy()
+
+        same_16 = choice < self.p_same_16
+        same_8 = (~same_16) & (choice < self.p_same_16 + self.p_same_8)
+
+        targets[same_16] = (sources[same_16] & MASK_16) | (
+            random_targets[same_16] & ~MASK_16
+        )
+        targets[same_8] = (sources[same_8] & MASK_8) | (
+            random_targets[same_8] & ~MASK_8
+        )
+        return targets

@@ -1,0 +1,25 @@
+"""Nimda-style local preference.
+
+The paper: "CodeRedII and Nimba have been shown to scan nearby
+addresses with a higher probability".  Nimda's documented mix is
+50% same-/16, 25% same-/8, 25% random — stronger /16 preference than
+CodeRedII (which favours the /8).  Provided both as a faithful second
+data point and as an ablation partner: the two worms bracket how the
+*shape* of local preference (tight /16 vs broad /8) shifts where
+hotspots form.
+"""
+
+from __future__ import annotations
+
+from repro.worms.localpref import LocalPreferenceWorm
+
+P_SAME_16 = 0.5
+P_SAME_8 = 0.25
+P_RANDOM = 0.25
+
+
+class NimdaWorm(LocalPreferenceWorm):
+    """Nimda's 50/25/25 local-preference mix."""
+
+    def __init__(self) -> None:
+        super().__init__(p_same_8=P_SAME_8, p_same_16=P_SAME_16, name="nimda")

@@ -1,0 +1,69 @@
+"""Permutation scanning (Staniford et al. taxonomy extension).
+
+All instances share one full-period permutation of the address space
+(a Hull–Dobell LCG); each newly infected host starts at a random point
+and walks the permutation.  In the full design a host re-randomizes
+when it hits an already-infected target; this implementation models
+the open-loop walk, which preserves the coverage property the hotspot
+metrics care about: the *population* covers address space without the
+duplicate-probe waste of independent uniform scanning, while each
+*individual* host scans a deterministic pseudo-random sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.worms.base import WormModel, WormState
+
+#: Hull–Dobell full-period parameters (Numerical Recipes LCG):
+#: b odd and a ≡ 1 (mod 4) give period 2^32 over the full space.
+PERMUTATION_A = 1664525
+PERMUTATION_B = 1013904223
+
+
+class PermutationState(WormState):
+    """Per-host position in the shared permutation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.positions = np.empty(0, dtype=np.uint64)
+
+
+class PermutationScanWorm(WormModel):
+    """Walks a shared full-period LCG permutation from random offsets."""
+
+    name = "permutation"
+
+    def __init__(self, a: int = PERMUTATION_A, b: int = PERMUTATION_B):
+        if a % 4 != 1 or b % 2 != 1:
+            raise ValueError(
+                "full period requires a ≡ 1 (mod 4) and odd b (Hull–Dobell)"
+            )
+        self.a = a
+        self.b = b
+
+    def new_state(self) -> PermutationState:
+        return PermutationState()
+
+    def add_hosts(
+        self, state: PermutationState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        state._append_addresses(addrs)
+        starts = rng.integers(0, 2**32, size=len(addrs), dtype=np.uint64)
+        state.positions = np.concatenate([state.positions, starts])
+
+    def generate(
+        self, state: PermutationState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        targets = np.empty((state.num_hosts, scans), dtype=np.uint32)
+        positions = state.positions
+        a = np.uint64(self.a)
+        b = np.uint64(self.b)
+        mask = np.uint64(0xFFFFFFFF)
+        for scan in range(scans):
+            positions = (positions * a + b) & mask
+            targets[:, scan] = positions.astype(np.uint32)
+        state.positions = positions
+        return targets

@@ -1,0 +1,138 @@
+"""Slammer (SQL Sapphire) target generation.
+
+Slammer draws each target directly from the LCG state
+``s(i+1) = 214013 * s(i) + b (mod 2^32)`` and fires one UDP packet at
+the address ``s(i+1)``.  The author apparently intended
+``b = 0xffd9613c`` but cleared the wrong register with ``OR`` instead
+of ``XOR``, so the increment actually used is ``0xffd9613c`` combined
+with whatever the ``sqlsort.dll`` Import Address Table entry left in
+``ebx``.  Three IAT values are widely reported, giving three possible
+``b`` values per infected host (depending on its DLL version).
+
+Because the resulting map is a permutation with 64 cycles of wildly
+different lengths (see :mod:`repro.prng.cycles`), each infected host
+is locked into the cycle its seed lands on — the root cause of the
+paper's Figure 2 and 3 hotspots.
+
+**Byte order matters.**  The worm stores its 32-bit state straight
+into the ``sockaddr_in`` on a little-endian x86, so the state's least
+significant byte becomes the *first* octet of the destination
+address.  A destination /24 therefore pins the state's low 24 bits,
+which pins ``v2(state - fixedpoint)`` — i.e. the *cycle length* — for
+(almost) every address in the /24.  This is exactly why whole sensor
+blocks observe systematically more or fewer unique Slammer sources:
+their high octets select long or short cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.worms.base import WormModel, WormState
+
+SLAMMER_A = 214013
+
+#: The increment the worm author appears to have intended.
+SLAMMER_INTENDED_B = 0xFFD9613C
+
+#: Reported ``sqlsort.dll`` IAT entries left in ``ebx`` (per DLL version).
+SQLSORT_IAT_VALUES = (0x77F8313C, 0x77E89B18, 0x77EA094C)
+
+#: Effective ``b`` values after the OR-for-XOR bug, one per DLL version.
+#: The paper derives them by combining the IAT leftovers with the
+#: intended constant; 0x8831fa24 is the value it reports explicitly.
+SLAMMER_B_VALUES = tuple(
+    (SLAMMER_INTENDED_B ^ iat) & 0xFFFFFFFF for iat in SQLSORT_IAT_VALUES
+)
+
+
+def state_to_address(states: np.ndarray) -> np.ndarray:
+    """Map LCG states to destination addresses (little-endian store).
+
+    The state's least significant byte becomes the first address
+    octet, mirroring the worm writing its x86 register straight into
+    the network-byte-order ``sockaddr``.
+    """
+    return np.asarray(states, dtype=np.uint32).byteswap()
+
+
+def address_to_state(addrs: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`state_to_address` (byteswap is an involution)."""
+    return np.asarray(addrs, dtype=np.uint32).byteswap()
+
+
+class SlammerState(WormState):
+    """Per-host LCG state and per-host increment (DLL version)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.lcg_states = np.empty(0, dtype=np.uint64)
+        self.b_values = np.empty(0, dtype=np.uint64)
+
+
+class SlammerWorm(WormModel):
+    """The broken Slammer LCG scanner.
+
+    Parameters
+    ----------
+    b_values:
+        Candidate increments; each newly infected host picks one
+        uniformly (modelling its installed ``sqlsort.dll`` version).
+        Defaults to the three OR-bug values.  Pass a single-element
+        sequence to study one DLL population in isolation.
+    seed_mode:
+        ``"random"`` (default) seeds each host's LCG uniformly — the
+        worm seeds from a millisecond timer whose value at infection
+        time is effectively uniform.  ``"address"`` seeds with the
+        host's own address (useful in tests for determinism).
+    """
+
+    name = "slammer"
+
+    def __init__(
+        self,
+        b_values: Sequence[int] = SLAMMER_B_VALUES,
+        seed_mode: str = "random",
+    ):
+        if not b_values:
+            raise ValueError("at least one b value is required")
+        if seed_mode not in ("random", "address"):
+            raise ValueError(f"unknown seed_mode: {seed_mode!r}")
+        self.b_candidates = np.array(
+            [b & 0xFFFFFFFF for b in b_values], dtype=np.uint64
+        )
+        self.seed_mode = seed_mode
+
+    def new_state(self) -> SlammerState:
+        return SlammerState()
+
+    def add_hosts(
+        self, state: SlammerState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        state._append_addresses(addrs)
+        if self.seed_mode == "address":
+            seeds = addrs.astype(np.uint64)
+        else:
+            seeds = rng.integers(0, 2**32, size=len(addrs), dtype=np.uint64)
+        picks = rng.integers(0, len(self.b_candidates), size=len(addrs))
+        state.lcg_states = np.concatenate([state.lcg_states, seeds])
+        state.b_values = np.concatenate(
+            [state.b_values, self.b_candidates[picks]]
+        )
+
+    def generate(
+        self, state: SlammerState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        targets = np.empty((state.num_hosts, scans), dtype=np.uint32)
+        lcg = state.lcg_states
+        b = state.b_values
+        a = np.uint64(SLAMMER_A)
+        mask = np.uint64(0xFFFFFFFF)
+        for scan in range(scans):
+            lcg = (lcg * a + b) & mask
+            targets[:, scan] = state_to_address(lcg.astype(np.uint32))
+        state.lcg_states = lcg
+        return targets

@@ -1,0 +1,33 @@
+"""Uniform random scanning — the baseline of the simple epidemic model.
+
+Every IPv4 address is an equally likely next target.  This is the
+propagation process earlier detection work assumed and the reference
+against which the paper defines hotspots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.worms.base import WormModel, WormState
+
+
+class UniformScanWorm(WormModel):
+    """Chooses every target uniformly at random from the 2^32 space."""
+
+    name = "uniform"
+
+    def new_state(self) -> WormState:
+        return WormState()
+
+    def add_hosts(
+        self, state: WormState, addrs: np.ndarray, rng: np.random.Generator
+    ) -> None:
+        state._append_addresses(addrs)
+
+    def generate(
+        self, state: WormState, scans: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        return rng.integers(
+            0, 2**32, size=(state.num_hosts, scans), dtype=np.uint64
+        ).astype(np.uint32)

@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.blaster_seeds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.blaster_seeds import BlasterSweepModel, SeedTargetMap
+from repro.net.cidr import CIDRBlock
+from repro.worms.blaster import blaster_start_for_seed
+
+
+@pytest.fixture(scope="module")
+def small_map():
+    return SeedTargetMap(tick_low=1_000, tick_high=200_000)
+
+
+class TestSeedTargetMap:
+    def test_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            SeedTargetMap(tick_low=10, tick_high=10)
+
+    def test_excludes_local_starts(self, small_map):
+        # Every mapped seed must take the random branch.
+        for seed in small_map.seeds[:50]:
+            _, is_local = blaster_start_for_seed(int(seed))
+            assert not is_local
+
+    def test_window_query_matches_forward_map(self, small_map):
+        # Pick a known seed, find its start, and confirm the inverse
+        # query returns it.
+        seed = int(small_map.seeds[123])
+        start, _ = blaster_start_for_seed(seed)
+        found = small_map.seeds_for_window(start, start)
+        assert seed in found
+
+    def test_window_query_range_semantics(self, small_map):
+        seeds = small_map.seeds_for_window(0, 2**32 - 1)
+        assert len(seeds) == len(small_map.seeds)
+
+    def test_reach_query_includes_upstream_starts(self, small_map):
+        seed = int(small_map.seeds[7])
+        start, _ = blaster_start_for_seed(seed)
+        prefix = (start >> 8) + 10  # a /24 10 blocks above the start
+        found = small_map.seeds_reaching_slash24(int(prefix), reach=any_reach(11))
+        assert seed in found
+
+    def test_boot_times_are_seconds(self, small_map):
+        seed = int(small_map.seeds[9])
+        start, _ = blaster_start_for_seed(seed)
+        times = small_map.boot_times_for_slash24(start >> 8, reach=1)
+        assert (times * 1000 >= 1_000).all()
+        assert (times * 1000 < 200_000).all()
+
+
+def any_reach(blocks: int) -> int:
+    return blocks * 256
+
+
+class TestBlasterSweepModel:
+    def test_rejects_bad_reach(self):
+        with pytest.raises(ValueError):
+            BlasterSweepModel(np.array([0], dtype=np.uint32), reach=0)
+
+    def test_counts_hosts_in_window(self):
+        starts = np.array([1000, 2000, 3000], dtype=np.uint32)
+        model = BlasterSweepModel(starts, reach=500)
+        assert model.sources_observing(1100) == 1  # only start 1000
+        assert model.sources_observing(2400) == 1  # only start 2000
+        assert model.sources_observing(999) == 0
+        assert model.sources_observing(3500) == 1
+
+    def test_window_is_inclusive(self):
+        starts = np.array([1000], dtype=np.uint32)
+        model = BlasterSweepModel(starts, reach=500)
+        assert model.sources_observing(1000) == 1
+        assert model.sources_observing(1500) == 1
+        assert model.sources_observing(1501) == 0
+
+    def test_sweep_block_matches_pointwise(self):
+        rng = np.random.default_rng(0)
+        starts = rng.integers(0, 2**32, size=10_000, dtype=np.uint64).astype(
+            np.uint32
+        )
+        model = BlasterSweepModel(starts, reach=100_000)
+        block = CIDRBlock.parse("100.50.0.0/20")
+        result = model.sweep_block(block)
+        for index, prefix in enumerate(block.slash24_prefixes()):
+            last_addr = (int(prefix) << 8) | 0xFF
+            assert result.unique_sources[index] == model.sources_observing(
+                last_addr
+            )
+
+    def test_shared_start_creates_spike(self):
+        # 500 hosts share one start; 100 are scattered.
+        rng = np.random.default_rng(1)
+        shared = np.full(500, 100 << 24, dtype=np.uint32)
+        scattered = rng.integers(0, 2**32, size=100, dtype=np.uint64).astype(
+            np.uint32
+        )
+        model = BlasterSweepModel(
+            np.concatenate([shared, scattered]), reach=10_000
+        )
+        spike = model.sources_observing((100 << 24) + 100)
+        background = model.sources_observing((200 << 24) + 100)
+        assert spike >= 500
+        assert background < 10
+
+    def test_num_hosts(self):
+        model = BlasterSweepModel(np.arange(5, dtype=np.uint32), reach=1)
+        assert model.num_hosts == 5

@@ -1,0 +1,99 @@
+"""Tests for repro.analysis.coverage."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.coverage import (
+    scan_coverage_curve,
+    uniform_coverage_expectation,
+)
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.worms.hitlist import HitListWorm
+from repro.worms.localpref import LocalPreferenceWorm
+from repro.worms.permutation import PermutationScanWorm
+
+REGION = CIDRBlock.parse("60.0.0.0/16")
+
+
+def sources(count, rng):
+    return REGION.random_addresses(count, rng)
+
+
+class TestAnalyticExpectation:
+    def test_coupon_collector_shape(self):
+        probes = np.array([0, 65_536, 2 * 65_536])
+        curve = uniform_coverage_expectation(probes, 65_536)
+        assert curve[0] == 0.0
+        assert curve[1] == pytest.approx(1 - np.exp(-1))
+        assert curve[2] == pytest.approx(1 - np.exp(-2))
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            uniform_coverage_expectation(np.array([1.0]), 0)
+
+
+class TestMeasuredCoverage:
+    def test_uniform_matches_coupon_collector(self):
+        rng = np.random.default_rng(0)
+        worm = HitListWorm(BlockSet([REGION]))  # uniform within region
+        curve = scan_coverage_curve(
+            worm, sources(10, rng), REGION, steps=10, probes_per_step=1_000, rng=rng
+        )
+        expected = uniform_coverage_expectation(curve.probes, REGION.size)
+        assert np.allclose(curve.covered_fraction, expected, atol=0.02)
+
+    def test_uniform_duplicates_grow(self):
+        rng = np.random.default_rng(1)
+        worm = HitListWorm(BlockSet([REGION]))
+        curve = scan_coverage_curve(
+            worm, sources(10, rng), REGION, steps=20, probes_per_step=2_000, rng=rng
+        )
+        # Duplicate rate increases as coverage saturates.
+        assert curve.final_duplicate_rate() > curve.duplicate_fraction[0]
+
+    def test_permutation_is_duplicate_free_early(self):
+        rng = np.random.default_rng(2)
+        worm = PermutationScanWorm()
+        curve = scan_coverage_curve(
+            worm, sources(5, rng), REGION, steps=5, probes_per_step=10_000, rng=rng
+        )
+        assert curve.final_duplicate_rate() < 0.001
+
+    def test_monotone_coverage(self):
+        rng = np.random.default_rng(3)
+        worm = HitListWorm(BlockSet([REGION]))
+        curve = scan_coverage_curve(
+            worm, sources(5, rng), REGION, steps=8, probes_per_step=500, rng=rng
+        )
+        assert (np.diff(curve.covered_fraction) >= 0).all()
+
+    def test_local_preference_burns_budget_elsewhere(self):
+        # Hosts outside the region with /16 preference almost never
+        # probe it: the same budget covers far less of the region than
+        # region-confined uniform scanning.
+        rng = np.random.default_rng(4)
+        outside_sources = CIDRBlock.parse("120.5.0.0/16").random_addresses(10, rng)
+        localpref = LocalPreferenceWorm(0.0, 0.95)
+        curve_lp = scan_coverage_curve(
+            localpref, outside_sources, REGION, steps=5, probes_per_step=2_000,
+            rng=rng,
+        )
+        uniform = HitListWorm(BlockSet([REGION]))
+        curve_u = scan_coverage_curve(
+            uniform, sources(10, rng), REGION, steps=5, probes_per_step=2_000,
+            rng=rng,
+        )
+        assert curve_lp.final_coverage() < 0.01
+        assert curve_u.final_coverage() > 0.1
+
+    def test_region_size_guard(self):
+        rng = np.random.default_rng(5)
+        with pytest.raises(ValueError):
+            scan_coverage_curve(
+                HitListWorm(BlockSet([REGION])),
+                sources(1, rng),
+                CIDRBlock.parse("60.0.0.0/8"),
+                steps=1,
+                probes_per_step=1,
+                rng=rng,
+            )

@@ -1,0 +1,141 @@
+"""Tests for repro.analysis.filtering_study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.filtering_study import (
+    blaster_leak_counts,
+    run_filtering_study,
+)
+from repro.env.filtering import FilteringPolicy, FilterRule
+from repro.net.cidr import CIDRBlock
+from repro.population.allocation import OrganizationAllocation
+from repro.net.cidr import BlockSet
+from repro.sensors.darknet import DarknetSensor
+from repro.worms.uniform import UniformScanWorm
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(0)
+    org_a = OrganizationAllocation(
+        "corp", "enterprise", BlockSet.parse(["150.1.0.0/16"])
+    )
+    org_b = OrganizationAllocation(
+        "isp", "broadband", BlockSet.parse(["24.0.0.0/10"])
+    )
+    sensors = [DarknetSensor("Z", CIDRBlock.parse("41.0.0.0/8"))]
+    infected = {
+        "uniform": {
+            "corp": org_a.blocks.random_addresses(50, rng),
+            "isp": org_b.blocks.random_addresses(200, rng),
+        }
+    }
+    return org_a, org_b, sensors, infected, rng
+
+
+class TestRunFilteringStudy:
+    def test_egress_filter_hides_enterprise(self, setup):
+        org_a, org_b, sensors, infected, rng = setup
+        policy = FilteringPolicy([FilterRule("egress", org_a.blocks.blocks[0])])
+        result = run_filtering_study(
+            [org_a, org_b],
+            infected,
+            {"uniform": UniformScanWorm()},
+            sensors,
+            policy,
+            probes_per_host=3_000,
+            rng=rng,
+        )
+        rows = {row.name: row for row in result.rows}
+        assert rows["corp"].observed["uniform"] == 0
+        # Uniform probes hit the /8 sensor w.h.p. within 3000 probes.
+        assert rows["isp"].observed["uniform"] > 150
+
+    def test_no_filter_everyone_visible(self, setup):
+        org_a, org_b, sensors, infected, rng = setup
+        result = run_filtering_study(
+            [org_a, org_b],
+            infected,
+            {"uniform": UniformScanWorm()},
+            sensors,
+            FilteringPolicy(),
+            probes_per_host=3_000,
+            rng=rng,
+        )
+        rows = {row.name: row for row in result.rows}
+        assert rows["corp"].observed["uniform"] > 40
+
+    def test_kind_partitions(self, setup):
+        org_a, org_b, sensors, infected, rng = setup
+        result = run_filtering_study(
+            [org_a, org_b],
+            infected,
+            {"uniform": UniformScanWorm()},
+            sensors,
+            FilteringPolicy(),
+            probes_per_host=100,
+            rng=rng,
+        )
+        assert [row.name for row in result.enterprises()] == ["corp"]
+        assert [row.name for row in result.broadband()] == ["isp"]
+
+    def test_missing_placement_counts_zero(self, setup):
+        org_a, org_b, sensors, _, rng = setup
+        result = run_filtering_study(
+            [org_a, org_b],
+            {"uniform": {}},
+            {"uniform": UniformScanWorm()},
+            sensors,
+            FilteringPolicy(),
+            probes_per_host=10,
+            rng=rng,
+        )
+        assert all(row.observed["uniform"] == 0 for row in result.rows)
+
+
+class TestBlasterLeaks:
+    def test_rejects_bad_reach(self):
+        with pytest.raises(ValueError):
+            blaster_leak_counts({}, [], FilteringPolicy(), 0, np.random.default_rng(0))
+
+    def test_egress_filter_blocks_leaks(self):
+        rng = np.random.default_rng(1)
+        region = CIDRBlock.parse("150.0.0.0/8")
+        hosts = region.random_addresses(2_000, rng)
+        sensors = [DarknetSensor("Z", CIDRBlock.parse("41.0.0.0/8"))]
+        open_policy = FilteringPolicy()
+        closed_policy = FilteringPolicy([FilterRule("egress", region)])
+        open_counts = blaster_leak_counts(
+            {"corp": hosts}, sensors, open_policy, reach=50_000_000, rng=rng
+        )
+        closed_counts = blaster_leak_counts(
+            {"corp": hosts}, sensors, closed_policy, reach=50_000_000, rng=rng
+        )
+        assert open_counts["corp"] > 0
+        assert closed_counts["corp"] == 0
+
+    def test_reach_monotone(self):
+        rng = np.random.default_rng(2)
+        hosts = CIDRBlock.parse("150.0.0.0/8").random_addresses(2_000, rng)
+        sensors = [DarknetSensor("Z", CIDRBlock.parse("41.0.0.0/8"))]
+        policy = FilteringPolicy()
+        small = blaster_leak_counts(
+            {"corp": hosts}, sensors, policy, reach=1_000_000,
+            rng=np.random.default_rng(3),
+        )
+        large = blaster_leak_counts(
+            {"corp": hosts}, sensors, policy, reach=500_000_000,
+            rng=np.random.default_rng(3),
+        )
+        assert large["corp"] >= small["corp"]
+
+    def test_empty_placement(self):
+        counts = blaster_leak_counts(
+            {"corp": np.empty(0, dtype=np.uint32)},
+            [],
+            FilteringPolicy(),
+            reach=1_000,
+            rng=np.random.default_rng(0),
+        )
+        assert counts["corp"] == 0

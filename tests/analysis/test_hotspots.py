@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.hotspots."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.hotspots import (
+    gini_coefficient,
+    hotspot_report,
+    normalized_entropy,
+)
+
+
+class TestGini:
+    def test_uniform_counts_are_zero(self):
+        assert gini_coefficient(np.full(100, 7)) == pytest.approx(0.0)
+
+    def test_single_spike_near_one(self):
+        counts = np.zeros(1000)
+        counts[0] = 1_000_000
+        assert gini_coefficient(counts) > 0.99
+
+    def test_empty_total(self):
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_moderate_skew_between(self):
+        counts = np.array([1, 1, 1, 1, 16])
+        assert 0.3 < gini_coefficient(counts) < 0.8
+
+
+class TestEntropy:
+    def test_uniform_is_one(self):
+        assert normalized_entropy(np.full(64, 3)) == pytest.approx(1.0)
+
+    def test_spike_is_zero(self):
+        counts = np.zeros(64)
+        counts[5] = 100
+        assert normalized_entropy(counts) == pytest.approx(0.0)
+
+    def test_empty_counts(self):
+        assert normalized_entropy(np.zeros(10)) == 1.0
+
+
+class TestReport:
+    def test_uniform_data_passes_uniformity(self):
+        rng = np.random.default_rng(0)
+        counts = rng.poisson(1000, size=256)
+        report = hotspot_report(counts)
+        assert report.is_uniform
+        assert report.gini < 0.05
+        assert report.normalized_entropy > 0.99
+
+    def test_hotspot_data_fails_uniformity(self):
+        rng = np.random.default_rng(1)
+        counts = rng.poisson(10, size=256)
+        counts[17] = 10_000
+        report = hotspot_report(counts)
+        assert not report.is_uniform
+        assert report.peak_to_mean > 50
+
+    def test_zero_fraction(self):
+        counts = np.array([0, 0, 5, 5])
+        assert hotspot_report(counts).zero_fraction == 0.5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            hotspot_report(np.array([]))
+        with pytest.raises(ValueError):
+            hotspot_report(np.array([1, -1]))
+        with pytest.raises(ValueError):
+            hotspot_report(np.zeros((2, 2)))
+
+    def test_all_zero_counts(self):
+        report = hotspot_report(np.zeros(16, dtype=np.int64))
+        assert report.total == 0
+        assert report.is_uniform
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=2, max_size=200))
+def test_metrics_bounded(counts):
+    counts = np.array(counts)
+    gini = gini_coefficient(counts)
+    entropy = normalized_entropy(counts)
+    assert -1e-9 <= gini <= 1.0
+    assert -1e-9 <= entropy <= 1.0 + 1e-9
+
+
+@given(st.integers(2, 100), st.integers(1, 1000))
+def test_uniform_always_zero_gini(bins, value):
+    assert gini_coefficient(np.full(bins, value)) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,116 @@
+"""Tests for repro.analysis.slammer_cycles."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.slammer_cycles import (
+    block_distinct_cycle_sum,
+    expected_unique_sources_per_slash24,
+    find_block_with_cycle_valuation,
+    slash16_observation_scores,
+    slash24_cycle_lengths,
+)
+from repro.net.cidr import CIDRBlock
+from repro.prng.cycles import cycle_structure
+from repro.worms.slammer import SLAMMER_A, SLAMMER_B_VALUES, address_to_state
+
+
+B = 0x8831FA24
+
+
+class TestSlash24CycleLengths:
+    def test_matches_structure_per_address(self):
+        structure = cycle_structure(SLAMMER_A, B, bits=32)
+        prefixes = np.array([0x8D0A05, 0x0A0B0C, 0x417FFF], dtype=np.uint32)
+        lengths = slash24_cycle_lengths(prefixes, B)
+        for prefix, length in zip(prefixes, lengths):
+            addr = np.array([int(prefix) << 8], dtype=np.uint32)
+            state = int(address_to_state(addr)[0])
+            assert structure.cycle_length_of_state(state) == length
+
+    def test_whole_slash24_shares_length(self):
+        structure = cycle_structure(SLAMMER_A, B, bits=32)
+        prefix = 0x8D0A05
+        addrs = ((prefix << 8) + np.arange(256, dtype=np.uint32)).astype(np.uint32)
+        lengths = structure.cycle_lengths_of_states(address_to_state(addrs))
+        assert len(np.unique(lengths)) == 1
+
+
+class TestExpectedUniqueSources:
+    def test_scales_with_hosts(self):
+        prefixes = np.array([0x8D0A05], dtype=np.uint32)
+        one = expected_unique_sources_per_slash24(prefixes, 1_000, 10_000)
+        two = expected_unique_sources_per_slash24(prefixes, 2_000, 10_000)
+        assert two[0] == pytest.approx(2 * one[0])
+
+    def test_capped_by_cycle_length(self):
+        # With a huge probe budget the expectation is N * L / 2^32.
+        prefixes = np.array([0x8D0A05], dtype=np.uint32)
+        expected = expected_unique_sources_per_slash24(
+            prefixes, 3_000, probes_per_host=2**40, b_values=[B]
+        )
+        length = slash24_cycle_lengths(prefixes, B)[0]
+        assert expected[0] == pytest.approx(3_000 * length / 2**32)
+
+    def test_rejects_bad_inputs(self):
+        prefixes = np.array([1], dtype=np.uint32)
+        with pytest.raises(ValueError):
+            expected_unique_sources_per_slash24(prefixes, 0, 10)
+        with pytest.raises(ValueError):
+            expected_unique_sources_per_slash24(prefixes, 10, 0)
+
+
+class TestBlockCycleSum:
+    def test_larger_blocks_collect_more_cycles(self):
+        small = block_distinct_cycle_sum(CIDRBlock.parse("100.50.0.0/24"), B)
+        large = block_distinct_cycle_sum(CIDRBlock.parse("100.50.0.0/20"), B)
+        assert large >= small
+
+    def test_single_slash24_sum_is_its_cycle(self):
+        block = CIDRBlock.parse("100.50.7.0/24")
+        prefixes = np.array([block.network >> 8], dtype=np.uint32)
+        length = slash24_cycle_lengths(prefixes, B)[0]
+        assert block_distinct_cycle_sum(block, B) == pytest.approx(
+            length / 2**32
+        )
+
+
+class TestObservationScores:
+    def test_shape_and_positivity(self):
+        scores = slash16_observation_scores(4_000_000)
+        assert scores.shape == (65_536,)
+        assert (scores > 0).all()
+
+    def test_contrast_exists(self):
+        scores = slash16_observation_scores(4_000_000)
+        assert scores.max() > 1.8 * scores.min()
+
+    def test_score_predicts_expected_sources(self):
+        # The hottest /16's expected count must beat the coldest's.
+        scores = slash16_observation_scores(4_000_000)
+        hot, cold = int(np.argmax(scores)), int(np.argmin(scores))
+
+        def prefix_of(low16):
+            return ((low16 & 0xFF) << 16) | ((low16 >> 8) << 8)
+
+        hot_expected = expected_unique_sources_per_slash24(
+            np.array([prefix_of(hot)], dtype=np.uint32), 10_000, 4_000_000
+        )
+        cold_expected = expected_unique_sources_per_slash24(
+            np.array([prefix_of(cold)], dtype=np.uint32), 10_000, 4_000_000
+        )
+        assert hot_expected[0] > 1.8 * cold_expected[0]
+
+
+class TestFindBlockWithValuation:
+    def test_found_block_has_requested_valuation(self):
+        block = find_block_with_cycle_valuation(3, 18, b_values=[B])
+        structure = cycle_structure(SLAMMER_A, B, bits=32)
+        state = int(address_to_state(np.array([block.first], dtype=np.uint32))[0])
+        c_low = structure.fixed_point & 0xFFFF
+        diff = ((state & 0xFFFF) - c_low) % 65_536
+        assert (diff & -diff).bit_length() - 1 == 3
+
+    def test_rejects_bad_prefix_len(self):
+        with pytest.raises(ValueError):
+            find_block_with_cycle_valuation(0, 8)

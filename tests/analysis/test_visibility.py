@@ -1,0 +1,109 @@
+"""Tests for repro.analysis.visibility."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visibility import placement_variability, size_visibility
+from repro.net.address import parse_addr
+from repro.worms.codered2 import CodeRedIIWorm
+from repro.worms.uniform import UniformScanWorm
+
+
+@pytest.fixture(scope="module")
+def uniform_hosts():
+    rng = np.random.default_rng(0)
+    return rng.integers(1 << 24, 200 << 24, size=400, dtype=np.uint64).astype(
+        np.uint32
+    )
+
+
+class TestSizeVisibility:
+    def test_uniform_scales_linearly(self, uniform_hosts):
+        rng = np.random.default_rng(1)
+        result = size_visibility(
+            UniformScanWorm(),
+            uniform_hosts,
+            probes_per_host=2_000,
+            base_network=parse_addr("50.0.0.0"),
+            prefix_lens=(12, 14, 16),
+            rng=rng,
+        )
+        # Unsaturated regime: observed sources ∝ block size.
+        assert result.scaling_exponent() == pytest.approx(1.0, abs=0.3)
+
+    def test_bigger_blocks_see_more(self, uniform_hosts):
+        rng = np.random.default_rng(2)
+        result = size_visibility(
+            UniformScanWorm(),
+            uniform_hosts,
+            probes_per_host=20_000,
+            base_network=parse_addr("50.0.0.0"),
+            prefix_lens=(8, 12, 16),
+            rng=rng,
+        )
+        counts = result.unique_sources
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_saturation_flattens_slope(self, uniform_hosts):
+        # With enough probes every size sees every host: slope → 0.
+        rng = np.random.default_rng(3)
+        result = size_visibility(
+            UniformScanWorm(),
+            uniform_hosts,
+            probes_per_host=400_000,
+            base_network=parse_addr("50.0.0.0"),
+            prefix_lens=(8, 9, 10),
+            rng=rng,
+        )
+        assert result.scaling_exponent() < 0.5
+
+
+class TestPlacementVariability:
+    def test_uniform_worm_is_position_blind(self, uniform_hosts):
+        rng = np.random.default_rng(4)
+        positions = [parse_addr(f"{octet}.0.0.0") for octet in (50, 80, 120, 180)]
+        result = placement_variability(
+            UniformScanWorm(),
+            uniform_hosts,
+            probes_per_host=50_000,
+            positions=positions,
+            prefix_len=10,
+            rng=rng,
+        )
+        assert result.coefficient_of_variation < 0.2
+
+    def test_local_preference_creates_position_spread(self):
+        # All CRII hosts share one /8, so a darknet inside that /8
+        # sees orders of magnitude more sources than distant ones —
+        # the Cooke et al. blackhole-placement observation.
+        rng = np.random.default_rng(5)
+        hosts = (np.uint32(50 << 24) + rng.choice(2**24, 300, replace=False)).astype(
+            np.uint32
+        )
+        positions = [parse_addr("50.200.0.0"), parse_addr("120.0.0.0")]
+        result = placement_variability(
+            CodeRedIIWorm(),
+            hosts,
+            probes_per_host=5_000,
+            positions=positions,
+            prefix_len=12,
+            rng=rng,
+        )
+        assert result.unique_sources[0] > 5 * max(result.unique_sources[1], 1)
+        assert result.max_to_min_ratio > 5 or result.max_to_min_ratio == float(
+            "inf"
+        )
+
+    def test_empty_observation_edge_cases(self):
+        rng = np.random.default_rng(6)
+        hosts = np.array([parse_addr("50.0.0.1")], dtype=np.uint32)
+        result = placement_variability(
+            UniformScanWorm(),
+            hosts,
+            probes_per_host=10,
+            positions=[parse_addr("200.0.0.0")],
+            prefix_len=24,
+            rng=rng,
+        )
+        assert result.coefficient_of_variation == 0.0
+        assert result.max_to_min_ratio == 1.0

@@ -1,0 +1,52 @@
+"""Tests for repro.botnet.bots."""
+
+import numpy as np
+import pytest
+
+from repro.botnet.bots import BotController, worm_for_command
+from repro.botnet.commands import parse_command
+from repro.net.address import parse_addrs
+from repro.net.cidr import CIDRBlock
+
+
+class TestWormForCommand:
+    def test_targets_respect_hitlist(self):
+        command = parse_command("ipscan 194.27.x.x dcom2 -s")
+        worm = worm_for_command(command)
+        targets = worm.single_host_targets(0, 5_000, np.random.default_rng(0))
+        block = CIDRBlock.parse("194.27.0.0/16")
+        assert block.contains_array(targets).all()
+
+
+class TestBotController:
+    def test_requires_bots(self):
+        with pytest.raises(ValueError):
+            BotController(np.empty(0, dtype=np.uint32))
+
+    def test_issue_records_commands(self):
+        controller = BotController(parse_addrs(["141.212.1.1", "141.212.1.2"]))
+        controller.issue("ipscan 194.27.x.x dcom2 -s")
+        controller.issue("advscan lsass 200 5 128.x.x.x -r")
+        assert controller.size == 2
+        assert len(controller.issued) == 2
+
+    def test_issue_rejects_garbage(self):
+        controller = BotController(parse_addrs(["141.212.1.1"]))
+        with pytest.raises(ValueError):
+            controller.issue("hello world")
+
+    def test_scan_targets_shape_and_range(self):
+        controller = BotController(parse_addrs(["141.212.1.1", "141.212.1.2"]))
+        command = controller.issue("ipscan 128.32.x.x dcom2 -s")
+        targets = controller.scan_targets(command, 100, np.random.default_rng(1))
+        assert targets.shape == (2, 100)
+        assert CIDRBlock.parse("128.32.0.0/16").contains_array(targets).all()
+
+    def test_aggregate_hitlist(self):
+        controller = BotController(parse_addrs(["141.212.1.1"]))
+        controller.issue("ipscan 194.27.x.x dcom2 -s")
+        controller.issue("ipscan 128.x.x.x lsass -s")
+        aggregate = controller.aggregate_hitlist()
+        assert parse_addrs(["194.27.5.5"])[0] in aggregate
+        assert parse_addrs(["128.9.9.9"])[0] in aggregate
+        assert parse_addrs(["8.8.8.8"])[0] not in aggregate

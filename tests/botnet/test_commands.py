@@ -1,0 +1,135 @@
+"""Tests for repro.botnet.commands."""
+
+import pytest
+
+from repro.botnet.commands import (
+    BotScanCommand,
+    OctetPattern,
+    anonymize_command,
+    parse_command,
+)
+from repro.net.cidr import CIDRBlock
+
+
+class TestOctetPattern:
+    def test_parse_full_wildcard_forms(self):
+        pattern = OctetPattern.parse("194.27.x.x")
+        assert pattern.octets == (194, 27, None, None)
+        assert pattern.prefix_len == 16
+
+    def test_short_forms_pad_with_wildcards(self):
+        assert OctetPattern.parse("194").prefix_len == 8
+        assert OctetPattern.parse("194.27").prefix_len == 16
+        assert OctetPattern.parse("194.27.3").prefix_len == 24
+
+    def test_full_ip_is_slash32(self):
+        pattern = OctetPattern.parse("194.27.3.9")
+        assert pattern.prefix_len == 32
+        assert pattern.to_block() == CIDRBlock(
+            (194 << 24) | (27 << 16) | (3 << 8) | 9, 32
+        )
+
+    def test_to_block(self):
+        block = OctetPattern.parse("128.32.x.x").to_block()
+        assert block == CIDRBlock.parse("128.32.0.0/16")
+
+    def test_letter_wildcards_accepted(self):
+        # The paper's anonymized forms use s/i/r letters.
+        assert OctetPattern.parse("s.s").prefix_len == 0
+        assert OctetPattern.parse("194.s.s.s").prefix_len == 8
+
+    def test_rejects_literal_after_wildcard(self):
+        with pytest.raises(ValueError):
+            OctetPattern.parse("194.x.3.x")
+
+    def test_rejects_bad_octets(self):
+        with pytest.raises(ValueError):
+            OctetPattern.parse("300.1.x.x")
+        with pytest.raises(ValueError):
+            OctetPattern.parse("foo.x")
+        with pytest.raises(ValueError):
+            OctetPattern.parse("1.2.3.4.5")
+
+    def test_str_roundtrip(self):
+        assert str(OctetPattern.parse("194.27.x.x")) == "194.27.x.x"
+
+
+class TestParseIpscan:
+    def test_basic(self):
+        command = parse_command("ipscan 194.27.x.x dcom2 -s")
+        assert command.dialect == "ipscan"
+        assert command.exploit == "dcom2"
+        assert command.flags == ("-s",)
+        assert command.hitlist_block() == CIDRBlock.parse("194.27.0.0/16")
+
+    def test_no_flags(self):
+        command = parse_command("ipscan 128.x.x.x dcom2")
+        assert command.flags == ()
+        assert command.hitlist_block() == CIDRBlock.parse("128.0.0.0/8")
+
+    def test_leading_dot_stripped(self):
+        command = parse_command(".ipscan 141.212.x.x lsass -s")
+        assert command.exploit == "lsass"
+
+    def test_rejects_unknown_exploit(self):
+        with pytest.raises(ValueError):
+            parse_command("ipscan 1.2.x.x sendmail -s")
+
+    def test_rejects_missing_args(self):
+        with pytest.raises(ValueError):
+            parse_command("ipscan 1.2.x.x")
+
+
+class TestParseAdvscan:
+    def test_full_form(self):
+        command = parse_command("advscan dcom2 150 3 128.32.x.x -r -b -s")
+        assert command.dialect == "advscan"
+        assert command.threads == 150
+        assert command.delay == 3
+        assert command.flags == ("-r", "-b", "-s")
+        assert command.hitlist_block() == CIDRBlock.parse("128.32.0.0/16")
+
+    def test_zero_pattern_means_unrestricted(self):
+        command = parse_command("advscan lsass 200 5 0 -r -s")
+        assert command.hitlist_block().prefix_len == 0
+
+    def test_defaults(self):
+        command = parse_command("advscan wkssvceng")
+        assert command.threads == 100
+        assert command.delay == 5
+        assert command.hitlist_block().prefix_len == 0
+
+    def test_rejects_unknown_exploit(self):
+        with pytest.raises(ValueError):
+            parse_command("advscan notanexploit 100 5 0")
+
+
+class TestParseGeneral:
+    def test_rejects_non_scan_commands(self):
+        for text in ["", "PRIVMSG #chat :hello", "login password", "ddos 1.2.3.4"]:
+            with pytest.raises(ValueError):
+                parse_command(text)
+
+    def test_render_roundtrip(self):
+        texts = [
+            "ipscan 194.27.x.x dcom2 -s",
+            "advscan lsass 200 5 0 -r -s",
+            "advscan dcom2 150 3 128.32.x.x -b",
+        ]
+        for text in texts:
+            command = parse_command(text)
+            assert parse_command(command.render()) == command
+
+
+class TestAnonymize:
+    def test_high_first_octet_kept(self):
+        command = parse_command("ipscan 194.27.3.x dcom2 -s")
+        assert anonymize_command(command) == "ipscan 194.s.s dcom2 -s"
+
+    def test_low_first_octet_masked(self):
+        command = parse_command("ipscan 66.27.x.x dcom2 -s")
+        assert anonymize_command(command) == "ipscan s.s dcom2 -s"
+
+    def test_unrestricted_advscan(self):
+        command = parse_command("advscan lsass 200 5 0 -r")
+        assert anonymize_command(command) == "advscan lsass 200 5 0 -r"

@@ -1,0 +1,82 @@
+"""Tests for repro.botnet.corpus."""
+
+import numpy as np
+import pytest
+
+from repro.botnet.corpus import (
+    extract_commands,
+    synthesize_capture,
+    synthesize_scan_command,
+)
+from repro.botnet.commands import parse_command
+
+
+class TestSynthesizedCommands:
+    def test_commands_are_parseable(self):
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            command = synthesize_scan_command(rng)
+            assert parse_command(command.render()) == command
+
+    def test_both_dialects_produced(self):
+        rng = np.random.default_rng(1)
+        dialects = {synthesize_scan_command(rng).dialect for _ in range(100)}
+        assert dialects == {"ipscan", "advscan"}
+
+    def test_most_hitlists_are_restrictive(self):
+        rng = np.random.default_rng(2)
+        commands = [synthesize_scan_command(rng) for _ in range(200)]
+        restricted = sum(1 for c in commands if c.hitlist_block().prefix_len >= 8)
+        assert restricted > 150
+
+
+class TestCapture:
+    def test_capture_has_noise_and_commands(self):
+        rng = np.random.default_rng(0)
+        capture = synthesize_capture(11, (1, 3), rng, chatter_ratio=10.0)
+        command_lines = [
+            line for line in capture if "scan" in line.payload and "PRIVMSG #" in line.payload
+        ]
+        assert len(command_lines) >= 11
+        assert len(capture) > 5 * len(command_lines)
+
+    def test_sorted_by_time(self):
+        rng = np.random.default_rng(1)
+        capture = synthesize_capture(5, (1, 2), rng)
+        times = [line.timestamp for line in capture]
+        assert times == sorted(times)
+
+    def test_rejects_zero_bots(self):
+        with pytest.raises(ValueError):
+            synthesize_capture(0, (1, 2), np.random.default_rng(0))
+
+
+class TestExtraction:
+    def test_extracts_all_planted_commands(self):
+        rng = np.random.default_rng(3)
+        capture = synthesize_capture(11, (1, 3), rng, chatter_ratio=20.0)
+        extracted = extract_commands(capture)
+        planted = sum(
+            1 for line in capture if "ipscan" in line.payload or "advscan" in line.payload
+        )
+        assert len(extracted) == planted
+        assert len(extracted) >= 11
+
+    def test_ignores_chatter(self):
+        rng = np.random.default_rng(4)
+        capture = synthesize_capture(3, (1, 1), rng, chatter_ratio=30.0)
+        chatter_only = [
+            line
+            for line in capture
+            if "ipscan" not in line.payload and "advscan" not in line.payload
+        ]
+        assert extract_commands(chatter_only) == []
+
+    def test_commands_carry_hitlists(self):
+        rng = np.random.default_rng(5)
+        capture = synthesize_capture(11, (1, 3), rng)
+        extracted = extract_commands(capture)
+        blocks = [command.hitlist_block() for _, command in extracted]
+        # "The bot commands show that hit-lists are used by malware
+        # today to restrict propagation to certain subnets."
+        assert any(block.prefix_len >= 8 for block in blocks)

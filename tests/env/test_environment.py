@@ -1,0 +1,99 @@
+"""Tests for repro.env.environment — the composed stack."""
+
+import numpy as np
+import pytest
+
+from repro.env.environment import NetworkEnvironment
+from repro.env.failures import LossModel
+from repro.env.filtering import FilterRule, FilteringPolicy
+from repro.env.nat import NATDeployment
+from repro.net.address import parse_addrs
+from repro.net.cidr import CIDRBlock
+
+
+@pytest.fixture()
+def environment():
+    nat = NATDeployment(parse_addrs(["192.168.0.10"]))
+    policy = FilteringPolicy([FilterRule("egress", CIDRBlock.parse("155.0.0.0/8"))])
+    return NetworkEnvironment(nat=nat, policy=policy, loss=LossModel(base_rate=0.0))
+
+
+class TestDeliverable:
+    def test_plain_public_probe_delivered(self, environment):
+        ok = environment.deliverable(
+            parse_addrs(["1.1.1.1"]), parse_addrs(["2.2.2.2"]), np.random.default_rng(0)
+        )
+        assert ok[0]
+
+    def test_unroutable_target_dropped(self, environment):
+        for target in ["127.0.0.1", "224.0.0.1", "240.0.0.1"]:
+            ok = environment.deliverable(
+                parse_addrs(["1.1.1.1"]), parse_addrs([target]), np.random.default_rng(0)
+            )
+            assert not ok[0], target
+
+    def test_nat_blocked(self, environment):
+        ok = environment.deliverable(
+            parse_addrs(["1.1.1.1"]),
+            parse_addrs(["192.168.0.10"]),
+            np.random.default_rng(0),
+        )
+        assert not ok[0]
+
+    def test_egress_filtered(self, environment):
+        ok = environment.deliverable(
+            parse_addrs(["155.1.1.1"]), parse_addrs(["2.2.2.2"]), np.random.default_rng(0)
+        )
+        assert not ok[0]
+
+    def test_default_environment_is_open_internet(self):
+        env = NetworkEnvironment()
+        ok = env.deliverable(
+            parse_addrs(["1.1.1.1"]), parse_addrs(["2.2.2.2"]), np.random.default_rng(0)
+        )
+        assert ok[0]
+
+
+class TestVerdicts:
+    def test_attribution_layers(self, environment):
+        sources = parse_addrs(["1.1.1.1", "1.1.1.1", "155.1.1.1", "2.2.2.2"])
+        targets = parse_addrs(["224.0.0.1", "192.168.0.10", "9.9.9.9", "8.8.8.8"])
+        ok, verdict = environment.verdicts(sources, targets, np.random.default_rng(0))
+        assert verdict.total == 4
+        assert verdict.unroutable == 1
+        assert verdict.nat_blocked == 1
+        assert verdict.filtered == 1
+        assert verdict.delivered == 1
+        assert verdict.lost == 0
+        assert list(ok) == [False, False, False, True]
+
+    def test_loss_attribution(self):
+        env = NetworkEnvironment(loss=LossModel(base_rate=1.0))
+        ok, verdict = env.verdicts(
+            parse_addrs(["1.1.1.1"]), parse_addrs(["2.2.2.2"]), np.random.default_rng(0)
+        )
+        assert not ok[0]
+        assert verdict.lost == 1
+
+    def test_counts_sum_to_total(self, environment):
+        rng = np.random.default_rng(1)
+        sources = rng.integers(0, 2**32, size=1000, dtype=np.uint64).astype(np.uint32)
+        targets = rng.integers(0, 2**32, size=1000, dtype=np.uint64).astype(np.uint32)
+        _, verdict = environment.verdicts(sources, targets, rng)
+        total = (
+            verdict.delivered
+            + verdict.unroutable
+            + verdict.nat_blocked
+            + verdict.filtered
+            + verdict.lost
+        )
+        assert total == verdict.total == 1000
+
+    def test_private_targets_blocked_from_public_sources(self, environment):
+        # RFC 1918 space is unroutable publicly; the NAT layer rejects
+        # probes to private targets unless realms match.
+        ok, verdict = environment.verdicts(
+            parse_addrs(["1.1.1.1"]), parse_addrs(["10.1.2.3"]), np.random.default_rng(0)
+        )
+        assert not ok[0]
+        assert verdict.nat_blocked == 1

@@ -1,0 +1,64 @@
+"""Tests for repro.env.failures."""
+
+import numpy as np
+import pytest
+
+from repro.env.failures import LossModel, RegionLoss
+from repro.net.cidr import CIDRBlock
+
+
+class TestRegionLoss:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            RegionLoss(CIDRBlock.parse("10.0.0.0/8"), 1.5)
+
+
+class TestLossModel:
+    def test_no_loss_by_default(self):
+        model = LossModel()
+        targets = np.arange(1000, dtype=np.uint32)
+        assert model.deliverable(targets, np.random.default_rng(0)).all()
+
+    def test_rejects_bad_base_rate(self):
+        with pytest.raises(ValueError):
+            LossModel(base_rate=-0.1)
+
+    def test_base_rate_applied(self):
+        model = LossModel(base_rate=0.3)
+        targets = np.zeros(100_000, dtype=np.uint32)
+        survived = model.deliverable(targets, np.random.default_rng(1)).mean()
+        assert survived == pytest.approx(0.7, abs=0.01)
+
+    def test_total_loss(self):
+        model = LossModel(base_rate=1.0)
+        targets = np.arange(100, dtype=np.uint32)
+        assert not model.deliverable(targets, np.random.default_rng(2)).any()
+
+    def test_region_loss_only_in_region(self):
+        region = CIDRBlock.parse("10.0.0.0/8")
+        model = LossModel(region_losses=[RegionLoss(region, 0.5)])
+        rng = np.random.default_rng(3)
+        inside = region.random_addresses(50_000, rng)
+        outside = CIDRBlock.parse("20.0.0.0/8").random_addresses(50_000, rng)
+        assert model.deliverable(outside, rng).all()
+        inside_rate = model.deliverable(inside, rng).mean()
+        assert inside_rate == pytest.approx(0.5, abs=0.01)
+
+    def test_losses_compose(self):
+        region = CIDRBlock.parse("10.0.0.0/8")
+        model = LossModel(base_rate=0.2, region_losses=[RegionLoss(region, 0.5)])
+        rng = np.random.default_rng(4)
+        inside = region.random_addresses(100_000, rng)
+        rate = model.deliverable(inside, rng).mean()
+        assert rate == pytest.approx(0.8 * 0.5, abs=0.01)
+
+    def test_delivery_probability_analytic(self):
+        region = CIDRBlock.parse("10.0.0.0/8")
+        model = LossModel(base_rate=0.2, region_losses=[RegionLoss(region, 0.5)])
+        targets = np.array(
+            [CIDRBlock.parse("10.0.0.0/8").first, CIDRBlock.parse("20.0.0.0/8").first],
+            dtype=np.uint32,
+        )
+        probs = model.delivery_probability(targets)
+        assert probs[0] == pytest.approx(0.4)
+        assert probs[1] == pytest.approx(0.8)

@@ -1,0 +1,108 @@
+"""Tests for repro.env.filtering."""
+
+import numpy as np
+import pytest
+
+from repro.env.filtering import FilterAction, FilterRule, FilteringPolicy
+from repro.net.address import parse_addrs
+from repro.net.cidr import CIDRBlock
+
+
+ENTERPRISE = CIDRBlock.parse("155.0.0.0/8")
+DARKNET = CIDRBlock.parse("192.5.0.0/16")
+
+
+class TestFilterRule:
+    def test_rejects_unknown_direction(self):
+        with pytest.raises(ValueError):
+            FilterRule("sideways", ENTERPRISE)
+
+    def test_egress_matches_inside_to_outside(self):
+        rule = FilterRule("egress", ENTERPRISE)
+        matched = rule.matches(
+            parse_addrs(["155.1.2.3", "155.1.2.3", "8.8.8.8"]),
+            parse_addrs(["8.8.8.8", "155.9.9.9", "8.8.4.4"]),
+            worm=None,
+        )
+        assert list(matched) == [True, False, False]
+
+    def test_ingress_matches_outside_to_inside(self):
+        rule = FilterRule("ingress", DARKNET)
+        matched = rule.matches(
+            parse_addrs(["8.8.8.8", "192.5.0.1"]),
+            parse_addrs(["192.5.1.1", "192.5.2.2"]),
+            worm=None,
+        )
+        assert list(matched) == [True, False]
+
+    def test_worm_specific_rule(self):
+        rule = FilterRule("ingress", DARKNET, worm="slammer")
+        sources = parse_addrs(["8.8.8.8"])
+        targets = parse_addrs(["192.5.1.1"])
+        assert rule.matches(sources, targets, worm="slammer")[0]
+        assert not rule.matches(sources, targets, worm="blaster")[0]
+        assert not rule.matches(sources, targets, worm=None)[0]
+
+
+class TestFilteringPolicy:
+    def test_empty_policy_allows_everything(self):
+        policy = FilteringPolicy()
+        ok = policy.deliverable(parse_addrs(["1.2.3.4"]), parse_addrs(["5.6.7.8"]))
+        assert ok[0]
+
+    def test_egress_drop(self):
+        policy = FilteringPolicy([FilterRule("egress", ENTERPRISE)])
+        ok = policy.deliverable(
+            parse_addrs(["155.1.1.1", "154.1.1.1"]),
+            parse_addrs(["8.8.8.8", "8.8.8.8"]),
+        )
+        assert list(ok) == [False, True]
+
+    def test_internal_traffic_not_egress_filtered(self):
+        # Infected hosts inside a filtered enterprise can still infect
+        # other internal hosts — the paper's point about firewalls
+        # leaving internal spread possible.
+        policy = FilteringPolicy([FilterRule("egress", ENTERPRISE)])
+        ok = policy.deliverable(
+            parse_addrs(["155.1.1.1"]), parse_addrs(["155.2.2.2"])
+        )
+        assert ok[0]
+
+    def test_first_match_wins_allow_overrides_later_drop(self):
+        exempt = CIDRBlock.parse("155.7.0.0/16")
+        policy = FilteringPolicy(
+            [
+                FilterRule("egress", exempt, action=FilterAction.ALLOW),
+                FilterRule("egress", ENTERPRISE),
+            ]
+        )
+        ok = policy.deliverable(
+            parse_addrs(["155.7.0.1", "155.8.0.1"]),
+            parse_addrs(["8.8.8.8", "8.8.8.8"]),
+        )
+        assert list(ok) == [True, False]
+
+    def test_worm_specific_policy(self):
+        # The M block's upstream provider filtered Slammer only.
+        policy = FilteringPolicy([FilterRule("ingress", DARKNET, worm="slammer")])
+        sources = parse_addrs(["8.8.8.8"])
+        targets = parse_addrs(["192.5.1.1"])
+        assert not policy.deliverable(sources, targets, worm="slammer")[0]
+        assert policy.deliverable(sources, targets, worm="codered2")[0]
+
+    def test_enterprise_convenience_constructor(self):
+        policy = FilteringPolicy.egress_filtered_enterprises(
+            [ENTERPRISE, CIDRBlock.parse("156.0.0.0/8")]
+        )
+        assert len(policy.rules) == 2
+        ok = policy.deliverable(parse_addrs(["156.0.0.1"]), parse_addrs(["8.8.8.8"]))
+        assert not ok[0]
+
+    def test_add_appends_rule(self):
+        policy = FilteringPolicy()
+        policy.add(FilterRule("egress", ENTERPRISE))
+        assert len(policy.rules) == 1
+
+    def test_filtered_regions_reporting(self):
+        policy = FilteringPolicy([FilterRule("egress", ENTERPRISE)])
+        assert ENTERPRISE in policy.filtered_regions.blocks

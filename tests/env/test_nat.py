@@ -1,0 +1,110 @@
+"""Tests for repro.env.nat."""
+
+import numpy as np
+import pytest
+
+from repro.env.nat import NO_REALM, NATDeployment
+from repro.net.address import parse_addr, parse_addrs
+
+
+@pytest.fixture()
+def two_realm_deployment():
+    # Realm 0: 192.168.0.10 and 192.168.0.11; realm 1: 192.168.0.20.
+    hosts = parse_addrs(["192.168.0.10", "192.168.0.11", "192.168.0.20"])
+    return NATDeployment(hosts, np.array([0, 0, 1]))
+
+
+class TestRealmAssignment:
+    def test_realm_of_known_hosts(self, two_realm_deployment):
+        realms = two_realm_deployment.realm_of(
+            parse_addrs(["192.168.0.10", "192.168.0.20"])
+        )
+        assert realms[0] != realms[1]
+
+    def test_public_hosts_have_no_realm(self, two_realm_deployment):
+        realms = two_realm_deployment.realm_of(parse_addrs(["8.8.8.8"]))
+        assert realms[0] == NO_REALM
+
+    def test_default_realms_are_distinct(self):
+        deployment = NATDeployment(parse_addrs(["192.168.0.1", "192.168.0.2"]))
+        realms = deployment.realm_of(parse_addrs(["192.168.0.1", "192.168.0.2"]))
+        assert realms[0] != realms[1]
+
+    def test_rejects_duplicate_hosts(self):
+        with pytest.raises(ValueError):
+            NATDeployment(parse_addrs(["192.168.0.1", "192.168.0.1"]))
+
+    def test_rejects_misaligned_realms(self):
+        with pytest.raises(ValueError):
+            NATDeployment(parse_addrs(["192.168.0.1"]), np.array([0, 1]))
+
+    def test_empty_deployment(self):
+        deployment = NATDeployment.empty()
+        assert deployment.num_hosts == 0
+        assert deployment.realm_of(parse_addrs(["192.168.0.1"]))[0] == NO_REALM
+
+
+class TestReachability:
+    def test_private_to_public_allowed(self, two_realm_deployment):
+        ok = two_realm_deployment.deliverable(
+            parse_addrs(["192.168.0.10"]), parse_addrs(["8.8.8.8"])
+        )
+        assert ok[0]
+
+    def test_same_realm_private_allowed(self, two_realm_deployment):
+        ok = two_realm_deployment.deliverable(
+            parse_addrs(["192.168.0.10"]), parse_addrs(["192.168.0.11"])
+        )
+        assert ok[0]
+
+    def test_cross_realm_private_blocked(self, two_realm_deployment):
+        ok = two_realm_deployment.deliverable(
+            parse_addrs(["192.168.0.10"]), parse_addrs(["192.168.0.20"])
+        )
+        assert not ok[0]
+
+    def test_public_to_private_blocked(self, two_realm_deployment):
+        ok = two_realm_deployment.deliverable(
+            parse_addrs(["8.8.8.8"]), parse_addrs(["192.168.0.10"])
+        )
+        assert not ok[0]
+
+    def test_probe_to_unoccupied_private_address_blocked(self, two_realm_deployment):
+        ok = two_realm_deployment.deliverable(
+            parse_addrs(["8.8.8.8"]), parse_addrs(["10.1.2.3"])
+        )
+        assert not ok[0]
+
+    def test_public_to_public_always_passes_this_layer(self, two_realm_deployment):
+        ok = two_realm_deployment.deliverable(
+            parse_addrs(["8.8.8.8"]), parse_addrs(["9.9.9.9"])
+        )
+        assert ok[0]
+
+    def test_batch_semantics(self, two_realm_deployment):
+        sources = parse_addrs(["192.168.0.10", "192.168.0.10", "8.8.8.8"])
+        targets = parse_addrs(["192.168.0.11", "192.168.0.20", "1.1.1.1"])
+        ok = two_realm_deployment.deliverable(sources, targets)
+        assert list(ok) == [True, False, True]
+
+
+class TestStatisticalModel:
+    def test_any_private_source_reaches_private_slots(self):
+        hosts = parse_addrs(["192.168.0.10", "192.168.5.77"])
+        deployment = NATDeployment(hosts, intra_private_model="statistical")
+        ok = deployment.deliverable(
+            parse_addrs(["192.168.9.9"]), parse_addrs(["192.168.5.77"])
+        )
+        assert ok[0]
+
+    def test_public_source_still_blocked(self):
+        hosts = parse_addrs(["192.168.0.10"])
+        deployment = NATDeployment(hosts, intra_private_model="statistical")
+        ok = deployment.deliverable(
+            parse_addrs(["8.8.8.8"]), parse_addrs(["192.168.0.10"])
+        )
+        assert not ok[0]
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError):
+            NATDeployment(parse_addrs(["192.168.0.1"]), intra_private_model="bogus")

@@ -1,0 +1,84 @@
+"""Tests for repro.env.topology."""
+
+import numpy as np
+import pytest
+
+from repro.env.topology import LatencyModel, RegionLink, Topology
+from repro.net.cidr import CIDRBlock
+
+
+BROADBAND = CIDRBlock.parse("24.0.0.0/8")
+ACADEMIC = CIDRBlock.parse("141.0.0.0/8")
+
+
+class TestRegionLink:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            RegionLink(BROADBAND, -1.0, 100.0)
+        with pytest.raises(ValueError):
+            RegionLink(BROADBAND, 10.0, 0.0)
+
+
+class TestLatencyModel:
+    def test_base_latency_floor(self):
+        model = LatencyModel(base_ms=50.0, jitter_ms=0.0)
+        lat = model.sample_latency_ms(
+            np.zeros(10, dtype=np.uint32),
+            np.ones(10, dtype=np.uint32),
+            np.random.default_rng(0),
+        )
+        assert (lat == 50.0).all()
+
+    def test_region_latency_added_for_source_and_target(self):
+        model = LatencyModel(
+            base_ms=10.0,
+            jitter_ms=0.0,
+            region_links=[RegionLink(BROADBAND, 30.0, 100.0)],
+        )
+        src = np.array([BROADBAND.first], dtype=np.uint32)
+        dst = np.array([BROADBAND.first + 1], dtype=np.uint32)
+        lat = model.sample_latency_ms(src, dst, np.random.default_rng(1))
+        assert lat[0] == pytest.approx(10.0 + 30.0 + 30.0)
+
+    def test_jitter_positive_skew(self):
+        model = LatencyModel(base_ms=10.0, jitter_ms=20.0)
+        lat = model.sample_latency_ms(
+            np.zeros(10_000, dtype=np.uint32),
+            np.ones(10_000, dtype=np.uint32),
+            np.random.default_rng(2),
+        )
+        assert (lat >= 10.0).all()
+        assert lat.mean() == pytest.approx(30.0, rel=0.05)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            LatencyModel(base_ms=-1.0)
+
+
+class TestTopology:
+    def test_default_rate(self):
+        topo = Topology(default_scan_rate=10.0)
+        rates = topo.scan_rates(np.arange(5, dtype=np.uint32))
+        assert (rates == 10.0).all()
+
+    def test_bandwidth_cap_applies_in_region(self):
+        topo = Topology(
+            default_scan_rate=4000.0,
+            region_links=[RegionLink(BROADBAND, 10.0, 100.0)],
+        )
+        hosts = np.array([BROADBAND.first, ACADEMIC.first], dtype=np.uint32)
+        rates = topo.scan_rates(hosts)
+        assert rates[0] == 100.0
+        assert rates[1] == 4000.0
+
+    def test_cap_never_raises_rate(self):
+        topo = Topology(
+            default_scan_rate=10.0,
+            region_links=[RegionLink(BROADBAND, 10.0, 100.0)],
+        )
+        rates = topo.scan_rates(np.array([BROADBAND.first], dtype=np.uint32))
+        assert rates[0] == 10.0
+
+    def test_rejects_bad_default(self):
+        with pytest.raises(ValueError):
+            Topology(default_scan_rate=0.0)

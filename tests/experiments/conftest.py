@@ -1,0 +1,23 @@
+"""Shared small-scale fixtures for the experiment tests.
+
+Experiments default to paper scale; tests run them at a reduced scale
+that preserves the qualitative shape while staying fast.
+"""
+
+import pytest
+
+from repro.population.synthesis import PopulationSpec
+
+SMALL_ANCHORS = ((0, 0.0), (10, 0.106), (100, 0.5049), (1000, 1.0))
+
+
+@pytest.fixture(scope="session")
+def small_spec():
+    return PopulationSpec(
+        total_hosts=20_000,
+        num_slash8=20,
+        num_slash16=1_000,
+        anchors=SMALL_ANCHORS,
+        major_slash8s=10,
+        major_share=0.94,
+    )

@@ -1,0 +1,38 @@
+"""Tests for the containment extension experiment."""
+
+import pytest
+
+from repro.experiments import extension_containment as ext
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext.run(max_time=1_200.0)
+
+
+class TestContainmentExtension:
+    def test_uniform_worm_contained(self, result):
+        assert result.uniform.containment_triggered_at is not None
+        assert result.uniform.final_infected_fraction < 0.2
+
+    def test_quorum_fires_early_for_uniform(self, result):
+        # Detection happens while the outbreak is still small.
+        assert result.uniform.infected_when_triggered < 0.2
+
+    def test_hotspot_worm_escapes(self, result):
+        assert result.hotspot.final_infected_fraction > 0.8
+
+    def test_hotspot_quorum_starved(self, result):
+        assert result.hotspot.containment_triggered_at is None
+
+    def test_headline_property(self, result):
+        assert result.hotspots_defeat_containment
+
+    def test_format(self, result):
+        text = ext.format_result(result)
+        assert "hotspots defeat containment? True" in text
+
+    def test_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "containment" in EXPERIMENTS

@@ -1,0 +1,45 @@
+"""Tests for the local-detection extension experiment."""
+
+import pytest
+
+from repro.experiments import extension_local_detection as ext
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext.run(
+        num_target_slash16s=6,
+        hosts_per_slash16=400,
+        num_global_sensors=2_000,
+        max_time=600.0,
+    )
+
+
+class TestLocalDetection:
+    def test_local_detector_fires(self, result):
+        assert result.local_detection_time is not None
+        assert result.local_detection_time > 0
+
+    def test_global_quorum_starves(self, result):
+        # The hit-list hotspot covers a sliver of the space, so a
+        # random global deployment almost never reaches quorum.
+        assert result.global_alert_fraction < 0.05
+        assert result.global_quorum_time is None
+
+    def test_local_wins(self, result):
+        assert result.local_wins
+
+    def test_local_fires_before_org_saturates(self, result):
+        assert result.local_fires_before_org_saturates
+
+    def test_outbreak_actually_happened(self, result):
+        assert result.final_infected_fraction > 0.5
+
+    def test_format(self, result):
+        text = ext.format_result(result)
+        assert "local wins? True" in text
+
+    def test_registered(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        assert "local-detection" in EXPERIMENTS

@@ -1,0 +1,48 @@
+"""Tests for the Figure 1 experiment (Blaster seed forensics)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure1
+
+
+@pytest.fixture(scope="module")
+def result():
+    # Reduced host count keeps this test fast; the spike mechanism is
+    # scale-free because hosts share quantized seeds.
+    return figure1.run(num_hosts=300_000, seed=2003)
+
+
+class TestFigure1:
+    def test_block_is_a_slash17(self, result):
+        assert result.block.prefix_len == 17
+        assert len(result.unique_sources) == 128
+
+    def test_hotspots_present(self, result):
+        counts = result.unique_sources
+        assert counts.max() > 3 * max(counts.min(), 1)
+        assert not result.hotspots.is_uniform
+
+    def test_spikes_invert_to_plausible_start_times(self, result):
+        assert result.spikes_have_plausible_start_times
+        low, high = result.plausible_window_minutes
+        for minutes in result.spike_boot_minutes:
+            assert low * 0.5 <= minutes <= high * 1.5
+
+    def test_cold_bins_invert_to_implausible_times(self, result):
+        _, high = result.plausible_window_minutes
+        # Cold bins either map to nothing or to long uptimes.
+        assert all(m > high or m < 0 for m in result.cold_boot_minutes) or (
+            result.cold_bins_look_implausible
+        )
+
+    def test_format_mentions_key_numbers(self, result):
+        text = figure1.format_result(result)
+        assert "Blaster" in text
+        assert "spike /24s" in text
+
+    def test_explicit_block_override(self):
+        small = figure1.run(
+            num_hosts=50_000, block_spec="99.0.0.0/17", seed=1
+        )
+        assert str(small.block) == "99.0.0.0/17"

@@ -1,0 +1,59 @@
+"""Tests for the Figure 2 experiment (Slammer aggregate bias)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure2.run(num_hosts=10_000, probes_per_host=4_000_000)
+
+
+class TestBlockPositions:
+    def test_blocks_have_paper_sizes(self):
+        blocks = figure2.paper_block_positions()
+        assert blocks["D"].prefix_len == 20
+        assert blocks["H"].prefix_len == 18
+        assert blocks["I"].prefix_len == 17
+
+    def test_blocks_disjoint(self):
+        blocks = list(figure2.paper_block_positions().values())
+        for i, a in enumerate(blocks):
+            for b in blocks[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_blocks_avoid_special_octets(self):
+        for block in figure2.paper_block_positions().values():
+            octet = block.first >> 24
+            assert octet not in (0, 10, 127, 172, 192)
+            assert octet < 224
+
+
+class TestFigure2:
+    def test_m_block_sees_nothing(self, result):
+        assert result.m_block_observed == 0
+
+    def test_h_deficit(self, result):
+        assert result.h_deficit_reproduced
+        assert result.observed_per_slash24_mean("H") < result.observed_per_slash24_mean("D")
+        assert result.observed_per_slash24_mean("H") < result.observed_per_slash24_mean("I")
+
+    def test_monte_carlo_matches_theory(self, result):
+        for name in ("D", "H", "I"):
+            observed = result.observed_total(name)
+            predicted = float(result.predicted_by_slash24[name].sum())
+            assert observed == pytest.approx(predicted, rel=0.1)
+
+    def test_analytic_only_mode(self):
+        result = figure2.run(num_hosts=5_000, monte_carlo=False)
+        for name in ("D", "H", "I"):
+            assert (
+                result.observed_by_slash24[name]
+                == np.round(result.predicted_by_slash24[name])
+            ).all()
+
+    def test_format(self, result):
+        text = figure2.format_result(result)
+        assert "H deficit reproduced? True" in text

@@ -1,0 +1,48 @@
+"""Tests for the Figure 3 experiment (per-host Slammer bias)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figure3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure3.run(probes_per_host=5_000_000)
+
+
+class TestFigure3:
+    def test_host_a_block_bias(self, result):
+        # "block D observed no infection attempts from this particular
+        # source while ... block I received the most."
+        assert result.host_a_block_bias
+        assert result.host_a.total("I") > 0
+
+    def test_host_b_differs_from_host_a(self, result):
+        a = result.host_a.counts_by_block["I"]
+        b = result.host_b.counts_by_block["I"]
+        assert not np.array_equal(a, b)
+
+    def test_spectrum_has_64_cycles(self, result):
+        assert len(result.cycle_lengths) == 64
+
+    def test_spectrum_spans_orders_of_magnitude(self, result):
+        assert result.spectrum_spans_orders_of_magnitude
+        assert result.cycle_lengths[-1] == 2**30
+
+    def test_short_cycles_exist(self, result):
+        # "many small cycles" — the targeted-DoS behaviour.
+        assert sum(1 for length in result.cycle_lengths if length <= 1000) >= 10
+
+    def test_replay_is_bit_exact(self, result):
+        # Replaying the same host twice gives identical footprints.
+        again = figure3.run(probes_per_host=5_000_000)
+        assert (
+            result.host_a.counts_by_block["I"]
+            == again.host_a.counts_by_block["I"]
+        ).all()
+
+    def test_format(self, result):
+        text = figure3.format_result(result)
+        assert "Host A" in text and "Host B" in text
+        assert "64 cycles" in text

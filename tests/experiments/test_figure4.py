@@ -1,0 +1,41 @@
+"""Tests for the Figure 4 experiment (CodeRedII and NATs)."""
+
+import pytest
+
+from repro.experiments import figure4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure4.run(
+        num_hosts=1_500, probes_per_host=15_000, quarantine_probes=2_000_000
+    )
+
+
+class TestFigure4:
+    def test_m_block_hotspot(self, result):
+        assert result.m_block_hotspot
+        m_mean = result.per_slash24_mean("M")
+        for name in result.unique_sources_by_block:
+            if name != "M":
+                assert m_mean > result.per_slash24_mean(name)
+
+    def test_quarantine_probe_budget(self, result):
+        assert result.public_quarantine.probes == 2_000_000
+        assert result.private_quarantine.probes == 2_000_000
+
+    def test_private_quarantine_spikes_at_m(self, result):
+        assert result.quarantine_contrast
+        assert result.private_quarantine.total("M") > 20
+
+    def test_public_quarantine_barely_reaches_m(self, result):
+        assert result.public_quarantine.total("M") <= 2
+
+    def test_z_block_sees_both(self, result):
+        # The /8 darknet catches the random 12.5% from either source.
+        assert result.public_quarantine.total("Z") > 100
+        assert result.private_quarantine.total("Z") > 100
+
+    def test_format(self, result):
+        text = figure4.format_result(result)
+        assert "M-block hotspot? True" in text

@@ -1,0 +1,101 @@
+"""Tests for the Figure 5 experiments (hit-lists, NATs, detection)."""
+
+import pytest
+
+from repro.experiments import figure5
+
+
+@pytest.fixture(scope="module")
+def ab_result(small_spec):
+    return figure5.run_infection(
+        population_spec=small_spec,
+        hitlist_sizes=(10, 100, 1000),
+        max_time=900.0,
+        seed=2005,
+    )
+
+
+@pytest.fixture(scope="module")
+def c_result(small_spec):
+    return figure5.run_nat_detection(
+        population_spec=small_spec,
+        num_random_sensors=3_000,
+        max_time=900.0,
+        stop_at_fraction=0.35,
+        seed=2006,
+    )
+
+
+class TestFigure5A:
+    def test_coverage_matches_anchors(self, ab_result):
+        coverages = {run.num_prefixes: run.coverage for run in ab_result.runs}
+        assert coverages[10] == pytest.approx(0.106, abs=0.02)
+        assert coverages[100] == pytest.approx(0.5049, abs=0.02)
+        assert coverages[1000] == pytest.approx(1.0, abs=0.01)
+
+    def test_small_list_fastest(self, ab_result):
+        assert ab_result.small_list_fastest
+
+    def test_infection_confined_to_hitlist(self, ab_result):
+        for run in ab_result.runs:
+            assert run.result.final_fraction_infected <= run.coverage + 0.01
+
+    def test_format(self, ab_result):
+        text = figure5.format_infection(ab_result)
+        assert "Hit-list infection rate" in text
+
+
+class TestFigure5B:
+    def test_alert_fraction_tracks_hitlist_share(self, ab_result):
+        # Sensors outside the hit-list never alert, so the final
+        # alert fraction is about num_prefixes / total /16s.
+        total_16s = 1000
+        for run in ab_result.runs:
+            share = run.num_prefixes / total_16s
+            assert run.alert_timeline.final_fraction() <= share * 1.5 + 0.01
+
+    def test_detection_starved(self, ab_result):
+        assert ab_result.detection_starved
+
+    def test_small_hitlist_blinds_quorum(self, ab_result):
+        small = ab_result.runs[0]
+        assert small.alert_timeline.final_fraction() < 0.05
+
+    def test_format(self, ab_result):
+        text = figure5.format_detection(ab_result)
+        assert "detection starved? True" in text
+
+
+class TestFigure5C:
+    def test_three_placements(self, c_result):
+        assert {run.name for run in c_result.placements} == {
+            "random",
+            "top-20 /8s",
+            "192/8 per-/16",
+        }
+
+    def test_targeted_placement_wins(self, c_result):
+        assert c_result.targeted_placement_wins
+        targeted = c_result.placement("192/8 per-/16")
+        assert targeted.alerted_at_20pct_infected > 0.95
+
+    def test_random_placement_starved(self, c_result):
+        random_run = c_result.placement("random")
+        assert random_run.alerted_at_20pct_infected < 0.2
+
+    def test_population_aware_beats_random(self, c_result):
+        assert (
+            c_result.placement("top-20 /8s").alerted_at_20pct_infected
+            >= c_result.placement("random").alerted_at_20pct_infected
+        )
+
+    def test_192_placement_has_255_sensors(self, c_result):
+        assert c_result.placement("192/8 per-/16").num_sensors == 255
+
+    def test_unknown_placement_raises(self, c_result):
+        with pytest.raises(KeyError):
+            c_result.placement("bogus")
+
+    def test_format(self, c_result):
+        text = figure5.format_nat_detection(c_result)
+        assert "targeted placement wins? True" in text

@@ -1,0 +1,36 @@
+"""Tests for the experiment registry."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, get_runner, run_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) >= {
+            "table1",
+            "figure1",
+            "figure2",
+            "figure3",
+            "figure4",
+            "table2",
+            "figure5a",
+            "figure5b",
+            "figure5c",
+        }
+        assert "local-detection" in EXPERIMENTS
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            get_runner("figure99")
+
+    def test_runners_resolve(self):
+        for experiment_id in EXPERIMENTS:
+            run, formatter = get_runner(experiment_id)
+            assert callable(run)
+            assert callable(formatter)
+
+    def test_run_experiment_returns_text(self):
+        result, text = run_experiment("table1", seed=3)
+        assert result.rows
+        assert isinstance(text, str) and text

@@ -1,0 +1,32 @@
+"""Tests for the Table 1 experiment."""
+
+from repro.experiments import table1
+
+
+class TestTable1:
+    def test_reproduces_paper_shape(self):
+        result = table1.run()
+        # ~11 bots, at least one command each, nearly all restricted.
+        assert result.num_bots == 11
+        assert len(result.rows) >= 11
+        assert result.restricted_fraction > 0.6
+
+    def test_rows_are_anonymized(self):
+        result = table1.run()
+        for row in result.rows:
+            command = row.command
+            assert command.startswith(("ipscan", "advscan"))
+            # No fully numeric first octet below 128 survives.
+            first_token = command.split()[1]
+            if "." in first_token:
+                head = first_token.split(".")[0]
+                assert head == "s" or (head.isdigit() and int(head) >= 128)
+
+    def test_deterministic_given_seed(self):
+        assert table1.run(seed=5).rows == table1.run(seed=5).rows
+
+    def test_format_contains_commands(self):
+        result = table1.run()
+        text = table1.format_result(result)
+        assert "scan" in text
+        assert f"{len(result.rows)} commands" in text

@@ -1,0 +1,39 @@
+"""Tests for the Table 2 experiment (filtering study)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table2.run(probes_per_host=1_500, blaster_reach=50_000_000)
+
+
+class TestTable2:
+    def test_enterprises_hidden(self, result):
+        assert result.enterprises_hidden
+        for row in result.filtered.enterprises():
+            assert all(count <= 5 for count in row.observed.values())
+
+    def test_broadband_leaks(self, result):
+        assert result.broadband_leaks
+        for row in result.filtered.broadband():
+            assert sum(row.observed.values()) > 1_000
+
+    def test_filtering_is_the_cause(self, result):
+        # Without egress rules, enterprise infections become visible.
+        assert result.filtering_is_the_cause
+
+    def test_every_row_has_all_three_worms(self, result):
+        for row in result.filtered.rows:
+            assert set(row.observed) == {"codered2", "slammer", "blaster"}
+
+    def test_row_counts(self, result):
+        assert len(result.filtered.enterprises()) == 3
+        assert len(result.filtered.broadband()) == 3
+
+    def test_format(self, result):
+        text = table2.format_result(result)
+        assert "Total IPs" in text
+        assert "enterprises hidden? True" in text

@@ -1,0 +1,120 @@
+"""End-to-end pipelines: outbreak → trace → replay → analysis.
+
+These tests exercise the whole stack the way a downstream user would:
+run an outbreak once while recording its probe trace, archive the
+trace, then re-derive sensor observations and hotspot statistics from
+the archive without re-simulating.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sensors.darknet import DarknetSensor
+from repro.sensors.deployment import SensorGrid
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.traces.record import ProbeTrace, TraceRecorder
+from repro.traces.replay import replay_into_grid, replay_into_sensors
+from repro.worms.hitlist import HitListCodeRedIIWorm, HitListWorm
+
+SPACE = CIDRBlock.parse("60.0.0.0/16")
+
+
+@pytest.fixture(scope="module")
+def recorded_outbreak():
+    rng = np.random.default_rng(0)
+    hosts = np.unique(SPACE.random_addresses(800, rng))
+    population = HostPopulation(hosts)
+    recorder = TraceRecorder()
+    darknet = DarknetSensor("live", CIDRBlock.parse("60.0.200.0/22"))
+    simulator = EpidemicSimulator(
+        HitListWorm(BlockSet([SPACE])),
+        population,
+        sensors=[darknet],
+        trace_recorder=recorder,
+    )
+    config = SimulationConfig(
+        scan_rate=20.0, max_time=300.0, seed_count=5, stop_at_fraction=0.8
+    )
+    result = simulator.run(config, rng)
+    return result, recorder.finish(), darknet
+
+
+class TestTraceMatchesLiveRun:
+    def test_trace_size_matches_delivered(self, recorded_outbreak):
+        result, trace, _ = recorded_outbreak
+        assert len(trace) == result.delivered_probes
+
+    def test_replay_reproduces_live_sensor(self, recorded_outbreak):
+        _, trace, live_sensor = recorded_outbreak
+        replayed = DarknetSensor("replay", live_sensor.block)
+        replay_into_sensors(trace, [replayed])
+        assert replayed.total_probes == live_sensor.total_probes
+        assert (
+            replayed.unique_sources_by_slash24()
+            == live_sensor.unique_sources_by_slash24()
+        ).all()
+
+    def test_trace_survives_archival(self, recorded_outbreak, tmp_path):
+        _, trace, live_sensor = recorded_outbreak
+        path = tmp_path / "outbreak.npz"
+        trace.save(path)
+        loaded = ProbeTrace.load(path)
+        replayed = DarknetSensor("replay", live_sensor.block)
+        replay_into_sensors(loaded, [replayed])
+        assert replayed.total_probes == live_sensor.total_probes
+
+    def test_offline_grid_alerts_like_online(self, recorded_outbreak):
+        _, trace, _ = recorded_outbreak
+        grid = SensorGrid(
+            CIDRBlock.parse("60.0.200.0/22").slash24_prefixes(),
+            alert_threshold=5,
+        )
+        replay_into_grid(trace, grid)
+        assert grid.fraction_alerted() == 1.0
+
+    def test_worm_attribution_preserved(self, recorded_outbreak):
+        _, trace, _ = recorded_outbreak
+        assert trace.worm_names == ("hitlist(1 prefixes)",)
+        assert len(trace.for_worm("hitlist(1 prefixes)")) == len(trace)
+
+
+class TestHotspotPipeline:
+    def test_hotspot_statistics_from_archived_trace(self, tmp_path):
+        # Local-preference outbreak → archive → per-/24 histogram →
+        # hotspot metrics, fully offline.
+        rng = np.random.default_rng(1)
+        hitlist = BlockSet.parse(["60.0.0.0/16", "70.0.0.0/16"])
+        hosts = np.unique(hitlist.random_addresses(600, rng))
+        population = HostPopulation(hosts)
+        recorder = TraceRecorder()
+        simulator = EpidemicSimulator(
+            HitListCodeRedIIWorm(hitlist),
+            population,
+            trace_recorder=recorder,
+        )
+        config = SimulationConfig(
+            scan_rate=20.0, max_time=200.0, seed_count=5, stop_at_fraction=0.7
+        )
+        simulator.run(config, rng)
+
+        path = tmp_path / "crii.npz"
+        recorder.finish().save(path)
+        trace = ProbeTrace.load(path)
+
+        # Local preference is /16-granular: probes from hosts inside
+        # 60.0/16 overwhelmingly stay there rather than crossing to
+        # the other hit-list /16 — visible offline from the archive.
+        block_60 = CIDRBlock.parse("60.0.0.0/16")
+        block_70 = CIDRBlock.parse("70.0.0.0/16")
+        from_60 = trace.from_block(block_60)
+        stay = len(from_60.to_block(block_60))
+        cross = len(from_60.to_block(block_70))
+        assert stay > 2 * cross
+
+        # And the aggregate per-/16 histogram over the whole hit-list
+        # splits into exactly the two scanned /16s (hotspot vs the
+        # rest of the Internet: everything else got nothing).
+        all_16s = np.unique(trace.targets >> np.uint32(16))
+        assert set(all_16s.tolist()) == {60 << 8, 70 << 8}

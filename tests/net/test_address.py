@@ -1,0 +1,87 @@
+"""Tests for repro.net.address."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.address import (
+    MAX_ADDRESS,
+    format_addr,
+    format_addrs,
+    from_octets,
+    octets,
+    parse_addr,
+    parse_addrs,
+)
+
+
+class TestParseAddr:
+    def test_parses_simple_address(self):
+        assert parse_addr("1.2.3.4") == (1 << 24) | (2 << 16) | (3 << 8) | 4
+
+    def test_parses_zero(self):
+        assert parse_addr("0.0.0.0") == 0
+
+    def test_parses_max(self):
+        assert parse_addr("255.255.255.255") == MAX_ADDRESS
+
+    def test_strips_whitespace(self):
+        assert parse_addr("  10.0.0.1\n") == parse_addr("10.0.0.1")
+
+    @pytest.mark.parametrize(
+        "bad", ["1.2.3", "1.2.3.4.5", "256.0.0.0", "-1.0.0.0", "a.b.c.d", ""]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_addr(bad)
+
+
+class TestFormatAddr:
+    def test_formats_known_value(self):
+        assert format_addr(3232235521) == "192.168.0.1"
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            format_addr(-1)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            format_addr(2**32)
+
+    def test_accepts_numpy_scalar(self):
+        assert format_addr(np.uint32(257)) == "0.0.1.1"
+
+
+class TestOctets:
+    def test_octets_roundtrip(self):
+        addr = parse_addr("10.20.30.40")
+        assert octets(addr) == (10, 20, 30, 40)
+        assert from_octets(*octets(addr)) == addr
+
+    def test_from_octets_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_octets(0, 0, 0, 256)
+
+
+class TestArrayConversions:
+    def test_parse_addrs_returns_uint32(self):
+        arr = parse_addrs(["0.0.0.1", "255.255.255.255"])
+        assert arr.dtype == np.uint32
+        assert list(arr) == [1, MAX_ADDRESS]
+
+    def test_format_addrs_roundtrip(self):
+        texts = ["1.2.3.4", "200.100.50.25"]
+        assert format_addrs(parse_addrs(texts)) == texts
+
+
+@given(st.integers(min_value=0, max_value=MAX_ADDRESS))
+def test_format_parse_roundtrip(addr):
+    assert parse_addr(format_addr(addr)) == addr
+
+
+@given(
+    st.integers(0, 255), st.integers(0, 255), st.integers(0, 255), st.integers(0, 255)
+)
+def test_octet_roundtrip_property(a, b, c, d):
+    assert octets(from_octets(a, b, c, d)) == (a, b, c, d)

@@ -1,0 +1,165 @@
+"""Tests for repro.net.cidr."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.address import parse_addr
+from repro.net.cidr import BlockSet, CIDRBlock
+
+
+class TestCIDRBlock:
+    def test_parse_and_str_roundtrip(self):
+        block = CIDRBlock.parse("192.168.0.0/16")
+        assert str(block) == "192.168.0.0/16"
+        assert block.size == 65536
+
+    def test_rejects_misaligned_network(self):
+        with pytest.raises(ValueError):
+            CIDRBlock(parse_addr("192.168.0.1"), 16)
+
+    def test_rejects_bad_prefix_len(self):
+        with pytest.raises(ValueError):
+            CIDRBlock(0, 33)
+
+    def test_parse_requires_prefix(self):
+        with pytest.raises(ValueError):
+            CIDRBlock.parse("10.0.0.0")
+
+    def test_containing_masks_host_bits(self):
+        block = CIDRBlock.containing(parse_addr("10.1.2.3"), 8)
+        assert block == CIDRBlock.parse("10.0.0.0/8")
+
+    def test_containing_zero_prefix_is_whole_space(self):
+        block = CIDRBlock.containing(parse_addr("200.1.2.3"), 0)
+        assert block.size == 2**32
+
+    def test_first_last(self):
+        block = CIDRBlock.parse("10.0.0.0/24")
+        assert block.first == parse_addr("10.0.0.0")
+        assert block.last == parse_addr("10.0.0.255")
+
+    def test_contains_scalar(self):
+        block = CIDRBlock.parse("10.0.0.0/8")
+        assert parse_addr("10.255.0.1") in block
+        assert parse_addr("11.0.0.0") not in block
+
+    def test_contains_array(self):
+        block = CIDRBlock.parse("10.0.0.0/8")
+        addrs = np.array(
+            [parse_addr("9.255.255.255"), parse_addr("10.0.0.0"), parse_addr("10.255.255.255")],
+            dtype=np.uint32,
+        )
+        assert list(block.contains_array(addrs)) == [False, True, True]
+
+    def test_subblocks(self):
+        block = CIDRBlock.parse("10.0.0.0/22")
+        subs = list(block.subblocks(24))
+        assert len(subs) == 4
+        assert subs[0] == CIDRBlock.parse("10.0.0.0/24")
+        assert subs[-1] == CIDRBlock.parse("10.0.3.0/24")
+
+    def test_subblocks_rejects_larger(self):
+        with pytest.raises(ValueError):
+            list(CIDRBlock.parse("10.0.0.0/24").subblocks(16))
+
+    def test_slash24_prefixes(self):
+        block = CIDRBlock.parse("10.0.0.0/22")
+        prefixes = block.slash24_prefixes()
+        assert len(prefixes) == 4
+        assert prefixes[0] == parse_addr("10.0.0.0") >> 8
+
+    def test_slash24_prefixes_small_block(self):
+        block = CIDRBlock.parse("10.0.0.128/25")
+        prefixes = block.slash24_prefixes()
+        assert len(prefixes) == 1
+
+    def test_overlaps(self):
+        a = CIDRBlock.parse("10.0.0.0/8")
+        b = CIDRBlock.parse("10.5.0.0/16")
+        c = CIDRBlock.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    def test_random_addresses_inside(self):
+        block = CIDRBlock.parse("172.16.0.0/12")
+        rng = np.random.default_rng(7)
+        addrs = block.random_addresses(1000, rng)
+        assert addrs.dtype == np.uint32
+        assert block.contains_array(addrs).all()
+
+    def test_addresses_materializes_small_block(self):
+        block = CIDRBlock.parse("10.0.0.0/24")
+        addrs = block.addresses()
+        assert len(addrs) == 256
+        assert addrs[0] == block.first and addrs[-1] == block.last
+
+    def test_addresses_refuses_huge_block(self):
+        with pytest.raises(ValueError):
+            CIDRBlock.parse("10.0.0.0/8").addresses()
+
+    def test_ordering_is_by_network(self):
+        blocks = [CIDRBlock.parse("11.0.0.0/8"), CIDRBlock.parse("10.0.0.0/24")]
+        assert sorted(blocks)[0].network == parse_addr("10.0.0.0")
+
+
+class TestBlockSet:
+    def test_membership_across_blocks(self):
+        bs = BlockSet.parse(["10.0.0.0/8", "192.168.0.0/16"])
+        assert parse_addr("10.1.2.3") in bs
+        assert parse_addr("192.168.255.1") in bs
+        assert parse_addr("11.0.0.1") not in bs
+
+    def test_contains_array(self):
+        bs = BlockSet.parse(["10.0.0.0/8"])
+        addrs = np.array([parse_addr("10.0.0.1"), parse_addr("1.2.3.4")], dtype=np.uint32)
+        assert list(bs.contains_array(addrs)) == [True, False]
+
+    def test_empty_set(self):
+        bs = BlockSet()
+        assert len(bs) == 0
+        assert bs.address_count == 0
+        assert parse_addr("1.2.3.4") not in bs
+        assert not bs.contains_array(np.array([1, 2], dtype=np.uint32)).any()
+
+    def test_merges_adjacent_blocks(self):
+        bs = BlockSet.parse(["10.0.0.0/24", "10.0.1.0/24"])
+        assert bs.address_count == 512
+
+    def test_overlapping_blocks_count_once(self):
+        bs = BlockSet.parse(["10.0.0.0/8", "10.1.0.0/16"])
+        assert bs.address_count == CIDRBlock.parse("10.0.0.0/8").size
+
+    def test_deduplicates(self):
+        bs = BlockSet.parse(["10.0.0.0/8", "10.0.0.0/8"])
+        assert len(bs) == 1
+
+    def test_union(self):
+        a = BlockSet.parse(["10.0.0.0/8"])
+        b = BlockSet.parse(["192.168.0.0/16"])
+        u = a.union(b)
+        assert parse_addr("10.0.0.1") in u and parse_addr("192.168.0.1") in u
+
+    def test_repr_is_informative(self):
+        bs = BlockSet.parse(["10.0.0.0/8"])
+        assert "10.0.0.0/8" in repr(bs)
+
+
+@given(st.integers(0, 2**32 - 1), st.integers(0, 32))
+def test_containing_block_contains_address(addr, prefix_len):
+    block = CIDRBlock.containing(addr, prefix_len)
+    assert addr in block
+    assert block.size == 2 ** (32 - prefix_len)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2**32 - 1), st.integers(8, 32)), max_size=8))
+def test_blockset_membership_matches_individual_blocks(specs):
+    blocks = [CIDRBlock.containing(addr, plen) for addr, plen in specs]
+    bs = BlockSet(blocks)
+    rng = np.random.default_rng(0)
+    probes = rng.integers(0, 2**32, size=256, dtype=np.uint64).astype(np.uint32)
+    expected = np.zeros(len(probes), dtype=bool)
+    for block in blocks:
+        expected |= block.contains_array(probes)
+    assert (bs.contains_array(probes) == expected).all()

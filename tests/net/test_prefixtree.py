@@ -1,0 +1,95 @@
+"""Tests for repro.net.prefixtree."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.address import parse_addr
+from repro.net.cidr import CIDRBlock
+from repro.net.prefixtree import PrefixTree
+
+
+class TestPrefixTree:
+    def test_empty_lookup_is_none(self):
+        tree = PrefixTree()
+        assert tree.lookup(parse_addr("1.2.3.4")) is None
+        assert len(tree) == 0
+
+    def test_single_prefix(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock.parse("10.0.0.0/8"), "ten")
+        assert tree.lookup(parse_addr("10.1.2.3")) == "ten"
+        assert tree.lookup(parse_addr("11.0.0.0")) is None
+
+    def test_longest_prefix_wins(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock.parse("10.0.0.0/8"), "short")
+        tree.insert(CIDRBlock.parse("10.1.0.0/16"), "long")
+        assert tree.lookup(parse_addr("10.1.2.3")) == "long"
+        assert tree.lookup(parse_addr("10.2.0.1")) == "short"
+
+    def test_default_route(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock.parse("0.0.0.0/0"), "default")
+        tree.insert(CIDRBlock.parse("192.168.0.0/16"), "private")
+        assert tree.lookup(parse_addr("8.8.8.8")) == "default"
+        assert tree.lookup(parse_addr("192.168.1.1")) == "private"
+
+    def test_replace_value(self):
+        tree = PrefixTree()
+        block = CIDRBlock.parse("10.0.0.0/8")
+        tree.insert(block, 1)
+        tree.insert(block, 2)
+        assert tree.lookup(parse_addr("10.0.0.1")) == 2
+        assert len(tree) == 1
+
+    def test_host_route(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock(parse_addr("10.0.0.5"), 32), "host")
+        assert tree.lookup(parse_addr("10.0.0.5")) == "host"
+        assert tree.lookup(parse_addr("10.0.0.6")) is None
+
+    def test_lookup_array_with_default(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock.parse("10.0.0.0/8"), "ten")
+        addrs = np.array(
+            [parse_addr("10.0.0.1"), parse_addr("11.0.0.1")], dtype=np.uint32
+        )
+        assert tree.lookup_array(addrs, default="none") == ["ten", "none"]
+
+    def test_items_returns_all_prefixes(self):
+        tree = PrefixTree()
+        blocks = ["10.0.0.0/8", "10.1.0.0/16", "192.168.0.0/16"]
+        for i, text in enumerate(blocks):
+            tree.insert(CIDRBlock.parse(text), i)
+        found = {str(block): value for block, value in tree.items()}
+        assert found == {"10.0.0.0/8": 0, "10.1.0.0/16": 1, "192.168.0.0/16": 2}
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2**32 - 1), st.integers(0, 32)),
+        min_size=1,
+        max_size=10,
+    ),
+    st.integers(0, 2**32 - 1),
+)
+def test_lookup_matches_linear_scan(specs, probe):
+    """Longest-prefix match agrees with a brute-force scan of all rules."""
+    tree = PrefixTree()
+    blocks = []
+    for i, (addr, plen) in enumerate(specs):
+        block = CIDRBlock.containing(addr, plen)
+        blocks.append((block, i))
+        tree.insert(block, i)
+    # Brute force: among matching blocks, the longest prefix inserted
+    # last wins (insert replaces, so keep the final value per block).
+    final = {}
+    for block, value in blocks:
+        final[block] = value
+    matching = [(block.prefix_len, value) for block, value in final.items() if probe in block]
+    expected = None
+    if matching:
+        best_len = max(plen for plen, _ in matching)
+        expected = next(v for plen, v in matching if plen == best_len)
+    assert tree.lookup(probe) == expected

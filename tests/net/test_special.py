@@ -1,0 +1,61 @@
+"""Tests for repro.net.special."""
+
+import numpy as np
+
+from repro.net.address import parse_addr, parse_addrs
+from repro.net.special import (
+    LOOPBACK,
+    MULTICAST,
+    PRIVATE_192,
+    PRIVATE_BLOCKS,
+    RESERVED_CLASS_E,
+    is_private,
+    is_routable,
+)
+
+
+class TestPrivateRanges:
+    def test_rfc1918_blocks_present(self):
+        assert parse_addr("10.0.0.1") in PRIVATE_BLOCKS
+        assert parse_addr("172.16.0.1") in PRIVATE_BLOCKS
+        assert parse_addr("172.31.255.255") in PRIVATE_BLOCKS
+        assert parse_addr("192.168.1.1") in PRIVATE_BLOCKS
+
+    def test_non_private_excluded(self):
+        assert parse_addr("11.0.0.1") not in PRIVATE_BLOCKS
+        assert parse_addr("172.32.0.1") not in PRIVATE_BLOCKS
+        assert parse_addr("192.169.0.1") not in PRIVATE_BLOCKS
+
+    def test_192_168_is_only_private_16_in_192_8(self):
+        # The paper's CodeRedII hotspot hinges on this fact: 192.168/16
+        # is the only private /16 inside 192/8.
+        assert PRIVATE_192.prefix_len == 16
+        assert parse_addr("192.167.0.1") not in PRIVATE_BLOCKS
+        assert parse_addr("192.169.0.1") not in PRIVATE_BLOCKS
+
+    def test_is_private_vectorized(self):
+        addrs = parse_addrs(["10.0.0.1", "8.8.8.8", "192.168.0.100"])
+        assert list(is_private(addrs)) == [True, False, True]
+
+
+class TestRoutability:
+    def test_public_unicast_is_routable(self):
+        addrs = parse_addrs(["8.8.8.8", "130.126.0.1"])
+        assert is_routable(addrs).all()
+
+    def test_special_ranges_not_routable(self):
+        addrs = parse_addrs(["127.0.0.1", "224.0.0.1", "240.0.0.1", "0.0.0.1"])
+        assert not is_routable(addrs).any()
+
+    def test_private_not_publicly_routable(self):
+        addrs = parse_addrs(["10.1.1.1", "192.168.0.1"])
+        assert not is_routable(addrs).any()
+
+    def test_block_constants(self):
+        assert parse_addr("127.1.2.3") in LOOPBACK
+        assert parse_addr("239.255.255.255") in MULTICAST
+        assert parse_addr("255.0.0.0") in RESERVED_CLASS_E
+
+    def test_is_routable_returns_bool_array(self):
+        out = is_routable(np.array([0], dtype=np.uint32))
+        assert out.dtype == bool

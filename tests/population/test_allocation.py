@@ -1,0 +1,85 @@
+"""Tests for repro.population.allocation."""
+
+import numpy as np
+import pytest
+
+from repro.population.allocation import (
+    place_infected_hosts,
+    synthesize_broadband_isps,
+    synthesize_enterprises,
+)
+
+
+class TestEnterprises:
+    def test_count_and_kind(self):
+        orgs = synthesize_enterprises(5, np.random.default_rng(0))
+        assert len(orgs) == 5
+        assert all(org.kind == "enterprise" for org in orgs)
+
+    def test_block_sizes_are_slash16s(self):
+        orgs = synthesize_enterprises(3, np.random.default_rng(1))
+        for org in orgs:
+            for block in org.blocks.blocks:
+                assert block.prefix_len == 16
+
+    def test_no_overlap_between_orgs(self):
+        orgs = synthesize_enterprises(10, np.random.default_rng(2))
+        all_blocks = [block for org in orgs for block in org.blocks.blocks]
+        assert len(set(all_blocks)) == len(all_blocks)
+
+    def test_address_counts_in_enterprise_range(self):
+        orgs = synthesize_enterprises(5, np.random.default_rng(3))
+        for org in orgs:
+            # "Large companies typically have hundreds of thousands of
+            # hosts": 2-8 /16s = 131k - 524k addresses.
+            assert 2 * 65_536 <= org.address_count <= 8 * 65_536
+
+
+class TestBroadbandISPs:
+    def test_blocks_are_slash10s(self):
+        orgs = synthesize_broadband_isps(3, np.random.default_rng(0))
+        for org in orgs:
+            for block in org.blocks.blocks:
+                assert block.prefix_len == 10
+
+    def test_isps_dwarf_enterprises(self):
+        rng = np.random.default_rng(1)
+        isps = synthesize_broadband_isps(3, rng)
+        enterprises = synthesize_enterprises(3, rng)
+        assert min(isp.address_count for isp in isps) > max(
+            ent.address_count for ent in enterprises
+        )
+
+    def test_runs_out_of_space_cleanly(self):
+        with pytest.raises(ValueError):
+            synthesize_broadband_isps(
+                50, np.random.default_rng(2), first_octets=(24,)
+            )
+
+
+class TestInfectedPlacement:
+    def test_places_requested_counts(self):
+        rng = np.random.default_rng(0)
+        orgs = synthesize_enterprises(2, rng)
+        placements = place_infected_hosts(orgs, [100, 0], rng)
+        assert len(placements[orgs[0].name]) <= 100  # unique() may collapse
+        assert len(placements[orgs[0].name]) > 90
+        assert len(placements[orgs[1].name]) == 0
+
+    def test_hosts_inside_allocation(self):
+        rng = np.random.default_rng(1)
+        orgs = synthesize_enterprises(1, rng)
+        placements = place_infected_hosts(orgs, [500], rng)
+        assert orgs[0].blocks.contains_array(placements[orgs[0].name]).all()
+
+    def test_rejects_misaligned_counts(self):
+        rng = np.random.default_rng(2)
+        orgs = synthesize_enterprises(2, rng)
+        with pytest.raises(ValueError):
+            place_infected_hosts(orgs, [1], rng)
+
+    def test_rejects_negative_counts(self):
+        rng = np.random.default_rng(3)
+        orgs = synthesize_enterprises(1, rng)
+        with pytest.raises(ValueError):
+            place_infected_hosts(orgs, [-5], rng)

@@ -1,0 +1,95 @@
+"""Tests for repro.population.model."""
+
+import numpy as np
+import pytest
+
+from repro.population.model import HostPopulation, HostStatus
+
+
+@pytest.fixture()
+def population():
+    return HostPopulation(np.array([100, 200, 300, 400, 500], dtype=np.uint32))
+
+
+class TestLifecycle:
+    def test_initial_state(self, population):
+        assert population.size == 5
+        assert population.num_vulnerable == 5
+        assert population.num_infected == 0
+        assert population.num_immune == 0
+        assert population.fraction_infected == 0.0
+
+    def test_infect(self, population):
+        fresh = population.infect(np.array([200, 400], dtype=np.uint32))
+        assert sorted(fresh) == [200, 400]
+        assert population.num_infected == 2
+        assert population.num_vulnerable == 3
+
+    def test_reinfection_is_noop(self, population):
+        population.infect(np.array([200], dtype=np.uint32))
+        fresh = population.infect(np.array([200], dtype=np.uint32))
+        assert len(fresh) == 0
+        assert population.num_infected == 1
+
+    def test_duplicate_infections_in_batch(self, population):
+        fresh = population.infect(np.array([200, 200, 300], dtype=np.uint32))
+        assert sorted(fresh) == [200, 300]
+
+    def test_immunize_protects(self, population):
+        population.immunize(np.array([300], dtype=np.uint32))
+        fresh = population.infect(np.array([300], dtype=np.uint32))
+        assert len(fresh) == 0
+        assert population.num_immune == 1
+
+    def test_immunize_does_not_cure(self, population):
+        population.infect(np.array([300], dtype=np.uint32))
+        population.immunize(np.array([300], dtype=np.uint32))
+        assert population.num_infected == 1
+        assert population.num_immune == 0
+
+    def test_unknown_address_raises(self, population):
+        with pytest.raises(KeyError):
+            population.infect(np.array([999], dtype=np.uint32))
+
+    def test_rejects_duplicate_population(self):
+        with pytest.raises(ValueError):
+            HostPopulation(np.array([1, 1, 2], dtype=np.uint32))
+
+    def test_reset(self, population):
+        population.infect(np.array([100], dtype=np.uint32))
+        population.reset()
+        assert population.num_vulnerable == 5
+
+    def test_status_of(self, population):
+        population.infect(np.array([100], dtype=np.uint32))
+        statuses = population.status_of(np.array([100, 200], dtype=np.uint32))
+        assert statuses[0] == HostStatus.INFECTED
+        assert statuses[1] == HostStatus.VULNERABLE
+
+
+class TestVulnerableHits:
+    def test_filters_nonmembers(self, population):
+        hits = population.vulnerable_hits(np.array([100, 150, 500], dtype=np.uint32))
+        assert sorted(hits) == [100, 500]
+
+    def test_excludes_infected(self, population):
+        population.infect(np.array([100], dtype=np.uint32))
+        hits = population.vulnerable_hits(np.array([100, 200], dtype=np.uint32))
+        assert list(hits) == [200]
+
+    def test_collapses_duplicates(self, population):
+        hits = population.vulnerable_hits(np.array([200, 200], dtype=np.uint32))
+        assert list(hits) == [200]
+
+    def test_empty_batch(self, population):
+        assert len(population.vulnerable_hits(np.empty(0, dtype=np.uint32))) == 0
+
+    def test_2d_targets_accepted(self, population):
+        targets = np.array([[100, 150], [200, 250]], dtype=np.uint32)
+        hits = population.vulnerable_hits(targets)
+        assert sorted(hits) == [100, 200]
+
+    def test_address_views(self, population):
+        population.infect(np.array([100], dtype=np.uint32))
+        assert list(population.infected_addresses()) == [100]
+        assert 100 not in population.vulnerable_addresses()

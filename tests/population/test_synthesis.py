@@ -1,0 +1,126 @@
+"""Tests for repro.population.synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.net.special import is_private
+from repro.population.synthesis import (
+    CODERED2_ANCHORS,
+    PopulationSpec,
+    _weight_curve,
+    nat_population,
+    synthesize_clustered_population,
+)
+from repro.worms.hitlist import build_greedy_hitlist
+
+
+@pytest.fixture(scope="module")
+def paper_population():
+    spec = PopulationSpec()
+    return synthesize_clustered_population(spec, np.random.default_rng(42))
+
+
+class TestWeightCurve:
+    def test_normalized(self):
+        weights = _weight_curve(PopulationSpec())
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = _weight_curve(PopulationSpec())
+        assert (np.diff(weights) <= 1e-15).all()
+
+    def test_hits_anchor_fractions(self):
+        weights = _weight_curve(PopulationSpec())
+        for rank, fraction in CODERED2_ANCHORS[1:]:
+            assert weights[:rank].sum() == pytest.approx(fraction, abs=1e-9)
+
+
+class TestSpecValidation:
+    def test_rejects_nonpositive_hosts(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(total_hosts=0)
+
+    def test_rejects_fewer_16s_than_8s(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(num_slash8=50, num_slash16=40)
+
+    def test_rejects_unsorted_anchors(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(anchors=((0, 0.0), (100, 0.5), (10, 0.1), (4481, 1.0)))
+
+    def test_rejects_anchor_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            PopulationSpec(anchors=((0, 0.0), (10, 0.5), (100, 1.0)))
+
+
+class TestSynthesizedPopulation:
+    def test_exact_host_count_unique(self, paper_population):
+        assert len(paper_population) == 134_586
+        assert len(np.unique(paper_population)) == 134_586
+
+    def test_clustered_in_47_slash8s(self, paper_population):
+        assert len(np.unique(paper_population >> 24)) == 47
+
+    def test_4481_populated_slash16s(self, paper_population):
+        assert len(np.unique(paper_population >> 16)) == 4_481
+
+    def test_avoids_private_and_special_space(self, paper_population):
+        assert not is_private(paper_population).any()
+        first_octets = np.unique(paper_population >> 24)
+        assert 192 not in first_octets
+        assert 127 not in first_octets
+        assert (first_octets < 224).all()
+
+    def test_greedy_coverage_matches_paper(self, paper_population):
+        # The paper's hit-list coverage: 10 /16s -> 10.60%, 100 ->
+        # 50.49%, 1000 -> 91.33%, 4481 -> 100%.
+        expectations = {10: 0.1060, 100: 0.5049, 1000: 0.9133, 4481: 1.0}
+        for num_prefixes, expected in expectations.items():
+            _, coverage = build_greedy_hitlist(paper_population, num_prefixes)
+            assert coverage == pytest.approx(expected, abs=0.02)
+
+    def test_sorted_output(self, paper_population):
+        assert (np.diff(paper_population.astype(np.int64)) > 0).all()
+
+    def test_small_population(self):
+        spec = PopulationSpec(
+            total_hosts=500,
+            num_slash8=3,
+            num_slash16=10,
+            anchors=((0, 0.0), (2, 0.5), (10, 1.0)),
+        )
+        addrs = synthesize_clustered_population(spec, np.random.default_rng(0))
+        assert len(addrs) == 500
+        assert len(np.unique(addrs >> 16)) == 10
+
+
+class TestNATPopulation:
+    def test_moves_requested_fraction(self, paper_population):
+        rewritten, deployment = nat_population(
+            paper_population, 0.15, np.random.default_rng(1)
+        )
+        assert deployment.num_hosts == round(0.15 * len(paper_population))
+        private = is_private(rewritten)
+        assert private.sum() == deployment.num_hosts
+        # All private hosts are in 192.168/16.
+        assert ((rewritten[private] >> 16) == (192 << 8 | 168)).all()
+
+    def test_population_size_preserved(self, paper_population):
+        rewritten, _ = nat_population(paper_population, 0.15, np.random.default_rng(1))
+        assert len(rewritten) == len(paper_population)
+        assert len(np.unique(rewritten)) == len(rewritten)
+
+    def test_zero_fraction(self, paper_population):
+        rewritten, deployment = nat_population(
+            paper_population, 0.0, np.random.default_rng(2)
+        )
+        assert deployment.num_hosts == 0
+        assert (rewritten == paper_population).all()
+
+    def test_rejects_bad_fraction(self, paper_population):
+        with pytest.raises(ValueError):
+            nat_population(paper_population, 1.5, np.random.default_rng(0))
+
+    def test_statistical_model_default(self, paper_population):
+        _, deployment = nat_population(paper_population, 0.1, np.random.default_rng(3))
+        assert deployment.intra_private_model == "statistical"

@@ -1,0 +1,179 @@
+"""Tests for repro.prng.cycles — the affine-map cycle theory.
+
+The analytic decomposition drives the Slammer analysis (Figures 2/3),
+so it is verified exhaustively against brute force on small moduli.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prng.cycles import (
+    INFINITE_VALUATION,
+    AffineCycleStructure,
+    brute_force_cycles,
+    cycle_members,
+    cycle_structure,
+    modinv_pow2,
+    multiplicative_order_mod_pow2,
+    v2,
+    v2_array,
+)
+
+SLAMMER_A = 214013
+SLAMMER_B = 0x8831FA24
+
+
+class TestV2:
+    def test_basic_values(self):
+        assert v2(1) == 0
+        assert v2(2) == 1
+        assert v2(12) == 2
+        assert v2(1 << 31) == 31
+
+    def test_zero_is_infinite(self):
+        assert v2(0) == INFINITE_VALUATION
+
+    def test_array_matches_scalar(self):
+        values = np.array([0, 1, 2, 12, 96, 2**31], dtype=np.uint64)
+        assert list(v2_array(values)) == [v2(int(x)) for x in values]
+
+
+class TestModularHelpers:
+    def test_modinv(self):
+        for x in [1, 3, 5, 214013, 0xFFFFFFFF]:
+            inv = modinv_pow2(x, 32)
+            assert (x * inv) % 2**32 == 1
+
+    def test_modinv_rejects_even(self):
+        with pytest.raises(ValueError):
+            modinv_pow2(4, 32)
+
+    def test_multiplicative_order(self):
+        # ord(a mod 2^m) = 2^(m - v2(a-1)) for a ≡ 1 (mod 4).
+        assert multiplicative_order_mod_pow2(5, 5) == 2**3
+        assert multiplicative_order_mod_pow2(SLAMMER_A, 10) == 2**8
+
+    def test_order_of_one(self):
+        assert multiplicative_order_mod_pow2(1, 8) == 1
+
+
+class TestCycleStructureSmallModuli:
+    @pytest.mark.parametrize("bits", [4, 8, 12])
+    @pytest.mark.parametrize("b", [0, 1, 2, 4, 8, 12, 100, 0x24])
+    def test_matches_brute_force(self, bits, b):
+        structure = cycle_structure(SLAMMER_A, b, bits=bits)
+        assert structure.cycle_lengths == brute_force_cycles(SLAMMER_A, b % 2**bits, bits)
+
+    @pytest.mark.parametrize("a", [5, 9, 13, 17, 214013, 2531013])
+    def test_various_multipliers(self, a):
+        for b in [0, 3, 4, 20]:
+            structure = cycle_structure(a, b, bits=10)
+            assert structure.cycle_lengths == brute_force_cycles(a, b, bits=10)
+
+    def test_translation(self):
+        structure = cycle_structure(1, 4, bits=8)
+        assert structure.cycle_lengths == brute_force_cycles(1, 4, bits=8)
+
+    def test_identity_map(self):
+        structure = cycle_structure(1, 0, bits=6)
+        assert structure.total_cycles == 64
+        assert all(length == 1 for length in structure.cycle_lengths)
+
+    def test_rejects_even_multiplier(self):
+        with pytest.raises(ValueError):
+            cycle_structure(2, 1, bits=8)
+
+    def test_rejects_a_3_mod_4(self):
+        with pytest.raises(NotImplementedError):
+            cycle_structure(3, 1, bits=8)
+
+    def test_brute_force_guard(self):
+        with pytest.raises(ValueError):
+            brute_force_cycles(5, 1, bits=30)
+
+
+class TestSlammerStructure:
+    @pytest.fixture(scope="class")
+    def structure(self):
+        return cycle_structure(SLAMMER_A, SLAMMER_B, bits=32)
+
+    def test_total_64_cycles(self, structure):
+        # The paper: "We find that there are 64 cycles for each b value".
+        assert structure.total_cycles == 64
+
+    def test_states_partition_address_space(self, structure):
+        assert structure.total_states() == 2**32
+
+    def test_has_fixed_points(self, structure):
+        fp = structure.fixed_point
+        assert fp is not None
+        assert (SLAMMER_A * fp + SLAMMER_B) % 2**32 == fp
+
+    def test_longest_cycle_is_2_to_30(self, structure):
+        assert max(structure.cycle_lengths) == 2**30
+
+    def test_short_cycles_exist(self, structure):
+        # The paper: "the log plot shows many small cycles" — cycles of
+        # period 1 and 2 exist, behaving like targeted DoS.
+        lengths = structure.cycle_lengths
+        assert lengths[0] == 1
+        assert 2 in lengths
+
+    def test_representatives_have_claimed_lengths(self, structure):
+        for info in structure.cycles:
+            assert structure.cycle_length_of_state(info.representative) == info.length
+
+    def test_short_cycle_closes_by_iteration(self, structure):
+        for info in structure.cycles:
+            if info.length <= 4096 and info.length > 1:
+                members = cycle_members(
+                    SLAMMER_A, SLAMMER_B, 32, info.representative, info.length + 10
+                )
+                assert len(members) == info.length
+
+    def test_vectorized_lengths_match_scalar(self, structure):
+        rng = np.random.default_rng(3)
+        states = rng.integers(0, 2**32, size=200, dtype=np.uint64)
+        vec = structure.cycle_lengths_of_states(states)
+        for state, length in zip(states, vec):
+            assert structure.cycle_length_of_state(int(state)) == length
+
+
+class TestCycleIds:
+    def test_same_cycle_same_id(self):
+        structure = cycle_structure(SLAMMER_A, SLAMMER_B, bits=16)
+        # Walk a cycle and check every member gets the same id.
+        start = 123
+        members = cycle_members(SLAMMER_A, SLAMMER_B & 0xFFFF, 16, start, 1 << 16)
+        ids = {structure.cycle_id_of_state(int(state)) for state in members}
+        assert len(ids) == 1
+
+    def test_id_count_matches_cycle_count(self):
+        bits = 12
+        structure = cycle_structure(SLAMMER_A, SLAMMER_B, bits=bits)
+        ids = {structure.cycle_id_of_state(state) for state in range(1 << bits)}
+        assert len(ids) == structure.total_cycles
+
+    def test_ids_partition_matches_brute_force(self):
+        bits = 10
+        b = SLAMMER_B % (1 << bits)
+        structure = cycle_structure(SLAMMER_A, b, bits=bits)
+        # Group states by id; each group must be exactly one brute-force cycle.
+        successor = [(SLAMMER_A * x + b) % (1 << bits) for x in range(1 << bits)]
+        for state in range(1 << bits):
+            assert structure.cycle_id_of_state(state) == structure.cycle_id_of_state(
+                successor[state]
+            )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(0, 2**10 - 1).map(lambda k: 4 * k + 1),  # a ≡ 1 (mod 4)
+    st.integers(0, 2**12 - 1),
+)
+def test_structure_matches_brute_force_property(a, b):
+    structure = cycle_structure(a, b, bits=12)
+    assert structure.cycle_lengths == brute_force_cycles(a % 2**12, b, bits=12)
+    assert structure.total_states() == 2**12

@@ -1,0 +1,73 @@
+"""Tests for repro.prng.entropy — the boot-time seed model."""
+
+import numpy as np
+import pytest
+
+from repro.prng.entropy import (
+    HARDWARE_GENERATIONS,
+    MILLISECONDS_PER_SECOND,
+    BootTimeModel,
+)
+
+
+class TestHardwareGenerations:
+    def test_three_generations(self):
+        assert set(HARDWARE_GENERATIONS) == {"pentium2", "pentium3", "pentium4"}
+
+    def test_means_cluster_around_30s(self):
+        means = [g.mean_boot_seconds for g in HARDWARE_GENERATIONS.values()]
+        assert abs(np.mean(means) - 30.0) < 1e-9
+
+    def test_std_is_one_second(self):
+        for gen in HARDWARE_GENERATIONS.values():
+            assert gen.std_boot_seconds == pytest.approx(1.0)
+
+
+class TestBootTimeModel:
+    def test_seeds_cluster_in_boot_window(self):
+        model = BootTimeModel()
+        rng = np.random.default_rng(1)
+        seeds = model.sample_seeds(10_000, rng)
+        low, high = model.seed_probability_window()
+        inside = ((seeds >= low) & (seeds <= high)).mean()
+        assert inside > 0.99
+
+    def test_seed_dtype(self):
+        model = BootTimeModel()
+        seeds = model.sample_seeds(10, np.random.default_rng(0))
+        assert seeds.dtype == np.uint32
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            BootTimeModel().sample_seeds(-1, np.random.default_rng(0))
+
+    def test_zero_count(self):
+        assert len(BootTimeModel().sample_seeds(0, np.random.default_rng(0))) == 0
+
+    def test_uptime_fraction_spreads_seeds(self):
+        model = BootTimeModel(uptime_fraction=0.5, max_uptime_ticks=10_000_000)
+        rng = np.random.default_rng(2)
+        seeds = model.sample_seeds(10_000, rng)
+        _, high = model.seed_probability_window()
+        outside = (seeds > high).mean()
+        # Roughly half the hosts have long uptimes (minus the sliver of
+        # long-uptime draws landing back inside the boot window).
+        assert 0.4 < outside < 0.6
+
+    def test_generation_weights_select_generation(self):
+        model = BootTimeModel(generation_weights={"pentium4": 1.0})
+        rng = np.random.default_rng(3)
+        seeds = model.sample_seeds(5_000, rng)
+        mean_seconds = seeds.mean() / MILLISECONDS_PER_SECOND
+        assert abs(mean_seconds - 26.0) < 0.5
+
+    def test_window_covers_all_generations(self):
+        low, high = BootTimeModel().seed_probability_window()
+        assert low < 26 * MILLISECONDS_PER_SECOND
+        assert high > 34 * MILLISECONDS_PER_SECOND
+
+    def test_seeds_are_deterministic_given_rng(self):
+        model = BootTimeModel()
+        a = model.sample_seeds(100, np.random.default_rng(42))
+        b = model.sample_seeds(100, np.random.default_rng(42))
+        assert (a == b).all()

@@ -1,0 +1,82 @@
+"""Tests for repro.prng.lcg."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.prng.lcg import LCG
+
+
+class TestLCG:
+    def test_next_matches_recurrence(self):
+        lcg = LCG(a=214013, b=2531011, seed=1)
+        assert lcg.next() == (214013 * 1 + 2531011) % 2**32
+
+    def test_stream_matches_repeated_next(self):
+        lcg_a = LCG(a=214013, b=2531011, seed=42)
+        lcg_b = LCG(a=214013, b=2531011, seed=42)
+        stream = lcg_a.stream(100)
+        singles = [lcg_b.next() for _ in range(100)]
+        assert list(stream) == singles
+
+    def test_stream_advances_state(self):
+        lcg = LCG(a=5, b=3, bits=16, seed=0)
+        lcg.stream(10)
+        state_after = lcg.state
+        lcg2 = LCG(a=5, b=3, bits=16, seed=0)
+        for _ in range(10):
+            lcg2.next()
+        assert state_after == lcg2.state
+
+    def test_seed_resets(self):
+        lcg = LCG(a=214013, b=2531011, seed=1)
+        first = lcg.next()
+        lcg.seed(1)
+        assert lcg.next() == first
+
+    def test_custom_word_size(self):
+        lcg = LCG(a=5, b=1, bits=8, seed=200)
+        for _ in range(300):
+            assert 0 <= lcg.next() < 256
+
+    def test_rejects_bad_word_size(self):
+        with pytest.raises(ValueError):
+            LCG(a=5, b=1, bits=0)
+        with pytest.raises(ValueError):
+            LCG(a=5, b=1, bits=65)
+
+    def test_jump_matches_iteration(self):
+        lcg = LCG(a=214013, b=0x8831FA24, seed=7)
+        reference = LCG(a=214013, b=0x8831FA24, seed=7)
+        for _ in range(1234):
+            reference.next()
+        lcg.jump(1234)
+        assert lcg.state == reference.state
+
+    def test_jump_zero_is_identity(self):
+        lcg = LCG(a=214013, b=1, seed=99)
+        lcg.jump(0)
+        assert lcg.state == 99
+
+    def test_jump_large(self):
+        # Jumping 2^32 steps must return to the start iff the seed's
+        # cycle length divides 2^32 (it always does for a mod-2^32 LCG).
+        lcg = LCG(a=214013, b=0x8831FA24, seed=12345)
+        lcg.jump(2**32)
+        assert lcg.state == 12345
+
+
+@given(
+    st.integers(1, 2**16 - 1).filter(lambda a: a % 2 == 1),
+    st.integers(0, 2**16 - 1),
+    st.integers(0, 2**16 - 1),
+    st.integers(0, 500),
+)
+def test_jump_equals_iteration_property(a, b, seed, steps):
+    lcg = LCG(a=a, b=b, bits=16, seed=seed)
+    reference = LCG(a=a, b=b, bits=16, seed=seed)
+    lcg.jump(steps)
+    for _ in range(steps):
+        reference.next()
+    assert lcg.state == reference.state

@@ -1,0 +1,91 @@
+"""Tests for the blocked fast LCG stream and jump edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prng.cycles import cycle_members, multiplicative_order_mod_pow2
+from repro.prng.lcg import LCG
+
+
+class TestStreamFast:
+    def test_matches_slow_stream(self):
+        a, b = 214013, 0x8831FA24
+        slow = LCG(a, b, seed=99)
+        fast = LCG(a, b, seed=99)
+        assert (slow.stream(5_000) == fast.stream_fast(5_000)).all()
+        assert slow.state == fast.state
+
+    def test_zero_count(self):
+        lcg = LCG(214013, 1, seed=5)
+        assert len(lcg.stream_fast(0)) == 0
+        assert lcg.state == 5
+
+    def test_count_smaller_than_block(self):
+        a, b = 214013, 2531011
+        slow = LCG(a, b, seed=1)
+        fast = LCG(a, b, seed=1)
+        assert (slow.stream(3) == fast.stream_fast(3, block=4096)).all()
+
+    def test_count_not_multiple_of_block(self):
+        a, b = 214013, 2531011
+        slow = LCG(a, b, seed=2)
+        fast = LCG(a, b, seed=2)
+        assert (slow.stream(1000) == fast.stream_fast(1000, block=64)).all()
+
+    def test_rejects_large_word_size(self):
+        with pytest.raises(ValueError):
+            LCG(5, 1, bits=64).stream_fast(10)
+
+    def test_small_word_size(self):
+        slow = LCG(5, 3, bits=8, seed=7)
+        fast = LCG(5, 3, bits=8, seed=7)
+        assert (slow.stream(600) == fast.stream_fast(600, block=32)).all()
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(1, 2**16 - 1).filter(lambda a: a % 2 == 1),
+        st.integers(0, 2**16 - 1),
+        st.integers(1, 300),
+        st.integers(1, 64),
+    )
+    def test_fast_equals_slow_property(self, a, b, count, block):
+        slow = LCG(a, b, bits=16, seed=11)
+        fast = LCG(a, b, bits=16, seed=11)
+        assert (slow.stream(count) == fast.stream_fast(count, block=block)).all()
+
+
+class TestCycleMembers:
+    def test_closes_small_cycle(self):
+        # x -> x + 4 mod 16 has cycles of length 4.
+        members = cycle_members(1, 4, 4, start=1, limit=100)
+        assert list(members) == [1, 5, 9, 13]
+
+    def test_limit_truncates(self):
+        members = cycle_members(214013, 1, 32, start=0, limit=10)
+        assert len(members) == 11  # start + 10 steps, cycle not closed
+
+    def test_fixed_point(self):
+        # x -> x is all fixed points.
+        members = cycle_members(1, 0, 8, start=42, limit=100)
+        assert list(members) == [42]
+
+
+class TestMultiplicativeOrder:
+    @pytest.mark.parametrize("bits", [3, 5, 8, 12])
+    def test_matches_brute_force(self, bits):
+        for a in (1, 5, 9, 13, 17):
+            order = multiplicative_order_mod_pow2(a, bits)
+            # Brute force.
+            power, count = a % 2**bits, 1
+            while power != 1:
+                power = (power * a) % 2**bits
+                count += 1
+            assert order == count
+
+    def test_order_divides_group_exponent(self):
+        for bits in (4, 8, 16):
+            for a in (5, 214013 % 2**bits | 1):
+                order = multiplicative_order_mod_pow2(a, bits)
+                assert (2 ** max(bits - 2, 0)) % order == 0

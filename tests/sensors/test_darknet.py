@@ -1,0 +1,116 @@
+"""Tests for repro.sensors.darknet."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addr, parse_addrs
+from repro.net.cidr import CIDRBlock
+from repro.sensors.darknet import (
+    IMS_BLOCK_SPECS,
+    DarknetSensor,
+    ims_standard_deployment,
+)
+
+
+@pytest.fixture()
+def sensor():
+    return DarknetSensor("D", CIDRBlock.parse("133.101.0.0/20"))
+
+
+class TestObservation:
+    def test_counts_probes_inside_block(self, sensor):
+        sources = parse_addrs(["1.1.1.1", "2.2.2.2", "3.3.3.3"])
+        targets = parse_addrs(["133.101.0.5", "133.101.15.255", "8.8.8.8"])
+        seen = sensor.observe(sources, targets)
+        assert seen == 2
+        assert sensor.total_probes == 2
+
+    def test_ignores_outside_probes(self, sensor):
+        seen = sensor.observe(parse_addrs(["1.1.1.1"]), parse_addrs(["8.8.8.8"]))
+        assert seen == 0
+        assert sensor.total_probes == 0
+
+    def test_slash24_binning(self, sensor):
+        assert sensor.num_slash24 == 16  # /20 has 16 /24s
+        sources = parse_addrs(["1.1.1.1", "1.1.1.1", "2.2.2.2"])
+        targets = parse_addrs(["133.101.0.1", "133.101.0.200", "133.101.3.7"])
+        sensor.observe(sources, targets)
+        counts = sensor.probes_by_slash24()
+        assert counts[0] == 2
+        assert counts[3] == 1
+        assert counts.sum() == 3
+
+    def test_unique_sources_by_slash24(self, sensor):
+        # Same source probing bin 0 twice counts once; two sources in
+        # bin 3 count twice.
+        sources = parse_addrs(["1.1.1.1", "1.1.1.1", "2.2.2.2", "3.3.3.3"])
+        targets = parse_addrs(
+            ["133.101.0.1", "133.101.0.2", "133.101.3.1", "133.101.3.2"]
+        )
+        sensor.observe(sources, targets)
+        unique = sensor.unique_sources_by_slash24()
+        assert unique[0] == 1
+        assert unique[3] == 2
+
+    def test_unique_sources_deduplicate_across_batches(self, sensor):
+        for _ in range(3):
+            sensor.observe(parse_addrs(["1.1.1.1"]), parse_addrs(["133.101.0.1"]))
+        assert sensor.unique_sources_by_slash24()[0] == 1
+        assert sensor.unique_sources_total() == 1
+
+    def test_same_source_different_bins_counted_per_bin(self, sensor):
+        sensor.observe(
+            parse_addrs(["1.1.1.1", "1.1.1.1"]),
+            parse_addrs(["133.101.0.1", "133.101.5.1"]),
+        )
+        unique = sensor.unique_sources_by_slash24()
+        assert unique[0] == 1 and unique[5] == 1
+        assert sensor.unique_sources_total() == 1
+
+    def test_2d_batches(self, sensor):
+        sources = np.full((2, 3), parse_addr("1.1.1.1"), dtype=np.uint32)
+        targets = np.full((2, 3), parse_addr("133.101.0.1"), dtype=np.uint32)
+        assert sensor.observe(sources, targets) == 6
+
+    def test_reset(self, sensor):
+        sensor.observe(parse_addrs(["1.1.1.1"]), parse_addrs(["133.101.0.1"]))
+        sensor.reset()
+        assert sensor.total_probes == 0
+        assert sensor.unique_sources_total() == 0
+
+    def test_sub_slash24_block_has_one_bin(self):
+        small = DarknetSensor("G", CIDRBlock.parse("176.99.2.0/25"))
+        assert small.num_slash24 == 1
+        small.observe(parse_addrs(["1.1.1.1"]), parse_addrs(["176.99.2.5"]))
+        assert small.probes_by_slash24()[0] == 1
+
+
+class TestIMSDeployment:
+    def test_eleven_blocks(self):
+        sensors = ims_standard_deployment()
+        assert len(sensors) == 11
+        assert {sensor.name for sensor in sensors} == set(IMS_BLOCK_SPECS)
+
+    def test_block_sizes_match_paper_labels(self):
+        # Label suffix encodes the prefix length: D/20, H/18, I/17, Z/8...
+        expected = {
+            "A": 23, "B": 24, "C": 24, "D": 20, "E": 21, "F": 22,
+            "G": 25, "H": 18, "I": 17, "M": 22, "Z": 8,
+        }
+        for sensor in ims_standard_deployment():
+            assert sensor.block.prefix_len == expected[sensor.name]
+
+    def test_m_block_inside_192_8(self):
+        sensors = {s.name: s for s in ims_standard_deployment()}
+        assert sensors["M"].block.first >> 24 == 192
+
+    def test_blocks_disjoint(self):
+        sensors = ims_standard_deployment()
+        for i, a in enumerate(sensors):
+            for b in sensors[i + 1 :]:
+                assert not a.block.overlaps(b.block), (a.name, b.name)
+
+    def test_overrides(self):
+        sensors = ims_standard_deployment(overrides={"D": "10.0.0.0/20"})
+        block_d = next(s for s in sensors if s.name == "D")
+        assert block_d.block == CIDRBlock.parse("10.0.0.0/20")

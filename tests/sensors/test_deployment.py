@@ -1,0 +1,133 @@
+"""Tests for repro.sensors.deployment."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addr
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.sensors.deployment import (
+    SensorGrid,
+    place_one_per_block,
+    place_random,
+    place_within_blocks,
+)
+
+
+def prefixes_of(*texts):
+    return np.array([parse_addr(t) >> 8 for t in texts], dtype=np.uint32)
+
+
+class TestSensorGrid:
+    def test_requires_sensors(self):
+        with pytest.raises(ValueError):
+            SensorGrid(np.empty(0, dtype=np.uint32))
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=0)
+
+    def test_rejects_full_addresses(self):
+        with pytest.raises(ValueError):
+            SensorGrid(np.array([parse_addr("10.0.0.0")], dtype=np.uint32))
+
+    def test_deduplicates_sensors(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0", "10.0.0.0", "10.0.1.0"))
+        assert grid.num_sensors == 2
+        assert grid.monitored_addresses() == 512
+
+    def test_observe_counts_hits(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=5)
+        targets = np.array(
+            [parse_addr("10.0.0.7"), parse_addr("10.0.1.7")], dtype=np.uint32
+        )
+        assert grid.observe(targets, time=1.0) == 1
+        assert grid.payload_counts()[0] == 1
+
+    def test_alert_at_threshold(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=3)
+        target = np.array([parse_addr("10.0.0.7")], dtype=np.uint32)
+        grid.observe(target, time=1.0)
+        grid.observe(target, time=2.0)
+        assert np.isnan(grid.alert_times()[0])
+        grid.observe(target, time=3.0)
+        assert grid.alert_times()[0] == 3.0
+        assert grid.fraction_alerted() == 1.0
+
+    def test_alert_time_not_overwritten(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=1)
+        target = np.array([parse_addr("10.0.0.7")], dtype=np.uint32)
+        grid.observe(target, time=1.0)
+        grid.observe(target, time=9.0)
+        assert grid.alert_times()[0] == 1.0
+
+    def test_batch_crossing_threshold_in_one_call(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=5)
+        targets = np.full(10, parse_addr("10.0.0.7"), dtype=np.uint32)
+        grid.observe(targets, time=4.0)
+        assert grid.alert_times()[0] == 4.0
+
+    def test_fraction_alerted_at_time(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0", "10.0.1.0"), alert_threshold=1)
+        grid.observe(np.array([parse_addr("10.0.0.7")], dtype=np.uint32), time=1.0)
+        grid.observe(np.array([parse_addr("10.0.1.7")], dtype=np.uint32), time=5.0)
+        assert grid.fraction_alerted(at_time=2.0) == 0.5
+        assert grid.fraction_alerted() == 1.0
+
+    def test_empty_batch(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0"))
+        assert grid.observe(np.empty(0, dtype=np.uint32), time=0.0) == 0
+
+    def test_reset(self):
+        grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=1)
+        grid.observe(np.array([parse_addr("10.0.0.7")], dtype=np.uint32), time=1.0)
+        grid.reset()
+        assert grid.fraction_alerted() == 0.0
+        assert grid.payload_counts()[0] == 0
+
+
+class TestPlacements:
+    def test_one_per_block(self):
+        blocks = [CIDRBlock.parse("10.0.0.0/16"), CIDRBlock.parse("20.0.0.0/16")]
+        prefixes = place_one_per_block(blocks, np.random.default_rng(0))
+        assert len(prefixes) == 2
+        assert prefixes[0] >> 8 == 10 << 8 or prefixes[0] >> 16 == 10
+        # Each sensor lies inside its block.
+        for block, prefix in zip(blocks, prefixes):
+            assert int(prefix) << 8 in block
+
+    def test_one_per_block_rejects_small_blocks(self):
+        with pytest.raises(ValueError):
+            place_one_per_block(
+                [CIDRBlock.parse("10.0.0.0/25")], np.random.default_rng(0)
+            )
+
+    def test_one_per_block_rejects_empty(self):
+        with pytest.raises(ValueError):
+            place_one_per_block([], np.random.default_rng(0))
+
+    def test_place_random_anywhere(self):
+        prefixes = place_random(1_000, np.random.default_rng(1))
+        assert len(prefixes) == 1_000
+        assert (prefixes < (1 << 24)).all()
+
+    def test_place_random_within_region(self):
+        region = BlockSet.parse(["10.0.0.0/8"])
+        prefixes = place_random(500, np.random.default_rng(2), within=region)
+        assert ((prefixes >> 16) == 10).all()
+
+    def test_place_random_rejects_zero(self):
+        with pytest.raises(ValueError):
+            place_random(0, np.random.default_rng(0))
+
+    def test_place_within_blocks_excludes(self):
+        blocks = list(CIDRBlock.parse("192.0.0.0/8").subblocks(16))
+        exclude = BlockSet.parse(["192.168.0.0/16"])
+        prefixes = place_within_blocks(blocks, np.random.default_rng(3), exclude)
+        assert len(prefixes) == 255  # 256 /16s minus 192.168/16
+        assert not ((prefixes >> 8) == ((192 << 8) | 168)).any()
+
+    def test_place_within_blocks_all_excluded(self):
+        blocks = [CIDRBlock.parse("192.168.0.0/16")]
+        exclude = BlockSet.parse(["192.168.0.0/16"])
+        with pytest.raises(ValueError):
+            place_within_blocks(blocks, np.random.default_rng(0), exclude)

@@ -1,0 +1,71 @@
+"""Tests for repro.sensors.detection."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.detection import (
+    AlertTimeline,
+    detection_lag,
+    quorum_detection_time,
+)
+
+
+class TestAlertTimeline:
+    def test_cumulative_curve(self):
+        alert_times = np.array([1.0, 3.0, np.nan, 5.0])
+        timeline = AlertTimeline.from_alert_times(alert_times, horizon=6.0)
+        assert timeline.fraction_at(0.0) == 0.0
+        assert timeline.fraction_at(1.0) == 0.25
+        assert timeline.fraction_at(4.0) == 0.5
+        assert timeline.final_fraction() == 0.75
+
+    def test_never_alerting_sensors(self):
+        alert_times = np.full(10, np.nan)
+        timeline = AlertTimeline.from_alert_times(alert_times, horizon=10.0)
+        assert timeline.final_fraction() == 0.0
+
+    def test_fraction_before_start(self):
+        timeline = AlertTimeline.from_alert_times(np.array([5.0]), horizon=10.0)
+        assert timeline.fraction_at(-1.0) == 0.0
+
+
+class TestQuorum:
+    def test_reaches_quorum(self):
+        alert_times = np.array([1.0, 2.0, 3.0, 4.0])
+        assert quorum_detection_time(alert_times, 0.5) == 2.0
+        assert quorum_detection_time(alert_times, 1.0) == 4.0
+
+    def test_quorum_never_reached(self):
+        alert_times = np.array([1.0, np.nan, np.nan, np.nan])
+        assert quorum_detection_time(alert_times, 0.5) is None
+
+    def test_hotspot_starved_quorum(self):
+        # The paper's scenario: 20% of sensors alert, so any quorum
+        # above 20% never fires regardless of the threshold's quality.
+        alert_times = np.concatenate([np.arange(20.0), np.full(80, np.nan)])
+        assert quorum_detection_time(alert_times, 0.2) is not None
+        assert quorum_detection_time(alert_times, 0.25) is None
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            quorum_detection_time(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            quorum_detection_time(np.array([1.0]), 1.5)
+
+
+class TestDetectionLag:
+    def test_lag_after_milestone(self):
+        alert_times = np.array([10.0, 12.0])
+        infection_times = [1.0, 2.0, 3.0, 4.0]
+        # Quorum 1.0 fires at 12.0; 50% infected at t=2.0.
+        assert detection_lag(alert_times, infection_times, 0.5, 1.0) == 10.0
+
+    def test_negative_lag_means_early_detection(self):
+        alert_times = np.array([1.0])
+        infection_times = [5.0, 6.0]
+        lag = detection_lag(alert_times, infection_times, 1.0, 1.0)
+        assert lag == 1.0 - 6.0
+
+    def test_none_when_no_quorum(self):
+        alert_times = np.array([np.nan, np.nan])
+        assert detection_lag(alert_times, [1.0], 0.5, 0.5) is None

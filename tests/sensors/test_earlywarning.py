@@ -1,0 +1,99 @@
+"""Tests for repro.sensors.earlywarning."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.earlywarning import ExponentialTrendDetector
+
+
+def feed_series(detector, counts, start=0.0):
+    alarm = None
+    for index, count in enumerate(counts):
+        alarm = detector.observe_interval(start + index, count)
+    return alarm
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ExponentialTrendDetector(window=2)
+        with pytest.raises(ValueError):
+            ExponentialTrendDetector(min_growth_rate=0.0)
+        with pytest.raises(ValueError):
+            ExponentialTrendDetector(min_rising_intervals=0)
+
+    def test_rejects_negative_counts(self):
+        detector = ExponentialTrendDetector()
+        with pytest.raises(ValueError):
+            detector.observe_interval(0.0, -1)
+
+
+class TestAlarmLogic:
+    def test_exponential_growth_alarms(self):
+        detector = ExponentialTrendDetector(window=8, min_count=10)
+        counts = [int(3 * 1.4**i) for i in range(20)]
+        alarm = feed_series(detector, counts)
+        assert alarm is not None
+        assert alarm.growth_rate > 0.05
+
+    def test_flat_series_never_alarms(self):
+        detector = ExponentialTrendDetector()
+        feed_series(detector, [50] * 40)
+        assert not detector.alarmed
+
+    def test_noise_without_trend_never_alarms(self):
+        detector = ExponentialTrendDetector(min_rising_intervals=4)
+        rng = np.random.default_rng(0)
+        feed_series(detector, rng.poisson(30, size=100).tolist())
+        assert not detector.alarmed
+
+    def test_empty_series_never_alarms(self):
+        # The hotspot failure mode: a monitor outside the hotspot
+        # sees nothing, so the detector has nothing to trend on.
+        detector = ExponentialTrendDetector()
+        feed_series(detector, [0] * 50)
+        assert not detector.alarmed
+
+    def test_min_count_noise_guard(self):
+        # Perfect exponential growth at tiny absolute counts stays
+        # below the noise floor.
+        detector = ExponentialTrendDetector(window=5, min_count=1_000)
+        feed_series(detector, [1, 2, 4, 8, 16, 32])
+        assert not detector.alarmed
+
+    def test_alarm_latches(self):
+        detector = ExponentialTrendDetector(window=5, min_count=5)
+        counts = [int(2 * 1.5**i) for i in range(15)] + [0] * 10
+        feed_series(detector, counts)
+        first = detector.alarm
+        detector.observe_interval(99.0, 0)
+        assert detector.alarm is first
+
+    def test_alarm_time_is_interval_time(self):
+        detector = ExponentialTrendDetector(window=5, min_count=5)
+        counts = [int(2 * 1.5**i) for i in range(15)]
+        alarm = feed_series(detector, counts, start=100.0)
+        assert alarm.time >= 100.0
+
+    def test_reset(self):
+        detector = ExponentialTrendDetector(window=5, min_count=5)
+        feed_series(detector, [int(2 * 1.5**i) for i in range(15)])
+        assert detector.alarmed
+        detector.reset()
+        assert not detector.alarmed
+        feed_series(detector, [10] * 20)
+        assert not detector.alarmed
+
+
+class TestHotspotBlindness:
+    def test_outbreak_visible_only_inside_hotspot(self):
+        # Simulate two monitors during a hit-list outbreak: inside the
+        # hit-list the series grows exponentially; outside it is all
+        # zeros.  Same worm, same growth — only one monitor warns.
+        growth = [int(2 * 1.35**i) for i in range(25)]
+        inside = ExponentialTrendDetector(window=8, min_count=10)
+        outside = ExponentialTrendDetector(window=8, min_count=10)
+        feed_series(inside, growth)
+        feed_series(outside, [0] * len(growth))
+        assert inside.alarmed
+        assert not outside.alarmed

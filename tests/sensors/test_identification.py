@@ -1,0 +1,91 @@
+"""Tests for repro.sensors.identification."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.identification import (
+    KNOWN_SIGNATURES,
+    IdentificationOutcome,
+    PayloadIdentifier,
+    Transport,
+    WormSignature,
+)
+
+
+class TestSignatures:
+    def test_paper_threats_registered(self):
+        assert set(KNOWN_SIGNATURES) == {"codered2", "slammer", "blaster"}
+
+    def test_transports_match_reality(self):
+        assert KNOWN_SIGNATURES["slammer"].transport is Transport.UDP
+        assert KNOWN_SIGNATURES["codered2"].transport is Transport.TCP
+        assert KNOWN_SIGNATURES["blaster"].transport is Transport.TCP
+
+    def test_ports(self):
+        assert KNOWN_SIGNATURES["slammer"].port == 1434
+        assert KNOWN_SIGNATURES["codered2"].port == 80
+        assert KNOWN_SIGNATURES["blaster"].port == 135
+
+
+class TestActiveResponder:
+    def test_identifies_all_known_threats(self):
+        identifier = PayloadIdentifier(active_responder=True)
+        for name in KNOWN_SIGNATURES:
+            assert identifier.identify(name) is IdentificationOutcome.IDENTIFIED
+
+    def test_unknown_threat(self):
+        identifier = PayloadIdentifier()
+        assert (
+            identifier.identify("nimda")
+            is IdentificationOutcome.UNKNOWN_PAYLOAD
+        )
+
+
+class TestPassiveSensor:
+    def test_udp_worm_still_identified(self):
+        # Slammer's payload is in the first packet; passive works.
+        identifier = PayloadIdentifier(active_responder=False)
+        assert identifier.identify("slammer") is IdentificationOutcome.IDENTIFIED
+
+    def test_tcp_worms_are_anonymous_syns(self):
+        # "actively responded to TCP SYN packets ... to elicit the
+        # first data payload" — without that, TCP worms stay unknown.
+        identifier = PayloadIdentifier(active_responder=False)
+        assert (
+            identifier.identify("codered2")
+            is IdentificationOutcome.UNIDENTIFIED_SYN
+        )
+        assert (
+            identifier.identify("blaster")
+            is IdentificationOutcome.UNIDENTIFIED_SYN
+        )
+
+
+class TestBatchIdentification:
+    def test_mask_matches_scalar(self):
+        identifier = PayloadIdentifier(active_responder=False)
+        names = np.array(["slammer", "codered2", "slammer", "other"])
+        mask = identifier.identify_batch(names)
+        assert list(mask) == [True, False, True, False]
+
+    def test_identification_rate(self):
+        active = PayloadIdentifier(active_responder=True)
+        passive = PayloadIdentifier(active_responder=False)
+        assert active.identification_rate("codered2", 100) == 100
+        assert passive.identification_rate("codered2", 100) == 0
+        with pytest.raises(ValueError):
+            active.identification_rate("codered2", -1)
+
+    def test_custom_signatures(self):
+        custom = {
+            "mytcp": WormSignature("mytcp", Transport.TCP, 445, "x"),
+        }
+        identifier = PayloadIdentifier(active_responder=False, signatures=custom)
+        assert (
+            identifier.identify("mytcp")
+            is IdentificationOutcome.UNIDENTIFIED_SYN
+        )
+        assert (
+            identifier.identify("slammer")
+            is IdentificationOutcome.UNKNOWN_PAYLOAD
+        )

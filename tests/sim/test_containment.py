@@ -1,0 +1,130 @@
+"""Tests for repro.sim.containment."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addr
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sensors.deployment import SensorGrid
+from repro.sim.containment import QuorumTriggeredContainment
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.worms.hitlist import HitListWorm
+
+
+def make_grid(threshold=1):
+    return SensorGrid(
+        np.array([parse_addr("60.0.200.0") >> 8], dtype=np.uint32),
+        alert_threshold=threshold,
+    )
+
+
+class TestValidation:
+    def test_rejects_bad_quorum(self):
+        with pytest.raises(ValueError):
+            QuorumTriggeredContainment(make_grid(), quorum_fraction=0.0)
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            QuorumTriggeredContainment(make_grid(), reaction_delay=-1.0)
+
+    def test_rejects_bad_efficacy(self):
+        with pytest.raises(ValueError):
+            QuorumTriggeredContainment(make_grid(), block_probability=1.5)
+
+
+class TestTriggerLogic:
+    def test_latches_on_quorum(self):
+        grid = make_grid()
+        containment = QuorumTriggeredContainment(
+            grid, quorum_fraction=1.0, reaction_delay=10.0
+        )
+        containment.update(5.0)
+        assert containment.triggered_at is None
+        grid.observe(np.array([parse_addr("60.0.200.5")], dtype=np.uint32), 6.0)
+        containment.update(6.0)
+        assert containment.triggered_at == 6.0
+        assert containment.active_from == 16.0
+
+    def test_trigger_time_not_overwritten(self):
+        grid = make_grid()
+        containment = QuorumTriggeredContainment(grid, quorum_fraction=1.0)
+        grid.observe(np.array([parse_addr("60.0.200.5")], dtype=np.uint32), 1.0)
+        containment.update(1.0)
+        containment.update(50.0)
+        assert containment.triggered_at == 1.0
+
+    def test_reaction_delay_gates_activity(self):
+        grid = make_grid()
+        containment = QuorumTriggeredContainment(
+            grid, quorum_fraction=1.0, reaction_delay=10.0
+        )
+        grid.observe(np.array([parse_addr("60.0.200.5")], dtype=np.uint32), 2.0)
+        containment.update(2.0)
+        assert not containment.is_active(5.0)
+        assert containment.is_active(12.0)
+
+
+class TestProbeFiltering:
+    def test_inactive_passes_through(self):
+        containment = QuorumTriggeredContainment(make_grid())
+        mask = np.array([True, False, True])
+        out = containment.filter_probes(mask, 0.0, np.random.default_rng(0))
+        assert (out == mask).all()
+
+    def test_perfect_block(self):
+        grid = make_grid()
+        containment = QuorumTriggeredContainment(
+            grid, quorum_fraction=1.0, reaction_delay=0.0
+        )
+        grid.observe(np.array([parse_addr("60.0.200.5")], dtype=np.uint32), 1.0)
+        containment.update(1.0)
+        mask = np.ones(100, dtype=bool)
+        out = containment.filter_probes(mask, 2.0, np.random.default_rng(0))
+        assert not out.any()
+
+    def test_partial_block(self):
+        grid = make_grid()
+        containment = QuorumTriggeredContainment(
+            grid,
+            quorum_fraction=1.0,
+            reaction_delay=0.0,
+            block_probability=0.5,
+        )
+        grid.observe(np.array([parse_addr("60.0.200.5")], dtype=np.uint32), 1.0)
+        containment.update(1.0)
+        mask = np.ones(100_000, dtype=bool)
+        out = containment.filter_probes(mask, 2.0, np.random.default_rng(1))
+        assert out.mean() == pytest.approx(0.5, abs=0.01)
+
+
+class TestEngineIntegration:
+    def test_containment_caps_outbreak(self):
+        space = CIDRBlock.parse("60.0.0.0/16")
+        rng = np.random.default_rng(0)
+        hosts = np.unique(space.random_addresses(600, rng))
+        population = HostPopulation(hosts)
+        grid = SensorGrid(
+            space.slash24_prefixes()[::8], alert_threshold=3
+        )
+        containment = QuorumTriggeredContainment(
+            grid, quorum_fraction=0.2, reaction_delay=5.0
+        )
+        simulator = EpidemicSimulator(
+            HitListWorm(BlockSet([space])),
+            population,
+            sensor_grids=[grid],
+            containment=containment,
+        )
+        config = SimulationConfig(scan_rate=20.0, max_time=800.0, seed_count=5)
+        result = simulator.run(config, rng)
+        assert containment.triggered_at is not None
+        # Infections stop (almost) entirely once filters activate:
+        # allow the partial tick in flight.
+        active_from = containment.active_from
+        final = result.infected_counts[-1]
+        at_activation = result.infected_counts[
+            int(np.searchsorted(result.times, active_from))
+        ]
+        assert final <= at_activation + 1
+        assert result.final_fraction_infected < 1.0

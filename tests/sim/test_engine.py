@@ -1,0 +1,198 @@
+"""Tests for repro.sim.engine."""
+
+import numpy as np
+import pytest
+
+from repro.env.environment import NetworkEnvironment
+from repro.env.failures import LossModel
+from repro.env.filtering import FilterRule, FilteringPolicy
+from repro.env.topology import RegionLink, Topology
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sensors.darknet import DarknetSensor
+from repro.sensors.deployment import SensorGrid
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.worms.hitlist import HitListWorm
+
+
+SPACE = CIDRBlock.parse("60.0.0.0/16")
+
+
+def small_population(count=500, seed=0):
+    rng = np.random.default_rng(seed)
+    low = rng.choice(SPACE.size, size=count, replace=False)
+    return HostPopulation((np.uint32(SPACE.network) + low).astype(np.uint32))
+
+
+def hitlist_worm():
+    return HitListWorm(BlockSet([SPACE]))
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scan_rate": 0},
+            {"tick_seconds": 0},
+            {"max_time": 0},
+            {"seed_count": 0},
+            {"stop_at_fraction": 0.0},
+            {"stop_at_fraction": 1.5},
+            {"patch_rate": 1.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+
+class TestBasicOutbreak:
+    def test_full_infection_in_closed_space(self):
+        population = small_population()
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(
+            scan_rate=20.0, max_time=2000.0, seed_count=5, stop_at_fraction=1.0
+        )
+        result = sim.run(config, np.random.default_rng(1))
+        assert result.final_fraction_infected == 1.0
+        assert result.population_size == 500
+
+    def test_infection_counts_monotone(self):
+        population = small_population()
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(scan_rate=10.0, max_time=300.0, seed_count=5)
+        result = sim.run(config, np.random.default_rng(2))
+        assert (np.diff(result.infected_counts) >= 0).all()
+
+    def test_seed_count_respected(self):
+        population = small_population()
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(scan_rate=0.1, max_time=1.0, seed_count=7)
+        result = sim.run(config, np.random.default_rng(3))
+        assert result.infected_counts[0] >= 7
+        assert len(result.infection_times) >= 7
+        assert (result.infection_times[:7] == 0.0).all()
+
+    def test_explicit_seeds(self):
+        population = small_population()
+        seeds = population.addresses()[:3]
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(scan_rate=0.1, max_time=1.0)
+        result = sim.run(config, np.random.default_rng(4), seed_addrs=seeds)
+        assert result.infected_counts[0] == 3
+
+    def test_too_many_seeds_rejected(self):
+        population = small_population(count=10)
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(seed_count=11, max_time=1.0)
+        with pytest.raises(ValueError):
+            sim.run(config, np.random.default_rng(5))
+
+    def test_stop_at_fraction(self):
+        population = small_population()
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(
+            scan_rate=20.0, max_time=5000.0, seed_count=5, stop_at_fraction=0.5
+        )
+        result = sim.run(config, np.random.default_rng(6))
+        assert result.final_fraction_infected >= 0.5
+        assert result.times[-1] < 5000.0
+
+    def test_fractional_scan_rate(self):
+        # Worm scans a space disjoint from the population so the host
+        # count stays at the 50 seeds and probe counts are exact.
+        population = small_population(count=100)
+        worm = HitListWorm(BlockSet.parse(["61.0.0.0/16"]))
+        sim = EpidemicSimulator(worm, population)
+        config = SimulationConfig(scan_rate=0.5, max_time=20.0, seed_count=50)
+        result = sim.run(config, np.random.default_rng(7))
+        # 50 hosts at 0.5 scans/s over 20 s = 500 probes exactly.
+        assert result.total_probes == 500
+
+    def test_result_time_queries(self):
+        population = small_population()
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(scan_rate=20.0, max_time=2000.0, seed_count=5)
+        result = sim.run(config, np.random.default_rng(8))
+        assert result.fraction_infected_at(-1.0) == 0.0
+        t_half = result.time_to_fraction(0.5)
+        assert t_half is not None
+        assert result.fraction_infected_at(t_half) >= 0.5
+        assert result.time_to_fraction(2.0) is None
+
+
+class TestEnvironmentIntegration:
+    def test_total_loss_stops_spread(self):
+        population = small_population()
+        env = NetworkEnvironment(loss=LossModel(base_rate=1.0))
+        sim = EpidemicSimulator(hitlist_worm(), population, environment=env)
+        config = SimulationConfig(scan_rate=20.0, max_time=50.0, seed_count=5)
+        result = sim.run(config, np.random.default_rng(0))
+        assert result.infected_counts[-1] == 5
+        assert result.delivered_probes == 0
+        assert result.total_probes > 0
+
+    def test_ingress_filter_protects_region(self):
+        population = small_population()
+        protected = CIDRBlock.parse("60.0.128.0/17")
+        policy = FilteringPolicy([FilterRule("ingress", protected)])
+        env = NetworkEnvironment(policy=policy)
+        sim = EpidemicSimulator(hitlist_worm(), population, environment=env)
+        config = SimulationConfig(scan_rate=20.0, max_time=1500.0, seed_count=5)
+        rng = np.random.default_rng(1)
+        # Seed only outside the protected region so all probes into it
+        # must cross the filter.
+        outside = population.addresses()[
+            ~protected.contains_array(population.addresses())
+        ]
+        result = sim.run(config, rng, seed_addrs=outside[:5])
+        infected = population.infected_addresses()
+        assert not protected.contains_array(infected).any()
+        assert result.final_fraction_infected < 1.0
+
+    def test_topology_caps_scan_rate(self):
+        population = small_population(count=100)
+        topology = Topology(
+            default_scan_rate=100.0,
+            region_links=[RegionLink(SPACE, 10.0, 2.0)],
+        )
+        worm = HitListWorm(BlockSet.parse(["61.0.0.0/16"]))
+        sim = EpidemicSimulator(worm, population, topology=topology)
+        config = SimulationConfig(scan_rate=100.0, max_time=10.0, seed_count=50)
+        result = sim.run(config, np.random.default_rng(2))
+        # All hosts are inside SPACE, capped to 2 scans/s: 50*2*10.
+        assert result.total_probes == 1000
+
+
+class TestSensorsIntegration:
+    def test_darknet_sees_probes(self):
+        population = small_population()
+        darknet = DarknetSensor("T", CIDRBlock.parse("60.0.200.0/24"))
+        sim = EpidemicSimulator(hitlist_worm(), population, sensors=[darknet])
+        config = SimulationConfig(scan_rate=20.0, max_time=600.0, seed_count=5)
+        sim.run(config, np.random.default_rng(0))
+        assert darknet.total_probes > 0
+
+    def test_sensor_grid_alerts(self):
+        population = small_population()
+        grid = SensorGrid(
+            np.array([CIDRBlock.parse("60.0.200.0/24").network >> 8], dtype=np.uint32),
+            alert_threshold=5,
+        )
+        sim = EpidemicSimulator(hitlist_worm(), population, sensor_grids=[grid])
+        config = SimulationConfig(scan_rate=20.0, max_time=600.0, seed_count=5)
+        sim.run(config, np.random.default_rng(1))
+        assert grid.fraction_alerted() == 1.0
+        assert grid.alert_times()[0] > 0
+
+
+class TestPatching:
+    def test_patching_limits_outbreak(self):
+        population = small_population()
+        sim = EpidemicSimulator(hitlist_worm(), population)
+        config = SimulationConfig(
+            scan_rate=1.0, max_time=300.0, seed_count=5, patch_rate=0.05
+        )
+        sim.run(config, np.random.default_rng(0))
+        assert population.num_immune > 0
+        assert population.num_infected < population.size

@@ -1,0 +1,93 @@
+"""Tests for repro.sim.epidemic — and simulator-vs-analytic convergence."""
+
+import numpy as np
+import pytest
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.sim.epidemic import si_curve, si_time_to_fraction
+from repro.worms.hitlist import HitListWorm
+
+
+class TestSICurve:
+    def test_starts_at_seeds(self):
+        assert si_curve(0.0, population=1000, seeds=10, scan_rate=10.0) == pytest.approx(
+            10.0
+        )
+
+    def test_saturates_at_population(self):
+        value = si_curve(1e9, population=1000, seeds=10, scan_rate=10.0, address_space=1e6)
+        assert value == pytest.approx(1000.0, rel=1e-6)
+
+    def test_monotone_increasing(self):
+        t = np.linspace(0, 1000, 100)
+        curve = si_curve(t, population=500, seeds=5, scan_rate=10.0, address_space=1e5)
+        # Non-decreasing everywhere; strictly increasing before the
+        # tail saturates to float-equal values.
+        assert (np.diff(curve) >= 0).all()
+        assert (np.diff(curve[:20]) > 0).all()
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            si_curve(0.0, population=0, seeds=1, scan_rate=1.0)
+        with pytest.raises(ValueError):
+            si_curve(0.0, population=10, seeds=11, scan_rate=1.0)
+        with pytest.raises(ValueError):
+            si_curve(0.0, population=10, seeds=1, scan_rate=0.0)
+
+    def test_faster_scan_rate_spreads_faster(self):
+        slow = si_time_to_fraction(0.5, 1000, 10, 1.0, 1e6)
+        fast = si_time_to_fraction(0.5, 1000, 10, 10.0, 1e6)
+        assert fast < slow
+
+    def test_time_to_fraction_inverts_curve(self):
+        t = si_time_to_fraction(0.5, 1000, 10, 10.0, 1e6)
+        assert si_curve(t, 1000, 10, 10.0, 1e6) == pytest.approx(500.0, rel=1e-6)
+
+    def test_time_zero_when_already_reached(self):
+        assert si_time_to_fraction(0.005, 1000, 10, 1.0, 1e6) == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            si_time_to_fraction(1.0, 100, 1, 1.0)
+
+
+class TestSimulatorMatchesAnalyticModel:
+    def test_uniform_scanning_follows_logistic(self):
+        # A hit-list worm scanning its whole space uniformly IS the SI
+        # model; the simulator's t50 must match the analytic one.
+        space = CIDRBlock.parse("60.0.0.0/14")  # 2^18 addresses
+        rng = np.random.default_rng(0)
+        hosts = space.random_addresses(2_000, rng)
+        hosts = np.unique(hosts)
+        population = HostPopulation(hosts)
+        worm = HitListWorm(BlockSet([space]))
+        sim = EpidemicSimulator(worm, population)
+        config = SimulationConfig(
+            scan_rate=10.0, max_time=500.0, seed_count=20, stop_at_fraction=0.9
+        )
+        result = sim.run(config, rng)
+        analytic = si_time_to_fraction(
+            0.5, len(hosts), 20, 10.0, address_space=space.size
+        )
+        simulated = result.time_to_fraction(0.5)
+        assert simulated is not None
+        assert simulated == pytest.approx(analytic, rel=0.25)
+
+    def test_halving_density_doubles_time(self):
+        # SI scaling law: t ∝ Ω / N, so half the hosts in the same
+        # space takes about twice as long.
+        space = CIDRBlock.parse("60.0.0.0/15")
+        rng = np.random.default_rng(1)
+        times = {}
+        for count in (500, 1000):
+            hosts = np.unique(space.random_addresses(count, rng))
+            population = HostPopulation(hosts)
+            sim = EpidemicSimulator(HitListWorm(BlockSet([space])), population)
+            config = SimulationConfig(
+                scan_rate=10.0, max_time=3000.0, seed_count=10, stop_at_fraction=0.6
+            )
+            result = sim.run(config, rng)
+            times[count] = result.time_to_fraction(0.5)
+        assert times[500] == pytest.approx(2 * times[1000], rel=0.3)

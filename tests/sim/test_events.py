@@ -1,0 +1,91 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+
+from repro.sim.events import EventKernel
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(3.0, lambda k: fired.append("c"))
+        kernel.schedule(1.0, lambda k: fired.append("a"))
+        kernel.schedule(2.0, lambda k: fired.append("b"))
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+        assert kernel.now == 3.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1.0, lambda k: fired.append(1))
+        kernel.schedule(1.0, lambda k: fired.append(2))
+        kernel.run()
+        assert fired == [1, 2]
+
+    def test_rejects_past_scheduling(self):
+        kernel = EventKernel()
+        with pytest.raises(ValueError):
+            kernel.schedule(-1.0, lambda k: None)
+        kernel.schedule(5.0, lambda k: None)
+        kernel.run()
+        with pytest.raises(ValueError):
+            kernel.schedule_at(1.0, lambda k: None)
+
+    def test_events_can_schedule_events(self):
+        kernel = EventKernel()
+        fired = []
+
+        def chain(k, depth=0):
+            fired.append(k.now)
+            if depth < 3:
+                k.schedule(1.0, lambda k2: chain(k2, depth + 1))
+
+        kernel.schedule(0.0, chain)
+        kernel.run()
+        assert fired == [0.0, 1.0, 2.0, 3.0]
+
+    def test_cancelled_events_skipped(self):
+        kernel = EventKernel()
+        fired = []
+        event = kernel.schedule(1.0, lambda k: fired.append("cancelled"))
+        kernel.schedule(2.0, lambda k: fired.append("kept"))
+        event.cancel()
+        kernel.run()
+        assert fired == ["kept"]
+        assert kernel.events_fired == 1
+
+
+class TestRunBounds:
+    def test_until_stops_clock(self):
+        kernel = EventKernel()
+        fired = []
+        kernel.schedule(1.0, lambda k: fired.append("early"))
+        kernel.schedule(10.0, lambda k: fired.append("late"))
+        kernel.run(until=5.0)
+        assert fired == ["early"]
+        assert kernel.now == 5.0
+        kernel.run()
+        assert fired == ["early", "late"]
+
+    def test_until_advances_clock_with_empty_queue(self):
+        kernel = EventKernel()
+        kernel.run(until=42.0)
+        assert kernel.now == 42.0
+
+    def test_max_events_budget(self):
+        kernel = EventKernel()
+        fired = []
+        for i in range(10):
+            kernel.schedule(float(i), lambda k, i=i: fired.append(i))
+        kernel.run(max_events=3)
+        assert fired == [0, 1, 2]
+        assert kernel.pending == 7
+
+    def test_step_returns_false_when_empty(self):
+        kernel = EventKernel()
+        assert kernel.step() is False
+        kernel.schedule(1.0, lambda k: None)
+        assert kernel.step() is True
+        assert kernel.step() is False

@@ -1,0 +1,69 @@
+"""Property-based invariants of the epidemic simulator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.worms.hitlist import HitListWorm
+
+SPACE = CIDRBlock.parse("77.0.0.0/18")  # 16,384 addresses
+
+
+def build_population(count, seed):
+    rng = np.random.default_rng(seed)
+    low = rng.choice(SPACE.size, size=count, replace=False)
+    return HostPopulation((np.uint32(SPACE.network) + low).astype(np.uint32))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hosts=st.integers(20, 200),
+    seeds=st.integers(1, 10),
+    scan_rate=st.floats(0.5, 30.0),
+    run_seed=st.integers(0, 2**32 - 1),
+)
+def test_conservation_invariants(hosts, seeds, scan_rate, run_seed):
+    seeds = min(seeds, hosts)
+    population = build_population(hosts, seed=1)
+    worm = HitListWorm(BlockSet([SPACE]))
+    simulator = EpidemicSimulator(worm, population)
+    config = SimulationConfig(
+        scan_rate=scan_rate, max_time=60.0, seed_count=seeds
+    )
+    result = simulator.run(config, np.random.default_rng(run_seed))
+
+    # Population conservation: statuses partition the host set.
+    assert (
+        population.num_infected
+        + population.num_vulnerable
+        + population.num_immune
+        == population.size
+    )
+    # Monotone non-decreasing infection counts starting at the seeds.
+    assert result.infected_counts[0] >= seeds
+    assert (np.diff(result.infected_counts) >= 0).all()
+    # Every infection has a timestamp; counts match.
+    assert len(result.infection_times) == result.infected_counts[-1]
+    # Delivered probes cannot exceed emitted probes.
+    assert 0 <= result.delivered_probes <= result.total_probes
+    # Times strictly increase.
+    assert (np.diff(result.times) > 0).all()
+
+
+@settings(max_examples=10, deadline=None)
+@given(run_seed=st.integers(0, 2**16))
+def test_determinism_given_rng_seed(run_seed):
+    def one_run():
+        population = build_population(100, seed=2)
+        worm = HitListWorm(BlockSet([SPACE]))
+        simulator = EpidemicSimulator(worm, population)
+        config = SimulationConfig(scan_rate=5.0, max_time=40.0, seed_count=5)
+        return simulator.run(config, np.random.default_rng(run_seed))
+
+    a, b = one_run(), one_run()
+    assert (a.infected_counts == b.infected_counts).all()
+    assert a.total_probes == b.total_probes

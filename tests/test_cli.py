@@ -1,0 +1,42 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "figure5c" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "figure2" in capsys.readouterr().out
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_override_parsing(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "--set", "seed=7"])
+        assert dict(args.overrides) == {"seed": 7}
+
+    def test_override_requires_equals(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table1", "--set", "seed"])
+
+    def test_string_override_falls_back(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure1", "--set", "block_spec=99.0.0.0/17"])
+        assert dict(args.overrides)["block_spec"] == "99.0.0.0/17"
+
+
+class TestRun:
+    def test_runs_table1(self, capsys):
+        assert main(["table1", "--set", "seed=5"]) == 0
+        out = capsys.readouterr().out
+        assert "scan" in out

@@ -1,0 +1,96 @@
+"""Cross-module property tests on the paper's core invariants.
+
+Fast hypothesis checks tying layers together: environment composition,
+worm/environment interaction, and the Slammer address/state duality.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.environment import NetworkEnvironment
+from repro.env.filtering import FilterRule, FilteringPolicy
+from repro.env.nat import NATDeployment
+from repro.net.cidr import CIDRBlock
+from repro.net.special import is_private, is_routable
+from repro.prng.cycles import cycle_structure
+from repro.worms.slammer import SLAMMER_A, address_to_state, state_to_address
+
+addresses = st.integers(0, 2**32 - 1)
+
+
+@given(st.lists(addresses, min_size=1, max_size=64))
+def test_private_and_routable_are_disjoint(addrs):
+    arr = np.array(addrs, dtype=np.uint32)
+    assert not (is_private(arr) & is_routable(arr)).any()
+
+
+@given(st.lists(addresses, min_size=1, max_size=32), st.integers(0, 2**32 - 1))
+def test_environment_never_delivers_unroutable_specials(targets, source):
+    env = NetworkEnvironment()
+    rng = np.random.default_rng(0)
+    target_arr = np.array(targets, dtype=np.uint32)
+    source_arr = np.full(len(targets), source, dtype=np.uint32)
+    delivered = env.deliverable(source_arr, target_arr, rng)
+    first_octet = target_arr[delivered] >> 24
+    assert not (first_octet == 127).any()
+    assert not (first_octet >= 224).any()
+
+
+@settings(max_examples=30)
+@given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1))
+def test_more_rules_never_deliver_more(source, target):
+    """Adding a DROP rule can only shrink the deliverable set."""
+    rng = np.random.default_rng(1)
+    sources = np.array([source], dtype=np.uint32)
+    targets = np.array([target], dtype=np.uint32)
+    open_env = NetworkEnvironment()
+    closed_env = NetworkEnvironment(
+        policy=FilteringPolicy(
+            [FilterRule("ingress", CIDRBlock.containing(target, 8))]
+        )
+    )
+    open_ok = open_env.deliverable(sources, targets, rng)[0]
+    closed_ok = closed_env.deliverable(sources, targets, rng)[0]
+    assert (not closed_ok) or open_ok
+
+
+@settings(max_examples=30)
+@given(st.lists(addresses, min_size=1, max_size=16, unique=True))
+def test_nat_strictness_ordering(addrs):
+    """The strict realm model never delivers more than the statistical."""
+    private_hosts = np.array(
+        [(192 << 24) | (168 << 16) | (a & 0xFFFF) for a in addrs],
+        dtype=np.uint32,
+    )
+    private_hosts = np.unique(private_hosts)
+    strict = NATDeployment(private_hosts, intra_private_model="strict")
+    statistical = NATDeployment(private_hosts, intra_private_model="statistical")
+    rng = np.random.default_rng(2)
+    sources = rng.choice(private_hosts, size=32)
+    targets = rng.choice(private_hosts, size=32)
+    strict_ok = strict.deliverable(sources, targets)
+    statistical_ok = statistical.deliverable(sources, targets)
+    assert not (strict_ok & ~statistical_ok).any()
+
+
+@given(addresses)
+def test_slammer_state_address_duality(value):
+    """byteswap is an involution, so cycle statistics computed in
+    state space equal those computed in address space."""
+    arr = np.array([value], dtype=np.uint32)
+    assert int(address_to_state(state_to_address(arr))[0]) == value
+    assert int(state_to_address(address_to_state(arr))[0]) == value
+
+
+@settings(max_examples=20)
+@given(st.sampled_from([0x88215000, 0x8831FA24, 0x88336870]), addresses)
+def test_cycle_length_invariant_along_orbit(b, seed):
+    """Every state on an orbit reports the same cycle length."""
+    structure = cycle_structure(SLAMMER_A, b, bits=32)
+    length = structure.cycle_length_of_state(seed)
+    successor = (SLAMMER_A * seed + b) % 2**32
+    assert structure.cycle_length_of_state(successor) == length
+    assert structure.cycle_id_of_state(seed) == structure.cycle_id_of_state(
+        successor
+    )

@@ -1,0 +1,133 @@
+"""Tests for repro.traces.record."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addrs
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.traces.record import ProbeTrace, TraceRecorder
+
+
+@pytest.fixture()
+def recorder_with_data():
+    recorder = TraceRecorder()
+    recorder.record(
+        1.0,
+        parse_addrs(["1.1.1.1", "2.2.2.2"]),
+        parse_addrs(["10.0.0.1", "10.0.1.1"]),
+        worm="codered2",
+    )
+    recorder.record(
+        2.0,
+        parse_addrs(["3.3.3.3"]),
+        parse_addrs(["20.0.0.1"]),
+        worm="slammer",
+    )
+    return recorder
+
+
+class TestTraceRecorder:
+    def test_counts_events(self, recorder_with_data):
+        assert len(recorder_with_data) == 3
+
+    def test_empty_batches_ignored(self):
+        recorder = TraceRecorder()
+        recorder.record(1.0, np.empty(0, dtype=np.uint32), np.empty(0, dtype=np.uint32))
+        assert len(recorder) == 0
+
+    def test_misaligned_batch_rejected(self):
+        recorder = TraceRecorder()
+        with pytest.raises(ValueError):
+            recorder.record(
+                1.0,
+                np.array([1], dtype=np.uint32),
+                np.array([1, 2], dtype=np.uint32),
+            )
+
+    def test_finish_empty(self):
+        trace = TraceRecorder().finish()
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+    def test_finish_assembles_columns(self, recorder_with_data):
+        trace = recorder_with_data.finish()
+        assert len(trace) == 3
+        assert list(trace.times) == [1.0, 1.0, 2.0]
+        assert trace.worm_names == ("codered2", "slammer")
+        assert list(trace.worm_ids) == [0, 0, 1]
+
+    def test_worm_name_table_deduplicates(self):
+        recorder = TraceRecorder()
+        for _ in range(3):
+            recorder.record(
+                0.0,
+                np.array([1], dtype=np.uint32),
+                np.array([2], dtype=np.uint32),
+                worm="blaster",
+            )
+        assert recorder.finish().worm_names == ("blaster",)
+
+
+class TestProbeTrace:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeTrace(
+                times=np.zeros(2),
+                sources=np.zeros(1, dtype=np.uint32),
+                targets=np.zeros(2, dtype=np.uint32),
+                worm_ids=np.zeros(2, dtype=np.int16),
+                worm_names=("x",),
+            )
+        with pytest.raises(ValueError):
+            ProbeTrace(
+                times=np.zeros(1),
+                sources=np.zeros(1, dtype=np.uint32),
+                targets=np.zeros(1, dtype=np.uint32),
+                worm_ids=np.array([3], dtype=np.int16),
+                worm_names=("x",),
+            )
+
+    def test_between(self, recorder_with_data):
+        trace = recorder_with_data.finish()
+        early = trace.between(0.0, 1.5)
+        assert len(early) == 2
+
+    def test_to_block(self, recorder_with_data):
+        trace = recorder_with_data.finish()
+        filtered = trace.to_block(CIDRBlock.parse("10.0.0.0/8"))
+        assert len(filtered) == 2
+        filtered_set = trace.to_block(BlockSet.parse(["20.0.0.0/8"]))
+        assert len(filtered_set) == 1
+
+    def test_from_block(self, recorder_with_data):
+        trace = recorder_with_data.finish()
+        assert len(trace.from_block(CIDRBlock.parse("3.0.0.0/8"))) == 1
+
+    def test_for_worm(self, recorder_with_data):
+        trace = recorder_with_data.finish()
+        assert len(trace.for_worm("codered2")) == 2
+        with pytest.raises(KeyError):
+            trace.for_worm("nimda")
+
+    def test_unique_sources(self, recorder_with_data):
+        trace = recorder_with_data.finish()
+        assert len(trace.unique_sources()) == 3
+
+    def test_targets_by_slash24(self, recorder_with_data):
+        trace = recorder_with_data.finish()
+        prefixes, counts = trace.targets_by_slash24()
+        assert counts.sum() == 3
+        assert len(prefixes) == 3
+
+    def test_duration(self, recorder_with_data):
+        assert recorder_with_data.finish().duration == 1.0
+
+    def test_save_load_roundtrip(self, recorder_with_data, tmp_path):
+        trace = recorder_with_data.finish()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = ProbeTrace.load(path)
+        assert len(loaded) == len(trace)
+        assert (loaded.targets == trace.targets).all()
+        assert loaded.worm_names == trace.worm_names
+        assert (loaded.worm_ids == trace.worm_ids).all()

@@ -1,0 +1,66 @@
+"""Tests for repro.worms.base."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.worms.base import WormState, uniform_random_addresses
+from repro.worms.uniform import UniformScanWorm
+
+
+class TestWormState:
+    def test_starts_empty(self):
+        state = WormState()
+        assert state.num_hosts == 0
+        assert len(state.addresses()) == 0
+
+    def test_append_preserves_order(self):
+        state = WormState()
+        state._append_addresses(np.array([5, 1], dtype=np.uint32))
+        state._append_addresses(np.array([9], dtype=np.uint32))
+        assert list(state.addresses()) == [5, 1, 9]
+
+    def test_addresses_dtype(self):
+        state = WormState()
+        state._append_addresses(np.array([2**32 - 1], dtype=np.uint32))
+        assert state.addresses().dtype == np.uint32
+
+
+class TestUniformRandomAddresses:
+    def test_dtype_and_shape(self):
+        out = uniform_random_addresses(1000, np.random.default_rng(0))
+        assert out.dtype == np.uint32
+        assert out.shape == (1000,)
+
+    def test_covers_full_range(self):
+        out = uniform_random_addresses(100_000, np.random.default_rng(1))
+        assert out.min() < 2**28
+        assert out.max() > 2**32 - 2**28
+
+    def test_zero_count(self):
+        assert len(uniform_random_addresses(0, np.random.default_rng(0))) == 0
+
+
+class TestSingleHostHarness:
+    def test_matches_batch_row(self):
+        worm = UniformScanWorm()
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        single = worm.single_host_targets(7, 50, rng_a)
+        state = worm.new_state()
+        worm.add_hosts(state, np.array([7], dtype=np.uint32), rng_b)
+        batch = worm.generate(state, 50, rng_b)[0]
+        assert (single == batch).all()
+
+
+@settings(max_examples=20)
+@given(st.integers(1, 64), st.integers(1, 32))
+def test_generate_shape_property(num_hosts, scans):
+    worm = UniformScanWorm()
+    state = worm.new_state()
+    rng = np.random.default_rng(0)
+    worm.add_hosts(state, np.arange(num_hosts, dtype=np.uint32), rng)
+    targets = worm.generate(state, scans, rng)
+    assert targets.shape == (num_hosts, scans)
+    assert targets.dtype == np.uint32

@@ -1,0 +1,139 @@
+"""Tests for repro.worms.blaster."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import format_addr, parse_addr
+from repro.prng.entropy import BootTimeModel
+from repro.prng.msrand import MSRand
+from repro.worms.blaster import (
+    BlasterWorm,
+    blaster_start_for_seed,
+    blaster_starts_for_seeds,
+)
+
+
+class TestSeedToStartMapping:
+    def test_matches_scalar_msrand(self):
+        # Reimplement the mapping with the scalar CRT rand() and check
+        # the vectorized version agrees.
+        seed = 30_000
+        rng = MSRand(seed=seed)
+        decision_local = (rng.rand() % 10) < 4
+        a = rng.rand() % 254 + 1
+        b = rng.rand() % 254
+        c = rng.rand() % 254
+        start, is_local = blaster_start_for_seed(seed, source=0)
+        assert is_local == decision_local
+        if not is_local:
+            assert start == (a << 24) | (b << 16) | (c << 8)
+
+    def test_deterministic(self):
+        assert blaster_start_for_seed(1234) == blaster_start_for_seed(1234)
+
+    def test_random_start_has_zero_d_octet(self):
+        seeds = np.arange(1_000, 2_000, dtype=np.uint64)
+        starts, is_local = blaster_starts_for_seeds(seeds)
+        assert (starts[~is_local] & 0xFF == 0).all()
+
+    def test_random_start_first_octet_in_range(self):
+        seeds = np.arange(0, 50_000, 17, dtype=np.uint64)
+        starts, is_local = blaster_starts_for_seeds(seeds)
+        first = starts[~is_local] >> 24
+        assert first.min() >= 1
+        assert first.max() <= 254
+
+    def test_local_fraction_about_40_percent(self):
+        seeds = np.arange(0, 200_000, dtype=np.uint64)
+        _, is_local = blaster_starts_for_seeds(seeds)
+        assert is_local.mean() == pytest.approx(0.4, abs=0.02)
+
+    def test_local_start_keeps_own_slash16(self):
+        source = parse_addr("141.212.55.99")
+        seeds = np.arange(0, 10_000, dtype=np.uint64)
+        sources = np.full(len(seeds), source, dtype=np.uint32)
+        starts, is_local = blaster_starts_for_seeds(seeds, sources)
+        local_starts = starts[is_local]
+        assert ((local_starts >> 16) == (source >> 16)).all()
+
+    def test_local_start_backs_off_c_octet(self):
+        source = parse_addr("141.212.55.99")  # own C octet 55 > 20
+        seeds = np.arange(0, 20_000, dtype=np.uint64)
+        sources = np.full(len(seeds), source, dtype=np.uint32)
+        starts, is_local = blaster_starts_for_seeds(seeds, sources)
+        c_octets = (starts[is_local] >> 8) & 0xFF
+        assert (c_octets <= 55).all()
+        assert (c_octets > 55 - 20).all()
+
+    def test_small_c_octet_not_reduced(self):
+        source = parse_addr("141.212.5.99")  # own C octet 5 <= 20
+        starts, is_local = blaster_starts_for_seeds(
+            np.arange(0, 10_000, dtype=np.uint64),
+            np.full(10_000, source, dtype=np.uint32),
+        )
+        c_octets = (starts[is_local] >> 8) & 0xFF
+        assert (c_octets == 5).all()
+
+    def test_narrow_seed_window_gives_clustered_starts(self):
+        # The Figure 1 mechanism: millions of hosts share the few
+        # thousand seeds in the boot window, so the population's start
+        # /24s collapse onto a small repeated set, while uniformly
+        # seeded hosts get fresh start /24s each.
+        rng = np.random.default_rng(0)
+        model = BootTimeModel()
+        boot_seeds = model.sample_seeds(50_000, rng).astype(np.uint64)
+        starts_b, local_b = blaster_starts_for_seeds(boot_seeds)
+        clustered = len(np.unique(starts_b[~local_b] >> 8))
+        uniform_seeds = rng.integers(0, 2**32, size=50_000, dtype=np.uint64)
+        starts_u, local_u = blaster_starts_for_seeds(uniform_seeds)
+        spread = len(np.unique(starts_u[~local_u] >> 8))
+        assert clustered < spread / 3
+
+
+class TestBlasterWorm:
+    def test_sequential_scanning(self):
+        worm = BlasterWorm()
+        targets = worm.single_host_targets(
+            parse_addr("10.0.0.1"), 100, np.random.default_rng(0)
+        )
+        diffs = np.diff(targets.astype(np.int64)) % 2**32
+        assert (diffs == 1).all()
+
+    def test_cursor_persists_across_calls(self):
+        worm = BlasterWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(0)
+        worm.add_hosts(state, np.array([parse_addr("10.0.0.1")], dtype=np.uint32), rng)
+        first = worm.generate(state, 10, rng)[0]
+        second = worm.generate(state, 10, rng)[0]
+        assert second[0] == (int(first[-1]) + 1) % 2**32
+
+    def test_start_recorded_per_host(self):
+        worm = BlasterWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(1)
+        worm.add_hosts(state, np.full(100, parse_addr("10.0.0.1"), dtype=np.uint32), rng)
+        assert len(state.seeds) == 100
+        assert len(state.started_local) == 100
+        assert 0.2 < state.started_local.mean() < 0.6
+
+    def test_boot_model_restricts_seed_range(self):
+        model = BootTimeModel()
+        worm = BlasterWorm(boot_model=model)
+        state = worm.new_state()
+        worm.add_hosts(
+            state,
+            np.zeros(1_000, dtype=np.uint32),
+            np.random.default_rng(2),
+        )
+        low, high = model.seed_probability_window()
+        assert ((state.seeds >= low) & (state.seeds <= high)).mean() > 0.99
+
+    def test_wraps_around_address_space(self):
+        worm = BlasterWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(3)
+        worm.add_hosts(state, np.array([1], dtype=np.uint32), rng)
+        state.cursors[0] = 2**32 - 2
+        targets = worm.generate(state, 4, rng)[0]
+        assert list(targets) == [2**32 - 2, 2**32 - 1, 0, 1]

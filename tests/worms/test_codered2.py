@@ -1,0 +1,117 @@
+"""Tests for repro.worms.codered2."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addr
+from repro.worms.codered2 import P_RANDOM, P_SAME_8, P_SAME_16, CodeRedIIWorm
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    worm = CodeRedIIWorm()
+    source = parse_addr("141.212.5.5")
+    targets = worm.single_host_targets(source, 300_000, np.random.default_rng(0))
+    return source, targets
+
+
+class TestCodeRedIIProbabilities:
+    def test_constants_match_disassembly(self):
+        assert P_SAME_8 == 0.5
+        assert P_SAME_16 == 0.375
+        assert P_RANDOM == 0.125
+        assert P_SAME_8 + P_SAME_16 + P_RANDOM == 1.0
+
+    def test_same_16_fraction(self, big_trace):
+        source, targets = big_trace
+        frac = ((targets >> 16) == (source >> 16)).mean()
+        assert frac == pytest.approx(P_SAME_16, abs=0.01)
+
+    def test_same_8_fraction(self, big_trace):
+        # /8 matches come from both the /8 and /16 branches.  The
+        # random branch loses ~13% of its draws to the loopback /
+        # multicast redraw, so conditioned on an emitted probe the
+        # local fraction is slightly above 0.875:
+        # (0.875) / (0.875 + 0.125 * 222/256) ≈ 0.8898.
+        source, targets = big_trace
+        frac = ((targets >> 24) == (source >> 24)).mean()
+        expected = 0.875 / (0.875 + 0.125 * 222 / 256)
+        assert frac == pytest.approx(expected, abs=0.01)
+
+    def test_random_fraction_only_12_5_percent(self, big_trace):
+        # "a completely random target address is chosen only 12.5% of
+        # the time" — the branch probability.  Measured on emitted
+        # probes (after redraws of excluded targets) the fraction that
+        # leave the source /8 is 0.125 * (222/256) / normalizer.
+        source, targets = big_trace
+        outside = ((targets >> 24) != (source >> 24)).mean()
+        expected = (0.125 * 222 / 256) / (0.875 + 0.125 * 222 / 256)
+        assert outside == pytest.approx(expected, abs=0.01)
+
+
+class TestCodeRedIIExclusions:
+    def test_never_targets_loopback(self, big_trace):
+        _, targets = big_trace
+        assert not ((targets >> 24) == 127).any()
+
+    def test_never_targets_multicast_or_class_e(self, big_trace):
+        _, targets = big_trace
+        assert not ((targets >> 24) >= 224).any()
+
+    def test_never_targets_own_address(self, big_trace):
+        source, targets = big_trace
+        assert not (targets == source).any()
+
+    def test_loopback_source_excludes_own_space_safely(self):
+        # A source inside an excluded /8 would redraw its local-pref
+        # probes; ensure generation still terminates and emits no
+        # loopback targets.
+        worm = CodeRedIIWorm()
+        targets = worm.single_host_targets(
+            parse_addr("127.0.0.1"), 5_000, np.random.default_rng(1)
+        )
+        assert not ((targets >> 24) == 127).any()
+
+
+class TestNATLeak:
+    def test_private_source_leaks_to_192_8(self):
+        # The Figure 4 mechanism: a host NATed at 192.168.0.100
+        # prefers 192/8 and its probes leak all over the real 192/8.
+        worm = CodeRedIIWorm()
+        targets = worm.single_host_targets(
+            parse_addr("192.168.0.100"), 100_000, np.random.default_rng(2)
+        )
+        in_192 = (targets >> 24) == 192
+        in_192_168 = (targets >> 16) == ((192 << 8) | 168)
+        leaked = in_192 & ~in_192_168
+        # Half the probes stay in 192/8 via the /8 branch, and almost
+        # all of those land outside 192.168/16 (255/256 of the /16s).
+        assert leaked.mean() > 0.45
+
+    def test_public_source_rarely_hits_192_8(self):
+        worm = CodeRedIIWorm()
+        targets = worm.single_host_targets(
+            parse_addr("8.8.8.8"), 100_000, np.random.default_rng(3)
+        )
+        assert ((targets >> 24) == 192).mean() < 0.005
+
+
+class TestBatchGeneration:
+    def test_shape(self):
+        worm = CodeRedIIWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(0)
+        worm.add_hosts(state, np.array([1, 2, 3, 4], dtype=np.uint32), rng)
+        assert worm.generate(state, 9, rng).shape == (4, 9)
+
+    def test_rows_track_sources(self):
+        worm = CodeRedIIWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(1)
+        sources = np.array(
+            [parse_addr("10.0.0.1"), parse_addr("20.0.0.1")], dtype=np.uint32
+        )
+        worm.add_hosts(state, sources, rng)
+        targets = worm.generate(state, 2_000, rng)
+        assert ((targets[0] >> 24) == 10).mean() > 0.8
+        assert ((targets[1] >> 24) == 20).mean() > 0.8

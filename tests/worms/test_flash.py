@@ -1,0 +1,116 @@
+"""Tests for repro.worms.flash."""
+
+import numpy as np
+import pytest
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.sim.engine import EpidemicSimulator, SimulationConfig
+from repro.worms.flash import (
+    FlashWorm,
+    flash_infection_times,
+    flash_time_to_full_infection,
+)
+
+
+SPACE = CIDRBlock.parse("60.0.0.0/16")
+
+
+def target_list(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.unique(SPACE.random_addresses(count * 2, rng))[:count]
+
+
+class TestConstruction:
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            FlashWorm(np.empty(0, dtype=np.uint32))
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            FlashWorm(np.array([1], dtype=np.uint32), fanout=0)
+
+
+class TestSpreadTree:
+    def test_seed_probes_its_first_children(self):
+        targets = target_list(100)
+        worm = FlashWorm(targets, fanout=5)
+        state = worm.new_state()
+        rng = np.random.default_rng(0)
+        worm.add_hosts(state, targets[:1], rng)
+        probes = worm.generate(state, 5, rng)[0]
+        # The seed skips its own address and probes the next five.
+        assert list(probes) == list(targets[1:6])
+
+    def test_children_receive_disjoint_slices(self):
+        targets = target_list(101)
+        worm = FlashWorm(targets, fanout=4)
+        state = worm.new_state()
+        rng = np.random.default_rng(1)
+        worm.add_hosts(state, targets[:1], rng)
+        children = worm.generate(state, 4, rng)[0]
+        # Infect the children and collect their onward probes.
+        worm.add_hosts(state, children, rng)
+        onward = worm.generate(state, 4, rng)[1:]
+        flat = onward[onward != 0]
+        assert len(np.unique(flat)) == len(flat)  # no duplicated work
+
+    def test_every_host_infected_via_engine(self):
+        targets = target_list(300)
+        worm = FlashWorm(targets, fanout=10)
+        population = HostPopulation(targets)
+        simulator = EpidemicSimulator(worm, population)
+        config = SimulationConfig(
+            scan_rate=10.0, max_time=60.0, seed_count=1
+        )
+        result = simulator.run(
+            config, np.random.default_rng(2), seed_addrs=targets[:1]
+        )
+        assert result.final_fraction_infected == 1.0
+
+    def test_flash_beats_scanning_dramatically(self):
+        from repro.worms.hitlist import HitListWorm
+
+        targets = target_list(300, seed=3)
+        population_flash = HostPopulation(targets)
+        flash = EpidemicSimulator(FlashWorm(targets, fanout=10), population_flash)
+        config = SimulationConfig(scan_rate=10.0, max_time=400.0, seed_count=1)
+        flash_result = flash.run(
+            config, np.random.default_rng(4), seed_addrs=targets[:1]
+        )
+        population_scan = HostPopulation(targets)
+        scanner = EpidemicSimulator(
+            HitListWorm(BlockSet([SPACE])), population_scan
+        )
+        scan_result = scanner.run(
+            config, np.random.default_rng(4), seed_addrs=targets[:1]
+        )
+        flash_t90 = flash_result.time_to_fraction(0.9)
+        scan_t90 = scan_result.time_to_fraction(0.9)
+        assert flash_t90 is not None
+        assert scan_t90 is None or flash_t90 < scan_t90 / 5
+
+
+class TestClosedForm:
+    def test_generation_schedule(self):
+        times = flash_infection_times(population=111, fanout=10, hop_latency=0.5)
+        assert len(times) == 111
+        assert times[0] == 0.0
+        # 1 + 10 + 100 covers 111: max generation 2.
+        assert times.max() == 1.0
+
+    def test_full_infection_time(self):
+        assert flash_time_to_full_infection(1_000_000, 10, 0.5) == pytest.approx(
+            3.0
+        )
+        assert flash_time_to_full_infection(1, 10, 0.5) == 0.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            flash_infection_times(0, 10, 0.5)
+        with pytest.raises(ValueError):
+            flash_infection_times(10, 10, 0.0)
+
+    def test_schedule_matches_closed_form_total(self):
+        times = flash_infection_times(10_000, 10, 1.0)
+        assert times.max() == flash_time_to_full_infection(10_000, 10, 1.0)

@@ -1,0 +1,95 @@
+"""Tests for repro.worms.hitlist."""
+
+import numpy as np
+import pytest
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.worms.hitlist import (
+    HitListWorm,
+    build_greedy_hitlist,
+    hitlist_from_prefix_specs,
+)
+
+
+class TestHitListWorm:
+    def test_targets_stay_inside_hitlist(self):
+        hitlist = BlockSet.parse(["10.0.0.0/8", "141.212.0.0/16"])
+        worm = HitListWorm(hitlist)
+        targets = worm.single_host_targets(0, 10_000, np.random.default_rng(0))
+        assert hitlist.contains_array(targets).all()
+
+    def test_accepts_block_iterable(self):
+        worm = HitListWorm([CIDRBlock.parse("10.0.0.0/8")])
+        assert len(worm.hitlist) == 1
+
+    def test_rejects_empty_hitlist(self):
+        with pytest.raises(ValueError):
+            HitListWorm(BlockSet())
+
+    def test_covers_all_prefixes(self):
+        hitlist = BlockSet.parse(["10.0.0.0/16", "20.0.0.0/16", "30.0.0.0/16"])
+        worm = HitListWorm(hitlist)
+        targets = worm.single_host_targets(0, 30_000, np.random.default_rng(1))
+        octets = np.unique(targets >> 24)
+        assert set(octets) == {10, 20, 30}
+
+    def test_uniform_within_hitlist(self):
+        hitlist = BlockSet.parse(["10.0.0.0/16", "20.0.0.0/16"])
+        worm = HitListWorm(hitlist)
+        targets = worm.single_host_targets(0, 100_000, np.random.default_rng(2))
+        frac_10 = ((targets >> 24) == 10).mean()
+        assert frac_10 == pytest.approx(0.5, abs=0.02)
+
+    def test_name_reports_prefix_count(self):
+        worm = HitListWorm(BlockSet.parse(["10.0.0.0/8", "11.0.0.0/8"]))
+        assert "2" in worm.name
+
+
+class TestGreedyHitlist:
+    @pytest.fixture()
+    def clustered_population(self):
+        rng = np.random.default_rng(0)
+        return np.concatenate(
+            [
+                CIDRBlock.parse("10.1.0.0/16").random_addresses(700, rng),
+                CIDRBlock.parse("20.2.0.0/16").random_addresses(200, rng),
+                CIDRBlock.parse("30.3.0.0/16").random_addresses(100, rng),
+            ]
+        )
+
+    def test_top_prefix_is_densest(self, clustered_population):
+        hitlist, coverage = build_greedy_hitlist(clustered_population, 1)
+        assert coverage == pytest.approx(0.7)
+        block = hitlist.blocks[0]
+        assert block == CIDRBlock.parse("10.1.0.0/16")
+
+    def test_coverage_monotone_in_size(self, clustered_population):
+        coverages = [
+            build_greedy_hitlist(clustered_population, n)[1] for n in (1, 2, 3)
+        ]
+        assert coverages == sorted(coverages)
+        assert coverages[-1] == pytest.approx(1.0)
+
+    def test_more_prefixes_than_populated_blocks(self, clustered_population):
+        hitlist, coverage = build_greedy_hitlist(clustered_population, 50)
+        assert len(hitlist) == 3
+        assert coverage == pytest.approx(1.0)
+
+    def test_other_prefix_lengths(self, clustered_population):
+        hitlist, coverage = build_greedy_hitlist(
+            clustered_population, 1, prefix_len=8
+        )
+        assert hitlist.blocks[0] == CIDRBlock.parse("10.0.0.0/8")
+        assert coverage == pytest.approx(0.7)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            build_greedy_hitlist(np.array([], dtype=np.uint32), 1)
+        with pytest.raises(ValueError):
+            build_greedy_hitlist(np.array([1], dtype=np.uint32), 0)
+
+
+class TestPrefixSpecs:
+    def test_parse_specs(self):
+        bs = hitlist_from_prefix_specs(["192.168.0.0/16", "10.0.0.0/8"])
+        assert len(bs) == 2

@@ -1,0 +1,55 @@
+"""Tests for the hit-list-confined CodeRedII worm (Figure 5 threat)."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addr
+from repro.net.cidr import BlockSet
+from repro.worms.hitlist import HitListCodeRedIIWorm
+
+
+@pytest.fixture()
+def worm():
+    return HitListCodeRedIIWorm(
+        BlockSet.parse(["60.5.0.0/16", "60.9.0.0/16", "70.1.0.0/16"])
+    )
+
+
+class TestHitListCodeRedIIWorm:
+    def test_rejects_empty_hitlist(self):
+        with pytest.raises(ValueError):
+            HitListCodeRedIIWorm(BlockSet())
+
+    def test_never_leaves_hitlist(self, worm):
+        source = parse_addr("60.5.7.7")
+        targets = worm.single_host_targets(source, 50_000, np.random.default_rng(0))
+        assert worm.hitlist.contains_array(targets).all()
+
+    def test_keeps_local_preference_within_list(self, worm):
+        # The /16 branch survives the confinement: the host's own /16
+        # is in the list, so ~3/8 of probes stay there.
+        source = parse_addr("60.5.7.7")
+        targets = worm.single_host_targets(source, 100_000, np.random.default_rng(1))
+        same_16 = ((targets >> 16) == (source >> 16)).mean()
+        assert same_16 > 0.3
+
+    def test_redirected_probes_spread_over_list(self, worm):
+        # Probes that would have left the list (e.g. /8 branch into
+        # 60.x outside the two listed /16s) come back uniformly, so
+        # the third /16 still receives traffic from a 60.x source.
+        source = parse_addr("60.5.7.7")
+        targets = worm.single_host_targets(source, 100_000, np.random.default_rng(2))
+        assert ((targets >> 16) == (70 << 8 | 1)).any()
+
+    def test_name_mentions_prefix_count(self, worm):
+        assert "3 prefixes" in worm.name
+
+    def test_batch_rows_confined(self, worm):
+        state = worm.new_state()
+        rng = np.random.default_rng(3)
+        sources = np.array(
+            [parse_addr("60.5.0.1"), parse_addr("70.1.0.1")], dtype=np.uint32
+        )
+        worm.add_hosts(state, sources, rng)
+        targets = worm.generate(state, 2_000, rng)
+        assert worm.hitlist.contains_array(targets).all()

@@ -1,0 +1,67 @@
+"""Tests for repro.worms.localpref."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addr
+from repro.worms.localpref import LocalPreferenceWorm
+
+
+class TestLocalPreferenceWorm:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            LocalPreferenceWorm(0.8, 0.3)
+        with pytest.raises(ValueError):
+            LocalPreferenceWorm(-0.1, 0.5)
+
+    def test_pure_random_when_zero_preference(self):
+        worm = LocalPreferenceWorm(0.0, 0.0)
+        source = parse_addr("10.0.0.1")
+        targets = worm.single_host_targets(source, 50_000, np.random.default_rng(0))
+        same_8 = ((targets >> 24) == 10).mean()
+        assert same_8 < 0.02
+
+    def test_full_same_16_preference(self):
+        worm = LocalPreferenceWorm(0.0, 1.0)
+        source = parse_addr("141.212.0.1")
+        targets = worm.single_host_targets(source, 1000, np.random.default_rng(0))
+        assert ((targets >> 16) == (source >> 16)).all()
+
+    def test_full_same_8_preference(self):
+        worm = LocalPreferenceWorm(1.0, 0.0)
+        source = parse_addr("141.212.0.1")
+        targets = worm.single_host_targets(source, 1000, np.random.default_rng(0))
+        assert ((targets >> 24) == 141).all()
+
+    def test_mixed_preference_fractions(self):
+        worm = LocalPreferenceWorm(0.5, 0.25)
+        source = parse_addr("141.212.0.1")
+        targets = worm.single_host_targets(source, 100_000, np.random.default_rng(2))
+        frac_16 = ((targets >> 16) == (source >> 16)).mean()
+        frac_8 = ((targets >> 24) == 141).mean()
+        # /16 hits come from the 25% same-16 branch (plus negligible
+        # random collisions); /8 hits from same-8 + same-16 branches.
+        assert frac_16 == pytest.approx(0.25, abs=0.02)
+        assert frac_8 == pytest.approx(0.75, abs=0.02)
+
+    def test_low_octets_randomized(self):
+        worm = LocalPreferenceWorm(0.0, 1.0)
+        source = parse_addr("141.212.7.7")
+        targets = worm.single_host_targets(source, 10_000, np.random.default_rng(3))
+        low = targets & 0xFFFF
+        assert len(np.unique(low)) > 5_000
+
+    def test_per_host_rows_use_own_source(self):
+        worm = LocalPreferenceWorm(0.0, 1.0)
+        state = worm.new_state()
+        rng = np.random.default_rng(4)
+        sources = np.array(
+            [parse_addr("10.1.0.0"), parse_addr("20.2.0.0")], dtype=np.uint32
+        )
+        worm.add_hosts(state, sources, rng)
+        targets = worm.generate(state, 100, rng)
+        assert ((targets[0] >> 16) == (sources[0] >> 16)).all()
+        assert ((targets[1] >> 16) == (sources[1] >> 16)).all()
+
+    def test_name_describes_parameters(self):
+        assert "0.5" in LocalPreferenceWorm(0.5, 0.25).name

@@ -1,0 +1,40 @@
+"""Tests for repro.worms.nimda."""
+
+import numpy as np
+import pytest
+
+from repro.net.address import parse_addr
+from repro.worms.nimda import P_RANDOM, P_SAME_8, P_SAME_16, NimdaWorm
+
+
+class TestNimdaWorm:
+    def test_documented_mix(self):
+        assert P_SAME_16 == 0.5
+        assert P_SAME_8 == 0.25
+        assert P_RANDOM == 0.25
+        assert P_SAME_16 + P_SAME_8 + P_RANDOM == 1.0
+
+    def test_measured_fractions(self):
+        worm = NimdaWorm()
+        source = parse_addr("141.212.7.7")
+        targets = worm.single_host_targets(source, 100_000, np.random.default_rng(0))
+        frac_16 = ((targets >> 16) == (source >> 16)).mean()
+        frac_8 = ((targets >> 24) == (source >> 24)).mean()
+        assert frac_16 == pytest.approx(0.5, abs=0.01)
+        assert frac_8 == pytest.approx(0.75, abs=0.01)
+
+    def test_tighter_than_codered2(self):
+        # Nimda concentrates on the /16 where CRII concentrates on the
+        # /8 — its hotspots form closer to the infected host.
+        from repro.worms.codered2 import CodeRedIIWorm
+
+        source = parse_addr("141.212.7.7")
+        rng = np.random.default_rng(1)
+        nimda = NimdaWorm().single_host_targets(source, 50_000, rng)
+        crii = CodeRedIIWorm().single_host_targets(source, 50_000, rng)
+        nimda_16 = ((nimda >> 16) == (source >> 16)).mean()
+        crii_16 = ((crii >> 16) == (source >> 16)).mean()
+        assert nimda_16 > crii_16
+
+    def test_name(self):
+        assert NimdaWorm().name == "nimda"

@@ -1,0 +1,127 @@
+"""Tests for repro.worms.slammer."""
+
+import numpy as np
+import pytest
+
+from repro.prng.cycles import cycle_structure
+from repro.worms.slammer import (
+    SLAMMER_A,
+    SLAMMER_B_VALUES,
+    SLAMMER_INTENDED_B,
+    SQLSORT_IAT_VALUES,
+    SlammerWorm,
+    address_to_state,
+    state_to_address,
+)
+
+
+class TestBValues:
+    def test_three_dll_versions(self):
+        assert len(SLAMMER_B_VALUES) == 3
+
+    def test_paper_reported_value_present(self):
+        # The paper explicitly lists 0x8831fa24 among the possible b's.
+        assert 0x8831FA24 in SLAMMER_B_VALUES
+
+    def test_derived_from_iat_entries(self):
+        for b, iat in zip(SLAMMER_B_VALUES, SQLSORT_IAT_VALUES):
+            assert b == (SLAMMER_INTENDED_B ^ iat) & 0xFFFFFFFF
+
+    def test_each_b_yields_64_cycles(self):
+        # "We find that there are 64 cycles for each b value".
+        for b in SLAMMER_B_VALUES:
+            assert cycle_structure(SLAMMER_A, b, bits=32).total_cycles == 64
+
+
+class TestByteOrder:
+    def test_byteswap_involution(self):
+        addrs = np.array([0x01020304, 0, 0xFFFFFFFF, 0xDEADBEEF], dtype=np.uint32)
+        assert (address_to_state(state_to_address(addrs)) == addrs).all()
+
+    def test_state_low_byte_becomes_first_octet(self):
+        state = np.array([0x04030201], dtype=np.uint32)
+        addr = int(state_to_address(state)[0])
+        assert addr >> 24 == 0x01
+
+    def test_destination_slash24_pins_cycle_length(self):
+        # The block-level hotspot mechanism: all addresses in a
+        # destination /24 map to states sharing their low 24 bits, so
+        # (almost) the whole /24 lies on cycles of one length.
+        structure = cycle_structure(SLAMMER_A, 0x8831FA24, bits=32)
+        base = 0x8D0A0500  # 141.10.5.0/24
+        addrs = (np.uint32(base) + np.arange(256, dtype=np.uint32)).astype(np.uint32)
+        states = address_to_state(addrs)
+        lengths = structure.cycle_lengths_of_states(states)
+        values, counts = np.unique(lengths, return_counts=True)
+        assert counts.max() >= 255  # at most one exceptional address
+
+
+class TestSlammerWorm:
+    def test_targets_follow_lcg_recurrence(self):
+        worm = SlammerWorm(b_values=[0x8831FA24], seed_mode="address")
+        seed = 123456
+        targets = worm.single_host_targets(seed, 10, np.random.default_rng(0))
+        state = seed
+        for target in targets:
+            state = (SLAMMER_A * state + 0x8831FA24) % 2**32
+            expected = int(state_to_address(np.array([state], dtype=np.uint32))[0])
+            assert target == expected
+
+    def test_state_persists_across_generate_calls(self):
+        worm = SlammerWorm(b_values=[0x8831FA24], seed_mode="address")
+        state = worm.new_state()
+        rng = np.random.default_rng(0)
+        worm.add_hosts(state, np.array([7], dtype=np.uint32), rng)
+        first = worm.generate(state, 5, rng)[0]
+        second = worm.generate(state, 5, rng)[0]
+        reference = worm.single_host_targets(7, 10, np.random.default_rng(0))
+        assert list(np.concatenate([first, second])) == list(reference)
+
+    def test_host_stuck_in_short_cycle_repeats_targets(self):
+        # Find a short-cycle member and confirm the scan stream loops
+        # over a handful of addresses — the "targeted DoS" behaviour.
+        structure = cycle_structure(SLAMMER_A, 0x8831FA24, bits=32)
+        short = next(
+            info for info in structure.cycles if 1 < info.length <= 64
+        )
+        worm = SlammerWorm(b_values=[0x8831FA24], seed_mode="address")
+        targets = worm.single_host_targets(
+            short.representative, short.length * 3, np.random.default_rng(0)
+        )
+        assert len(np.unique(targets)) == short.length
+
+    def test_random_seed_mode_differs_across_hosts(self):
+        worm = SlammerWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(1)
+        worm.add_hosts(state, np.zeros(50, dtype=np.uint32), rng)
+        targets = worm.generate(state, 1, rng)[:, 0]
+        assert len(np.unique(targets)) > 40
+
+    def test_b_choice_spread_over_versions(self):
+        worm = SlammerWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(2)
+        worm.add_hosts(state, np.zeros(3_000, dtype=np.uint32), rng)
+        values, counts = np.unique(state.b_values, return_counts=True)
+        assert len(values) == 3
+        assert counts.min() > 800
+
+    def test_rejects_empty_b_values(self):
+        with pytest.raises(ValueError):
+            SlammerWorm(b_values=[])
+
+    def test_rejects_unknown_seed_mode(self):
+        with pytest.raises(ValueError):
+            SlammerWorm(seed_mode="bogus")
+
+    def test_aggregate_bias_toward_long_cycles(self):
+        # Random seeds land in cycles proportionally to cycle length,
+        # so almost all hosts end up on the two 2^30 cycles.
+        structure = cycle_structure(SLAMMER_A, 0x8831FA24, bits=32)
+        worm = SlammerWorm(b_values=[0x8831FA24])
+        state = worm.new_state()
+        rng = np.random.default_rng(3)
+        worm.add_hosts(state, np.zeros(2_000, dtype=np.uint32), rng)
+        lengths = structure.cycle_lengths_of_states(state.lcg_states)
+        assert (lengths >= 2**29).mean() > 0.7

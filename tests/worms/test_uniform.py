@@ -1,0 +1,44 @@
+"""Tests for repro.worms.uniform."""
+
+import numpy as np
+
+from repro.worms.uniform import UniformScanWorm
+
+
+class TestUniformScanWorm:
+    def test_target_shape_and_dtype(self):
+        worm = UniformScanWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(0)
+        worm.add_hosts(state, np.array([1, 2, 3], dtype=np.uint32), rng)
+        targets = worm.generate(state, 7, rng)
+        assert targets.shape == (3, 7)
+        assert targets.dtype == np.uint32
+
+    def test_empty_state_generates_empty(self):
+        worm = UniformScanWorm()
+        state = worm.new_state()
+        targets = worm.generate(state, 5, np.random.default_rng(0))
+        assert targets.shape == (0, 5)
+
+    def test_add_hosts_accumulates(self):
+        worm = UniformScanWorm()
+        state = worm.new_state()
+        rng = np.random.default_rng(0)
+        worm.add_hosts(state, np.array([1], dtype=np.uint32), rng)
+        worm.add_hosts(state, np.array([2, 3], dtype=np.uint32), rng)
+        assert state.num_hosts == 3
+        assert list(state.addresses()) == [1, 2, 3]
+
+    def test_targets_roughly_uniform_over_octets(self):
+        worm = UniformScanWorm()
+        targets = worm.single_host_targets(0, 100_000, np.random.default_rng(1))
+        first_octets = targets >> 24
+        counts = np.bincount(first_octets, minlength=256)
+        # Each first octet should get ~390 hits; allow generous slack.
+        assert counts.min() > 200
+        assert counts.max() < 700
+
+    def test_single_host_targets_default_rng(self):
+        worm = UniformScanWorm()
+        assert worm.single_host_targets(0, 10).shape == (10,)
