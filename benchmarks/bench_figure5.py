@@ -4,27 +4,26 @@ Three benches mirror the paper's three panels.  They run at a scaled
 population (30,000 hosts in 1,000 /16s, same clustering anchors) so
 the whole suite completes in minutes; the experiments accept the
 full-scale :class:`~repro.population.synthesis.PopulationSpec` for
-paper-scale runs.
+paper-scale runs.  Runners resolve through the experiment registry —
+the same definition the CLI and trial runner dispatch.
 """
 
-from conftest import run_once
-
-from repro.experiments import figure5
+from conftest import run_registered
 
 SMALL_HITLISTS = (10, 100, 1000)
 
 
 def test_figure5a_infection(benchmark, bench_spec):
-    result = run_once(
+    result, formatter = run_registered(
         benchmark,
-        figure5.run_infection,
+        "figure5a",
         population_spec=bench_spec,
         hitlist_sizes=SMALL_HITLISTS,
         max_time=1_200.0,
         seed=2005,
     )
     print()
-    print(figure5.format_infection(result))
+    print(formatter(result))
     for run in result.runs:
         benchmark.extra_info[f"final_{run.num_prefixes}"] = round(
             run.result.final_fraction_infected, 3
@@ -37,16 +36,16 @@ def test_figure5a_infection(benchmark, bench_spec):
 
 
 def test_figure5b_detection(benchmark, bench_spec):
-    result = run_once(
+    result, formatter = run_registered(
         benchmark,
-        figure5.run_detection,
+        "figure5b",
         population_spec=bench_spec,
         hitlist_sizes=SMALL_HITLISTS,
         max_time=1_200.0,
         seed=2005,
     )
     print()
-    print(figure5.format_detection(result))
+    print(formatter(result))
     for run in result.runs:
         benchmark.extra_info[f"alerted_{run.num_prefixes}"] = round(
             run.alert_timeline.final_fraction(), 3
@@ -61,9 +60,9 @@ def test_figure5b_detection(benchmark, bench_spec):
 
 
 def test_figure5c_nat_placement(benchmark, bench_spec):
-    result = run_once(
+    result, formatter = run_registered(
         benchmark,
-        figure5.run_nat_detection,
+        "figure5c",
         population_spec=bench_spec,
         num_random_sensors=3_000,
         max_time=1_000.0,
@@ -71,7 +70,7 @@ def test_figure5c_nat_placement(benchmark, bench_spec):
         seed=2006,
     )
     print()
-    print(figure5.format_nat_detection(result))
+    print(formatter(result))
     for run in result.placements:
         benchmark.extra_info[run.name] = round(
             run.alerted_at_20pct_infected, 3

@@ -1,0 +1,68 @@
+"""Benchmark: the parallel trial runner vs the serial loop.
+
+The acceptance check for ``repro.runtime``: a ``figure5b`` campaign
+with ``--trials 4 --workers 4`` must produce results identical to the
+serial campaign and finish in measurably less wall-clock time than
+the 4 serial trials.  The benchmark clock times the parallel
+campaign; the serial campaign is timed alongside and reported in
+``extra_info`` together with the speedup.
+
+Wall-clock speedup needs real parallelism, so the bench skips on
+single-core machines; bitwise serial/parallel identity is asserted
+unconditionally in ``tests/runtime/``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.experiments import registry
+from repro.runtime import results_equal
+
+TRIALS = 4
+WORKERS = 4
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="speedup needs at least 2 cores; determinism is covered "
+    "in tests/runtime/",
+)
+def test_figure5b_parallel_campaign_speedup(benchmark, bench_spec):
+    experiment = registry.get("figure5b")
+    params = dict(
+        population_spec=bench_spec,
+        hitlist_sizes=(10, 100),
+        max_time=600.0,
+        seed=2005,
+    )
+
+    serial_start = time.perf_counter()
+    serial = experiment.run(trials=TRIALS, workers=1, **params)
+    serial_seconds = time.perf_counter() - serial_start
+
+    parallel = benchmark.pedantic(
+        experiment.run,
+        kwargs=dict(trials=TRIALS, workers=WORKERS, **params),
+        rounds=1,
+        iterations=1,
+    )
+    parallel_seconds = benchmark.stats.stats.total
+
+    # Identical results, measurably faster.
+    assert results_equal(serial.results, parallel.results)
+    assert parallel_seconds < serial_seconds
+
+    speedup = serial_seconds / parallel_seconds
+    benchmark.extra_info["trials"] = TRIALS
+    benchmark.extra_info["workers"] = WORKERS
+    benchmark.extra_info["serial_seconds"] = round(serial_seconds, 2)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_seconds, 2)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print()
+    print(
+        f"figure5b x{TRIALS} trials: serial {serial_seconds:.1f}s, "
+        f"{WORKERS} workers {parallel_seconds:.1f}s "
+        f"(speedup {speedup:.2f}x)"
+    )

@@ -1,14 +1,12 @@
 """Benchmark: Table 1 — captured botnet scan commands."""
 
-from conftest import run_once
-
-from repro.experiments import table1
+from conftest import run_registered
 
 
 def test_table1(benchmark):
-    result = run_once(benchmark, table1.run, seed=2004)
+    result, formatter = run_registered(benchmark, "table1", seed=2004)
     print()
-    print(table1.format_result(result))
+    print(formatter(result))
     benchmark.extra_info["commands"] = len(result.rows)
     benchmark.extra_info["restricted_fraction"] = round(
         result.restricted_fraction, 3

@@ -4,10 +4,16 @@ Each benchmark runs one paper experiment (at a scale that keeps the
 whole suite in minutes), records its headline numbers in
 ``benchmark.extra_info``, and prints the formatted table/series —
 run ``pytest benchmarks/ --benchmark-only -s`` to see them.
+
+Experiments resolve through the declarative registry
+(:mod:`repro.experiments.registry`), so the benchmarks exercise the
+exact definition of "run Figure 5b" that the CLI and the parallel
+trial runner use.
 """
 
 import pytest
 
+from repro.experiments import registry
 from repro.population.synthesis import PopulationSpec
 
 SMALL_ANCHORS = ((0, 0.0), (10, 0.106), (100, 0.5049), (1000, 1.0))
@@ -29,3 +35,14 @@ def bench_spec():
 def run_once(benchmark, func, **kwargs):
     """Run an experiment exactly once under the benchmark clock."""
     return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_registered(benchmark, experiment_id, **kwargs):
+    """Run one registered experiment once under the benchmark clock.
+
+    Returns ``(result, formatter)`` so the caller can print the
+    experiment's own rendering.
+    """
+    run, formatter = registry.get(experiment_id).resolve()
+    result = benchmark.pedantic(run, kwargs=kwargs, rounds=1, iterations=1)
+    return result, formatter

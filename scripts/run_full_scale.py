@@ -5,9 +5,12 @@ This is the source of the numbers recorded in EXPERIMENTS.md::
     python scripts/run_full_scale.py | tee fullscale_output.txt
 
 Budget: ~15-25 minutes on a laptop-class machine, dominated by the
-Figure 5 outbreak simulations over the full 134,586-host population.
+Figure 5 outbreak simulations over the full 134,586-host population;
+``--workers N`` fans the per-hit-list-size simulations out over N
+processes (results identical to the serial run).
 """
 
+import argparse
 import time
 
 from repro.experiments import (
@@ -33,6 +36,16 @@ def timed(label, func, **kwargs):
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="processes for the Figure 5 per-hit-list fan-out "
+        "(0 = all cores)",
+    )
+    args = parser.parse_args()
+
     banner("Table 1 — botnet scan commands")
     print(table1.format_result(timed("table1", table1.run)))
 
@@ -61,6 +74,7 @@ def main() -> None:
         figure5.run_infection,
         max_time=2_500.0,
         seed=2005,
+        workers=args.workers,
     )
     print(figure5.format_infection(ab))
     print(figure5.format_detection(ab))

@@ -4,10 +4,15 @@ Run any paper experiment by id::
 
     hotspots table1
     hotspots figure5b --set max_time=600
+    hotspots figure5b --trials 8 --workers 4 --cache
     hotspots --list
 
 Keyword overrides use ``--set name=value``; values parse as Python
 literals (ints, floats, tuples), falling back to strings.
+``--trials`` repeats the experiment under independently spawned
+seeds, ``--workers`` fans those trials out over processes (results
+are identical to a serial run), and ``--cache`` memoizes finished
+trials on disk so re-runs are instant.
 """
 
 from __future__ import annotations
@@ -17,7 +22,8 @@ import ast
 import sys
 from typing import Any, Sequence
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments import registry
+from repro.runtime.cache import ResultCache
 
 
 def _parse_override(text: str) -> tuple[str, Any]:
@@ -33,6 +39,30 @@ def _parse_override(text: str) -> tuple[str, Any]:
     return name, value
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {value}"
+        )
+    return value
+
+
+def _workers_count(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 1, or 0 for all cores; got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hotspots",
@@ -42,11 +72,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        choices=sorted(EXPERIMENTS),
+        choices=registry.experiment_ids(),
         help="experiment id to run",
     )
     parser.add_argument(
-        "--list", action="store_true", help="list available experiments"
+        "--list",
+        action="store_true",
+        help="list available experiments with titles and default params",
     )
     parser.add_argument(
         "--set",
@@ -57,19 +89,91 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME=VALUE",
         help="override a run() keyword argument (repeatable)",
     )
+    parser.add_argument(
+        "--trials",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="Monte-Carlo repetitions under independently spawned seeds "
+        "(default: the experiment's trial-count knob, usually 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_workers_count,
+        default=1,
+        metavar="N",
+        help="processes to fan trials out over; 1 runs serial, "
+        "0 uses every core (results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="memoize finished trials on disk keyed by "
+        "(experiment, params, seed); --no-cache disables (default)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/hotspots-repro)",
+    )
     return parser
+
+
+def _format_default(value: Any) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _list_experiments() -> str:
+    lines = []
+    width = max(len(experiment_id) for experiment_id in registry.REGISTRY)
+    for experiment_id in registry.experiment_ids():
+        experiment = registry.get(experiment_id)
+        lines.append(f"{experiment_id:<{width}}  {experiment.title}")
+        shown = {
+            name: value
+            for name, value in experiment.display_params().items()
+            if value is not None
+        }
+        if shown:
+            rendered = ", ".join(
+                f"{name}={_format_default(value)}"
+                for name, value in shown.items()
+            )
+            lines.append(f"{'':<{width}}  defaults: {rendered}")
+    return "\n".join(lines)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:
-        for experiment_id in sorted(EXPERIMENTS):
-            print(experiment_id)
+        print(_list_experiments())
         return 0
+
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = ResultCache(args.cache_dir)
     overrides = dict(args.overrides)
-    _, text = run_experiment(args.experiment, **overrides)
-    print(text)
+    experiment = registry.get(args.experiment)
+    try:
+        campaign = experiment.run(
+            trials=args.trials,
+            workers=args.workers,
+            cache=cache,
+            **overrides,
+        )
+    except TypeError as error:
+        # Typically an unknown --set override; argparse-style message,
+        # not a traceback.
+        parser.error(f"invalid arguments for {args.experiment!r}: {error}")
+    except ValueError as error:
+        parser.error(f"invalid value for {args.experiment!r}: {error}")
+    print(campaign.formatted())
     return 0
 
 

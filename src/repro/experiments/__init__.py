@@ -2,11 +2,29 @@
 
 Every experiment exposes a ``run(...)`` function returning a plain
 dataclass of series/rows, plus a ``format_result`` helper that prints
-them the way the paper's artifact does.  The registry maps experiment
-ids (``table1``, ``figure5b``, ...) to their runners for the CLI and
-the benchmark harness.
+them the way the paper's artifact does.  The registry holds one
+declarative :class:`~repro.experiments.registry.Experiment` record
+per id (``table1``, ``figure5b``, ...) — the shared definition the
+CLI, the parallel trial runner, and the benchmark harness all
+consume.
 """
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    REGISTRY,
+    Experiment,
+    ExperimentRun,
+    experiment_ids,
+    get,
+    run_experiment,
+)
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "REGISTRY",
+    "Experiment",
+    "ExperimentRun",
+    "experiment_ids",
+    "get",
+    "run_experiment",
+]

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.net.cidr import BlockSet, CIDRBlock
 from repro.population.model import HostPopulation
+from repro.runtime import Trial, TrialRunner
 from repro.sensors.deployment import SensorGrid, place_random
 from repro.sim.containment import QuorumTriggeredContainment
 from repro.sim.engine import EpidemicSimulator, SimulationConfig
@@ -114,8 +115,15 @@ def run(
     scan_rate: float = 50.0,
     max_time: float = 1_500.0,
     seed: int = 2008,
+    workers: int = 1,
 ) -> ContainmentResult:
-    """Race quarantine against the uniform and hotspot variants."""
+    """Race quarantine against the uniform and hotspot variants.
+
+    The two variants are independent runs from the same explicit seed
+    (identical hosts, sensors, quarantine — only the worm differs), so
+    they dispatch through the trial runner and can execute in parallel
+    with results identical to the serial order.
+    """
     rng = np.random.default_rng(seed)
     universe = CIDRBlock.parse(universe_spec)
     second_octets = rng.choice(256, size=num_target_slash16s, replace=False)
@@ -137,10 +145,21 @@ def run(
         max_time=max_time,
         seed=seed,
     )
-    return ContainmentResult(
-        uniform=_one_run(HitListWorm(BlockSet([universe])), **shared),
-        hotspot=_one_run(HitListCodeRedIIWorm(hitlist), **shared),
+    uniform_run, hotspot_run = TrialRunner(workers=workers).run(
+        [
+            Trial(
+                func=_one_run,
+                kwargs=dict(worm=HitListWorm(BlockSet([universe])), **shared),
+                label="containment[uniform]",
+            ),
+            Trial(
+                func=_one_run,
+                kwargs=dict(worm=HitListCodeRedIIWorm(hitlist), **shared),
+                label="containment[hotspot]",
+            ),
+        ]
     )
+    return ContainmentResult(uniform=uniform_run, hotspot=hotspot_run)
 
 
 def format_result(result: ContainmentResult) -> str:

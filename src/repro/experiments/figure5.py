@@ -40,6 +40,7 @@ from repro.sensors.deployment import (
     place_within_blocks,
 )
 from repro.sensors.detection import AlertTimeline
+from repro.runtime import Trial, TrialRunner, as_seed_sequence
 from repro.sim.engine import EpidemicSimulator, SimulationConfig, SimulationResult
 from repro.worms.codered2 import CodeRedIIWorm
 from repro.worms.hitlist import HitListCodeRedIIWorm, build_greedy_hitlist
@@ -107,62 +108,100 @@ class Figure5ABResult:
         return bool(checks) and all(checks)
 
 
+def _hitlist_trial(
+    base_population: np.ndarray,
+    num_prefixes: int,
+    scan_rate: float,
+    seed_count: int,
+    max_time: float,
+    seed: "np.random.SeedSequence | int",
+) -> HitlistRun:
+    """One hit-list size's outbreak and detection outcome.
+
+    Module-level so the trial runner can ship it to pool workers; the
+    RNG builds from the seed material here, on whichever process runs
+    the trial, so serial and parallel campaigns match bitwise.
+    """
+    rng = np.random.default_rng(seed)
+    hitlist, coverage = build_greedy_hitlist(base_population, num_prefixes)
+    population = HostPopulation(base_population)
+    worm = HitListCodeRedIIWorm(hitlist)
+    # One /24 sensor in every vulnerable /16 (the 5(b) deployment).
+    vulnerable_16s = [
+        CIDRBlock(int(prefix) << 16, 16)
+        for prefix in np.unique(base_population >> 16)
+    ]
+    grid = SensorGrid(
+        place_one_per_block(vulnerable_16s, rng),
+        alert_threshold=ALERT_THRESHOLD,
+    )
+    simulator = EpidemicSimulator(worm, population, sensor_grids=[grid])
+    config = SimulationConfig(
+        scan_rate=scan_rate,
+        max_time=max_time,
+        seed_count=seed_count,
+        stop_at_fraction=min(0.97 * coverage, 1.0),
+    )
+    # Seed inside the hit-list so the outbreak can actually start.
+    seeds = rng.choice(
+        base_population[hitlist.contains_array(base_population)],
+        size=seed_count,
+        replace=False,
+    )
+    result = simulator.run(config, rng, seed_addrs=seeds)
+
+    timeline = AlertTimeline.from_alert_times(
+        grid.alert_times(), horizon=result.times[-1]
+    )
+    t90 = result.time_to_fraction(0.9 * coverage)
+    alerted_at_90 = timeline.fraction_at(t90) if t90 is not None else None
+    return HitlistRun(
+        num_prefixes=num_prefixes,
+        coverage=coverage,
+        result=result,
+        alert_timeline=timeline,
+        sensors_alerted_at_90pct=alerted_at_90,
+    )
+
+
 def run_infection(
     population_spec: Optional[PopulationSpec] = None,
     hitlist_sizes: Sequence[int] = HITLIST_SIZES,
     scan_rate: float = 10.0,
     seed_count: int = 25,
     max_time: float = 2_000.0,
-    seed: int = 2005,
+    seed: "int | np.random.SeedSequence" = 2005,
+    workers: int = 1,
 ) -> Figure5ABResult:
-    """Figure 5(a) and (b) in one pass: infect and observe."""
+    """Figure 5(a) and (b) in one pass: infect and observe.
+
+    Each hit-list size is an independent simulation under its own
+    ``SeedSequence`` child, so the per-size runs fan out over
+    ``workers`` processes with results identical to the serial loop.
+    """
     spec = population_spec if population_spec is not None else PopulationSpec()
-    rng = np.random.default_rng(seed)
+    population_seq, *size_seqs = as_seed_sequence(seed).spawn(
+        len(tuple(hitlist_sizes)) + 1
+    )
+    rng = np.random.default_rng(population_seq)
     base_population = synthesize_clustered_population(spec, rng)
 
-    runs = []
-    for num_prefixes in hitlist_sizes:
-        hitlist, coverage = build_greedy_hitlist(base_population, num_prefixes)
-        population = HostPopulation(base_population)
-        worm = HitListCodeRedIIWorm(hitlist)
-        # One /24 sensor in every vulnerable /16 (the 5(b) deployment).
-        vulnerable_16s = [
-            CIDRBlock(int(prefix) << 16, 16)
-            for prefix in np.unique(base_population >> 16)
-        ]
-        grid = SensorGrid(
-            place_one_per_block(vulnerable_16s, rng),
-            alert_threshold=ALERT_THRESHOLD,
-        )
-        simulator = EpidemicSimulator(worm, population, sensor_grids=[grid])
-        config = SimulationConfig(
-            scan_rate=scan_rate,
-            max_time=max_time,
-            seed_count=seed_count,
-            stop_at_fraction=min(0.97 * coverage, 1.0),
-        )
-        # Seed inside the hit-list so the outbreak can actually start.
-        seeds = rng.choice(
-            base_population[hitlist.contains_array(base_population)],
-            size=seed_count,
-            replace=False,
-        )
-        result = simulator.run(config, rng, seed_addrs=seeds)
-
-        timeline = AlertTimeline.from_alert_times(
-            grid.alert_times(), horizon=result.times[-1]
-        )
-        t90 = result.time_to_fraction(0.9 * coverage)
-        alerted_at_90 = timeline.fraction_at(t90) if t90 is not None else None
-        runs.append(
-            HitlistRun(
+    trials = [
+        Trial(
+            func=_hitlist_trial,
+            kwargs=dict(
+                base_population=base_population,
                 num_prefixes=num_prefixes,
-                coverage=coverage,
-                result=result,
-                alert_timeline=timeline,
-                sensors_alerted_at_90pct=alerted_at_90,
-            )
+                scan_rate=scan_rate,
+                seed_count=seed_count,
+                max_time=max_time,
+            ),
+            seed=size_seq,
+            label=f"hitlist[{num_prefixes}]",
         )
+        for num_prefixes, size_seq in zip(hitlist_sizes, size_seqs)
+    ]
+    runs = TrialRunner(workers=workers).run(trials)
     total_slash16s = len(np.unique(base_population >> 16))
     return Figure5ABResult(runs=tuple(runs), total_slash16s=total_slash16s)
 
@@ -187,10 +226,28 @@ def format_infection(result: Figure5ABResult) -> str:
 
 
 #: Figure 5(b) shares the run with 5(a); its formatter reports the
-#: sensor side.
-def run_detection(**kwargs) -> Figure5ABResult:
+#: sensor side.  The signature is spelled out (rather than ``**kwargs``)
+#: so the registry can introspect defaults for ``--list`` and cache
+#: keys.
+def run_detection(
+    population_spec: Optional[PopulationSpec] = None,
+    hitlist_sizes: Sequence[int] = HITLIST_SIZES,
+    scan_rate: float = 10.0,
+    seed_count: int = 25,
+    max_time: float = 2_000.0,
+    seed: "int | np.random.SeedSequence" = 2005,
+    workers: int = 1,
+) -> Figure5ABResult:
     """Figure 5(b) — same simulation, detection view."""
-    return run_infection(**kwargs)
+    return run_infection(
+        population_spec=population_spec,
+        hitlist_sizes=hitlist_sizes,
+        scan_rate=scan_rate,
+        seed_count=seed_count,
+        max_time=max_time,
+        seed=seed,
+        workers=workers,
+    )
 
 
 def format_detection(result: Figure5ABResult) -> str:

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.experiments import figure5
 from repro.population.synthesis import PopulationSpec
+from repro.runtime import Trial, TrialRunner
 
 
 @dataclass(frozen=True)
@@ -55,23 +56,36 @@ def sweep_nat_fraction(
     num_random_sensors: int = 3_000,
     max_time: float = 900.0,
     seed: int = 2010,
+    workers: int = 1,
 ) -> NatFractionSweep:
-    """Re-run Figure 5(c) at several NAT'd fractions."""
+    """Re-run Figure 5(c) at several NAT'd fractions.
+
+    Every fraction reuses the same explicit seed (the sweep isolates
+    the NAT-fraction axis), so the per-fraction runs are independent
+    and fan out over ``workers`` with results identical to the serial
+    loop.  Full horizon for every fraction: comparing final alert
+    fractions needs identical observation windows.
+    """
+    trials = [
+        Trial(
+            func=figure5.run_nat_detection,
+            kwargs=dict(
+                population_spec=population_spec,
+                nat_fraction=fraction,
+                num_random_sensors=num_random_sensors,
+                max_time=max_time,
+                stop_at_fraction=1.0,
+                seed=seed,
+                stratify_nat_seeds=True,
+            ),
+            label=f"nat_fraction[{fraction}]",
+        )
+        for fraction in fractions
+    ]
     targeted_final = []
     random_final = []
     targeted_at_20 = []
-    for fraction in fractions:
-        # Full horizon for every fraction: comparing final alert
-        # fractions needs identical observation windows.
-        result = figure5.run_nat_detection(
-            population_spec=population_spec,
-            nat_fraction=fraction,
-            num_random_sensors=num_random_sensors,
-            max_time=max_time,
-            stop_at_fraction=1.0,
-            seed=seed,
-            stratify_nat_seeds=True,
-        )
+    for result in TrialRunner(workers=workers).run(trials):
         targeted = result.placement("192/8 per-/16")
         random_ = result.placement("random")
         targeted_final.append(targeted.timeline.final_fraction())
@@ -124,6 +138,7 @@ def sweep_hitlist_share(
     population_spec: Optional[PopulationSpec] = None,
     max_time: float = 900.0,
     seed: int = 2011,
+    workers: int = 1,
 ) -> HitlistShareSweep:
     """Measure the alert-share law along a fine hit-list-size axis."""
     result = figure5.run_infection(
@@ -131,6 +146,7 @@ def sweep_hitlist_share(
         hitlist_sizes=tuple(sizes),
         max_time=max_time,
         seed=seed,
+        workers=workers,
     )
     shares = tuple(
         min(run.num_prefixes / result.total_slash16s, 1.0)

@@ -1,0 +1,38 @@
+"""Parallel trial execution for Monte-Carlo experiment campaigns.
+
+The paper's Section 5 results are outbreak simulations; credible
+hotspot statistics need many independent trials.  This subsystem is
+the one place that knows how to run them:
+
+* :class:`~repro.runtime.runner.TrialRunner` fans independent trials
+  out over a ``ProcessPoolExecutor`` (configurable worker count,
+  chunked submission) and falls back to in-process serial execution
+  when ``workers=1`` or the pool cannot be used;
+* per-trial RNGs derive from ``numpy.random.SeedSequence.spawn``
+  (:func:`~repro.runtime.seeding.spawn_trial_sequences`), so serial
+  and parallel runs of the same campaign produce bitwise-identical
+  results;
+* :class:`~repro.runtime.cache.ResultCache` memoizes finished trials
+  on disk, keyed by a stable hash of (experiment id, parameters,
+  seed), so re-running ``hotspots figure5b`` is instant.
+"""
+
+from repro.runtime.cache import ResultCache, stable_key
+from repro.runtime.compare import results_equal
+from repro.runtime.runner import Trial, TrialRunner
+from repro.runtime.seeding import (
+    as_seed_sequence,
+    seed_fingerprint,
+    spawn_trial_sequences,
+)
+
+__all__ = [
+    "ResultCache",
+    "Trial",
+    "TrialRunner",
+    "as_seed_sequence",
+    "results_equal",
+    "seed_fingerprint",
+    "spawn_trial_sequences",
+    "stable_key",
+]

@@ -1,0 +1,165 @@
+"""On-disk memoization of finished trials.
+
+A trial is a pure function of (experiment id, parameters, seed), so
+its result can be cached under a stable hash of those three.  The
+cache is a directory of pickle files — one per trial — safe to delete
+wholesale at any time.  Corrupt or unreadable entries count as
+misses; concurrent writers go through a same-directory temp file and
+an atomic rename.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.runtime.seeding import seed_fingerprint
+
+#: Bump to invalidate every existing cache entry (result-format change).
+CACHE_VERSION = 1
+
+#: Overridden by ``$REPRO_CACHE_DIR``; ``ResultCache(directory=...)``
+#: overrides both.
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "hotspots-repro"
+
+#: Sentinel distinguishing "miss" from a cached ``None``.
+MISS = object()
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a parameter value to a JSON-stable form.
+
+    Dict ordering, dataclass identity, numpy scalars/arrays, and seed
+    objects all normalize; two calls that would produce the same trial
+    produce the same canonical form.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"__float__": value.hex()}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return {"__float__": float(value).hex()}
+    if isinstance(value, np.random.SeedSequence):
+        return {"__seedseq__": seed_fingerprint(value)}
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls = type(value)
+        return {
+            "__dataclass__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {
+                field.name: _canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, Mapping):
+        return {
+            "__mapping__": sorted(
+                (str(key), _canonical(item)) for key, item in value.items()
+            )
+        }
+    if isinstance(value, (list, tuple)):
+        return {"__sequence__": [_canonical(item) for item in value]}
+    if isinstance(value, (set, frozenset)):
+        return {"__set__": sorted(json.dumps(_canonical(v)) for v in value)}
+    # Last resort: pickle bytes are stable for plain-data objects.
+    return {
+        "__pickle__": hashlib.sha256(
+            pickle.dumps(value, protocol=4)
+        ).hexdigest()
+    }
+
+
+def stable_key(
+    experiment_id: str, params: Mapping[str, Any], seed: Any
+) -> str:
+    """The cache key for one trial of one experiment."""
+    payload = {
+        "version": CACHE_VERSION,
+        "experiment": experiment_id,
+        "params": _canonical(dict(params)),
+        "seed": _canonical(seed),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed pickle cache for trial results."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where one key's pickle lives."""
+        return self.directory / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached value, or the :data:`MISS` sentinel."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return MISS
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store one value; atomic against concurrent readers."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        final = self.path_for(key)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=self.directory, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=4)
+            os.replace(temp_name, final)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Keys currently on disk."""
+        if not self.directory.is_dir():
+            return iter(())
+        return (path.stem for path in self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

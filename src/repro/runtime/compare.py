@@ -1,0 +1,46 @@
+"""Structural equality for experiment results.
+
+Result dataclasses nest numpy arrays, tuples of dataclasses, and
+mappings; ``==`` on them is either ambiguous (arrays) or shallow.
+:func:`results_equal` walks the structure and demands *bitwise*
+agreement — the check behind "parallel equals serial" and "cache hit
+equals fresh run".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+
+def results_equal(left: Any, right: Any) -> bool:
+    """True when two results agree exactly, element by element."""
+    if left is right:
+        return True
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        if not isinstance(left, np.ndarray) or not isinstance(right, np.ndarray):
+            return False
+        return left.dtype == right.dtype and bool(np.array_equal(left, right))
+    if dataclasses.is_dataclass(left) and not isinstance(left, type):
+        if type(left) is not type(right):
+            return False
+        return all(
+            results_equal(
+                getattr(left, field.name), getattr(right, field.name)
+            )
+            for field in dataclasses.fields(left)
+        )
+    if isinstance(left, float) and isinstance(right, float):
+        return left == right or (math.isnan(left) and math.isnan(right))
+    if isinstance(left, Mapping) and isinstance(right, Mapping):
+        return set(left) == set(right) and all(
+            results_equal(left[key], right[key]) for key in left
+        )
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        return len(left) == len(right) and all(
+            results_equal(a, b) for a, b in zip(left, right)
+        )
+    return bool(left == right)

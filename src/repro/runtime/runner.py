@@ -1,0 +1,203 @@
+"""The parallel trial runner.
+
+A :class:`Trial` is one picklable unit of work: a module-level
+callable, its keyword arguments, and the seed material that makes it
+deterministic.  :class:`TrialRunner` executes a batch of trials —
+over a ``ProcessPoolExecutor`` when ``workers > 1``, in-process
+otherwise — consulting an optional :class:`~repro.runtime.cache.ResultCache`
+first and storing fresh results back.
+
+Because every trial carries its own ``SeedSequence``-derived RNG,
+execution order and process placement cannot change results: the
+serial and parallel paths are bitwise identical, and a broken pool
+(missing ``fork`` support, unpicklable closure, resource limits)
+degrades to the serial path with a warning instead of an error.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.runtime.cache import MISS, ResultCache
+from repro.runtime.seeding import spawn_trial_sequences
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One deterministic unit of work.
+
+    Attributes
+    ----------
+    func:
+        A picklable (module-level) callable run as ``func(**kwargs)``.
+    kwargs:
+        Keyword arguments; must be picklable for parallel execution.
+    seed:
+        Seed material injected as ``kwargs[seed_param]`` (skipped when
+        ``None`` — the callable is assumed self-seeding).
+    cache_key:
+        Stable identity for the result cache; ``None`` disables
+        caching for this trial.
+    label:
+        Human-readable tag for logs and error messages.
+    """
+
+    func: Callable[..., Any]
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+    seed: Any = None
+    seed_param: str = "seed"
+    cache_key: Optional[str] = None
+    label: str = ""
+
+    def execute(self) -> Any:
+        """Run the trial in the current process."""
+        kwargs = dict(self.kwargs)
+        if self.seed is not None:
+            kwargs[self.seed_param] = self.seed
+        return self.func(**kwargs)
+
+
+def _execute_trial(trial: Trial) -> Any:
+    """Module-level trampoline so the pool can pickle the work."""
+    return trial.execute()
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request (``None``/``0`` → all cores)."""
+    if workers is None or workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError("workers must be a positive integer (or 0 for all cores)")
+    return workers
+
+
+class TrialRunner:
+    """Runs batches of independent trials, parallel or serial.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``1`` runs in-process, ``None``/``0`` uses all
+        cores.
+    cache:
+        Optional :class:`ResultCache` consulted per trial (only for
+        trials carrying a ``cache_key``).
+    chunk_size:
+        Trials handed to a worker per dispatch; defaults to an even
+        split across workers (bounds IPC overhead for large batches).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = 1,
+        cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.chunk_size = chunk_size
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+
+    # -- execution ---------------------------------------------------
+
+    def run(self, trials: Sequence[Trial]) -> list[Any]:
+        """Execute trials, preserving order; cache-aware."""
+        trials = list(trials)
+        results: list[Any] = [None] * len(trials)
+        pending: list[int] = []
+        for index, trial in enumerate(trials):
+            cached = MISS
+            if self.cache is not None and trial.cache_key is not None:
+                cached = self.cache.get(trial.cache_key)
+            if cached is MISS:
+                pending.append(index)
+            else:
+                results[index] = cached
+
+        if pending:
+            fresh = self._execute_batch([trials[i] for i in pending])
+            for index, value in zip(pending, fresh):
+                results[index] = value
+                trial = trials[index]
+                if self.cache is not None and trial.cache_key is not None:
+                    try:
+                        self.cache.put(trial.cache_key, value)
+                    except (OSError, pickle.PicklingError) as error:
+                        warnings.warn(
+                            f"result cache write failed for "
+                            f"{trial.label or trial.cache_key}: {error}",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+        return results
+
+    def run_repeated(
+        self,
+        func: Callable[..., Any],
+        kwargs: Optional[Mapping[str, Any]] = None,
+        *,
+        trials: int,
+        base_seed: int,
+        seed_param: str = "seed",
+        cache_namespace: Optional[str] = None,
+        key_for: Optional[Callable[[Any], Optional[str]]] = None,
+    ) -> list[Any]:
+        """``trials`` independent repetitions of one callable.
+
+        Trial *i* receives the *i*-th child of
+        ``SeedSequence(base_seed)`` as its ``seed_param`` argument.
+        ``key_for`` (given each child sequence) or ``cache_namespace``
+        (hashed with the kwargs) opt the repetitions into the cache.
+        """
+        from repro.runtime.cache import stable_key
+
+        kwargs = dict(kwargs or {})
+        sequences = spawn_trial_sequences(base_seed, trials)
+        batch = []
+        for index, sequence in enumerate(sequences):
+            cache_key = None
+            if key_for is not None:
+                cache_key = key_for(sequence)
+            elif cache_namespace is not None:
+                cache_key = stable_key(cache_namespace, kwargs, sequence)
+            batch.append(
+                Trial(
+                    func=func,
+                    kwargs=kwargs,
+                    seed=sequence,
+                    seed_param=seed_param,
+                    cache_key=cache_key,
+                    label=f"{cache_namespace or func.__name__}[{index}]",
+                )
+            )
+        return self.run(batch)
+
+    # -- internals ---------------------------------------------------
+
+    def _execute_batch(self, trials: list[Trial]) -> list[Any]:
+        if self.workers <= 1 or len(trials) <= 1:
+            return [trial.execute() for trial in trials]
+        workers = min(self.workers, len(trials))
+        chunk = self.chunk_size or max(1, len(trials) // workers)
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(
+                    pool.map(_execute_trial, trials, chunksize=chunk)
+                )
+        except (BrokenProcessPool, OSError, pickle.PicklingError,
+                TypeError, AttributeError, ImportError) as error:
+            # TypeError/AttributeError: unpicklable trial payloads.
+            warnings.warn(
+                f"process pool unavailable ({type(error).__name__}: "
+                f"{error}); falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return [trial.execute() for trial in trials]

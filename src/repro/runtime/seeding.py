@@ -1,0 +1,63 @@
+"""Deterministic per-trial seed derivation.
+
+The discipline: a campaign has one integer base seed; trial *i* gets
+the *i*-th child of ``SeedSequence(base_seed)``.  Spawning is a pure
+function of the parent entropy and the spawn index, so the same
+(base seed, trial count) always yields the same generators — no
+matter which process, in which order, eventually runs each trial.
+That is what makes parallel and serial campaigns bitwise identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+import numpy as np
+
+#: What experiment ``run()`` functions accept as a ``seed`` argument.
+SeedLike = Union[int, np.random.SeedSequence]
+
+
+def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
+    """Wrap seed material as a ``SeedSequence`` (idempotent).
+
+    Experiment runners accept either a plain integer (the historical
+    interface) or a spawned child sequence (the trial runner's);
+    wrapping here lets one code path spawn sub-streams from both.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    return np.random.SeedSequence(seed)
+
+
+def spawn_trial_sequences(
+    base_seed: int, trials: int
+) -> tuple[np.random.SeedSequence, ...]:
+    """The per-trial ``SeedSequence`` children for one campaign."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    return tuple(np.random.SeedSequence(base_seed).spawn(trials))
+
+
+def seed_fingerprint(seed: Any) -> Any:
+    """A JSON-compatible, stable description of a seed.
+
+    Used in cache keys: two seeds with the same fingerprint produce
+    the same generator stream.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        entropy = seed.entropy
+        if isinstance(entropy, (list, tuple)):
+            entropy = [int(e) for e in entropy]
+        elif entropy is not None:
+            entropy = int(entropy)
+        return {
+            "entropy": entropy,
+            "spawn_key": [int(k) for k in seed.spawn_key],
+            "pool_size": int(seed.pool_size),
+        }
+    if isinstance(seed, (int, np.integer)):
+        return int(seed)
+    if seed is None:
+        return None
+    raise TypeError(f"cannot fingerprint seed of type {type(seed).__name__}")

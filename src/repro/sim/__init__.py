@@ -13,7 +13,12 @@
 """
 
 from repro.sim.containment import QuorumTriggeredContainment
-from repro.sim.engine import EpidemicSimulator, SimulationConfig, SimulationResult
+from repro.sim.engine import (
+    EpidemicSimulator,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation_trial,
+)
 from repro.sim.epidemic import si_curve, si_time_to_fraction
 from repro.sim.events import Event, EventKernel
 
@@ -24,6 +29,7 @@ __all__ = [
     "QuorumTriggeredContainment",
     "SimulationConfig",
     "SimulationResult",
+    "run_simulation_trial",
     "si_curve",
     "si_time_to_fraction",
 ]

@@ -81,9 +81,14 @@ class SimulationConfig:
             raise ValueError("patch_rate must be in [0, 1)")
 
 
-@dataclass
+@dataclass(eq=False)
 class SimulationResult:
-    """What one run produced."""
+    """What one run produced.
+
+    Equality is bitwise over every field (array dtypes included) —
+    the contract the parallel trial runner and the result cache rely
+    on when asserting that a replayed run matches the original.
+    """
 
     times: np.ndarray
     infected_counts: np.ndarray
@@ -91,6 +96,23 @@ class SimulationResult:
     population_size: int
     total_probes: int
     delivered_probes: int
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimulationResult):
+            return NotImplemented
+        from repro.runtime.compare import results_equal
+
+        return all(
+            results_equal(getattr(self, name), getattr(other, name))
+            for name in (
+                "times",
+                "infected_counts",
+                "infection_times",
+                "population_size",
+                "total_probes",
+                "delivered_probes",
+            )
+        )
 
     @property
     def final_fraction_infected(self) -> float:
@@ -252,3 +274,24 @@ class EpidemicSimulator:
             total_probes=total_probes,
             delivered_probes=delivered_probes,
         )
+
+
+def run_simulation_trial(
+    simulator: EpidemicSimulator,
+    config: SimulationConfig,
+    seed: "int | np.random.SeedSequence",
+    seed_addrs: Optional[np.ndarray] = None,
+) -> SimulationResult:
+    """Module-level (picklable) trial entry point.
+
+    ``TrialRunner`` ships work to pool processes by pickling the
+    callable and its arguments; a bound ``simulator.run`` with a live
+    ``Generator`` is the wrong unit because generator state would have
+    to survive the round-trip.  This function instead carries the
+    simulator and *seed material*, building the generator on the
+    worker — the same construction the serial path uses, so results
+    are identical wherever the trial lands.
+    """
+    return simulator.run(
+        config, np.random.default_rng(seed), seed_addrs=seed_addrs
+    )

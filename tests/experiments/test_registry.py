@@ -1,36 +1,117 @@
-"""Tests for the experiment registry."""
+"""Tests for the declarative experiment registry and its legacy shim."""
 
 import pytest
 
-from repro.experiments.registry import EXPERIMENTS, get_runner, run_experiment
+from repro.experiments import registry
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    REGISTRY,
+    Experiment,
+    get_runner,
+    run_experiment,
+)
+
+PAPER_IDS = {
+    "table1",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "table2",
+    "figure5a",
+    "figure5b",
+    "figure5c",
+}
 
 
 class TestRegistry:
     def test_all_paper_artifacts_registered(self):
-        assert set(EXPERIMENTS) >= {
-            "table1",
-            "figure1",
-            "figure2",
-            "figure3",
-            "figure4",
-            "table2",
-            "figure5a",
-            "figure5b",
-            "figure5c",
-        }
-        assert "local-detection" in EXPERIMENTS
+        assert set(REGISTRY) >= PAPER_IDS
+        assert "local-detection" in REGISTRY
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
-            get_runner("figure99")
+            registry.get("figure99")
 
-    def test_runners_resolve(self):
+    def test_round_trip_every_id(self):
+        for experiment_id in registry.experiment_ids():
+            experiment = registry.get(experiment_id)
+            assert isinstance(experiment, Experiment)
+            assert experiment.id == experiment_id
+            assert experiment.title
+            run, formatter = experiment.resolve()
+            assert callable(run)
+            assert callable(formatter)
+            # Every runner is seedable — the contract the trial
+            # runner's per-trial seed injection relies on.
+            assert experiment.seed_param in experiment.display_params()
+
+    def test_experiment_ids_sorted(self):
+        ids = registry.experiment_ids()
+        assert ids == sorted(ids)
+
+    def test_default_trial_knob(self):
+        assert all(
+            experiment.default_trials >= 1
+            for experiment in REGISTRY.values()
+        )
+
+    def test_display_params_include_signature_defaults(self):
+        params = registry.get("table1").display_params()
+        assert params["num_bots"] == 11
+        assert params["seed"] == 2004
+
+
+class TestCampaigns:
+    def test_single_trial_returns_result_and_text(self):
+        campaign = registry.get("table1").run(seed=3)
+        assert campaign.result.rows
+        assert isinstance(campaign.formatted(), str)
+        assert len(campaign.results) == 1
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            registry.get("table1").run(trials=0)
+
+    def test_multi_trial_campaign(self):
+        campaign = registry.get("table1").run(trials=3, seed=11)
+        assert len(campaign.results) == 3
+        assert len(campaign.trial_seeds) == 3
+        text = campaign.formatted()
+        assert "table1 trial 1/3" in text and "table1 trial 3/3" in text
+        with pytest.raises(ValueError):
+            campaign.result  # ambiguous for multi-trial campaigns
+
+    def test_multi_trial_needs_integer_seed(self):
+        with pytest.raises(TypeError):
+            registry.get("table1").run(trials=2, seed="not-an-int")
+
+
+class TestLegacyShim:
+    def test_experiments_mapping_matches_registry(self):
+        assert set(EXPERIMENTS) == set(REGISTRY)
+        assert EXPERIMENTS["figure5b"] == "repro.experiments.figure5"
+
+    def test_get_runner_warns_but_resolves(self):
+        with pytest.warns(DeprecationWarning):
+            run, formatter = get_runner("table1")
+        assert callable(run)
+        assert callable(formatter)
+
+    def test_get_runner_unknown_raises(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(KeyError):
+                get_runner("figure99")
+
+    def test_runners_resolve_for_every_id(self):
         for experiment_id in EXPERIMENTS:
-            run, formatter = get_runner(experiment_id)
+            with pytest.warns(DeprecationWarning):
+                run, formatter = get_runner(experiment_id)
             assert callable(run)
             assert callable(formatter)
 
     def test_run_experiment_returns_text(self):
-        result, text = run_experiment("table1", seed=3)
+        with pytest.warns(DeprecationWarning):
+            result, text = run_experiment("table1", seed=3)
         assert result.rows
         assert isinstance(text, str) and text

@@ -1,0 +1,107 @@
+"""Tests for the on-disk result cache and its stable keying."""
+
+import numpy as np
+import pytest
+
+from repro.population.synthesis import PopulationSpec
+from repro.runtime.cache import MISS, ResultCache, stable_key
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        assert stable_key("figure5b", {"max_time": 600}, 2005) == stable_key(
+            "figure5b", {"max_time": 600}, 2005
+        )
+
+    def test_param_order_irrelevant(self):
+        assert stable_key(
+            "x", {"a": 1, "b": 2}, 0
+        ) == stable_key("x", {"b": 2, "a": 1}, 0)
+
+    def test_experiment_id_matters(self):
+        assert stable_key("figure5a", {}, 0) != stable_key("figure5b", {}, 0)
+
+    def test_params_matter(self):
+        assert stable_key("x", {"max_time": 600}, 0) != stable_key(
+            "x", {"max_time": 601}, 0
+        )
+
+    def test_seed_matters(self):
+        assert stable_key("x", {}, 1) != stable_key("x", {}, 2)
+
+    def test_numpy_scalars_normalize(self):
+        assert stable_key("x", {"n": np.int64(5)}, 0) == stable_key(
+            "x", {"n": 5}, 0
+        )
+
+    def test_spawned_children_get_distinct_keys(self):
+        child_a, child_b = np.random.SeedSequence(3).spawn(2)
+        assert stable_key("x", {}, child_a) != stable_key("x", {}, child_b)
+
+    def test_respawned_children_get_equal_keys(self):
+        first = np.random.SeedSequence(3).spawn(2)[1]
+        second = np.random.SeedSequence(3).spawn(2)[1]
+        assert stable_key("x", {}, first) == stable_key("x", {}, second)
+
+    def test_dataclass_params_are_stable(self):
+        spec = PopulationSpec(total_hosts=1000)
+        assert stable_key("x", {"spec": spec}, 0) == stable_key(
+            "x", {"spec": PopulationSpec(total_hosts=1000)}, 0
+        )
+        assert stable_key("x", {"spec": spec}, 0) != stable_key(
+            "x", {"spec": PopulationSpec(total_hosts=2000)}, 0
+        )
+
+    def test_array_params_hash_contents(self):
+        a = np.arange(10, dtype=np.uint32)
+        assert stable_key("x", {"hosts": a}, 0) == stable_key(
+            "x", {"hosts": a.copy()}, 0
+        )
+        assert stable_key("x", {"hosts": a}, 0) != stable_key(
+            "x", {"hosts": a + 1}, 0
+        )
+
+
+class TestResultCache:
+    def test_miss_on_empty(self, cache):
+        assert cache.get("deadbeef") is MISS
+        assert cache.misses == 1
+
+    def test_roundtrip(self, cache):
+        cache.put("k", {"value": np.arange(4)})
+        hit = cache.get("k")
+        assert hit is not MISS
+        assert np.array_equal(hit["value"], np.arange(4))
+        assert cache.hits == 1
+
+    def test_cached_none_is_a_hit(self, cache):
+        cache.put("k", None)
+        assert cache.get("k") is None
+        assert cache.hits == 1
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        cache.put("k", 123)
+        cache.path_for("k").write_bytes(b"not a pickle")
+        assert cache.get("k") is MISS
+
+    def test_contains_and_keys(self, cache):
+        assert "k" not in cache
+        cache.put("k", 1)
+        assert "k" in cache
+        assert list(cache.keys()) == ["k"]
+
+    def test_clear(self, cache):
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert cache.get("a") is MISS
+
+    def test_env_var_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "envcache"

@@ -1,0 +1,79 @@
+"""End-to-end: registry campaigns through the trial runner.
+
+Scaled-down version of the acceptance check for the parallel runner —
+``figure5b`` under ``workers=N`` must reproduce the serial run
+bitwise, and cached re-runs must return the same objects.
+"""
+
+import pytest
+
+from repro.experiments import registry
+from repro.population.synthesis import PopulationSpec
+from repro.runtime import ResultCache, results_equal
+
+SMALL_ANCHORS = ((0, 0.0), (10, 0.106), (100, 0.5049), (1000, 1.0))
+TINY_SPEC = PopulationSpec(
+    total_hosts=6_000,
+    num_slash8=20,
+    num_slash16=1_000,
+    anchors=SMALL_ANCHORS,
+    major_slash8s=10,
+    major_share=0.94,
+)
+FIGURE5B_PARAMS = dict(
+    population_spec=TINY_SPEC,
+    hitlist_sizes=(10, 100),
+    max_time=300.0,
+    seed=2005,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_campaign():
+    return registry.get("figure5b").run(
+        trials=2, workers=1, **FIGURE5B_PARAMS
+    )
+
+
+class TestFigure5BCampaign:
+    def test_parallel_matches_serial_bitwise(self, serial_campaign):
+        parallel = registry.get("figure5b").run(
+            trials=2, workers=2, **FIGURE5B_PARAMS
+        )
+        assert results_equal(serial_campaign.results, parallel.results)
+
+    def test_intra_experiment_workers_match_serial(self, serial_campaign):
+        # With trials=1 the registry forwards workers into the
+        # experiment's own fan-out (per hit-list size here); worker
+        # count still cannot change results.
+        single_serial = registry.get("figure5b").run(
+            trials=1, workers=1, **FIGURE5B_PARAMS
+        )
+        single_fanned = registry.get("figure5b").run(
+            trials=1, workers=2, **FIGURE5B_PARAMS
+        )
+        assert results_equal(single_serial.results, single_fanned.results)
+
+    def test_trials_differ(self, serial_campaign):
+        assert not results_equal(
+            serial_campaign.results[0], serial_campaign.results[1]
+        )
+
+    def test_cached_rerun_matches(self, serial_campaign, tmp_path):
+        cache = ResultCache(tmp_path)
+        experiment = registry.get("figure5b")
+        first = experiment.run(
+            trials=2, workers=1, cache=cache, **FIGURE5B_PARAMS
+        )
+        assert cache.misses == 2
+        second = experiment.run(
+            trials=2, workers=1, cache=cache, **FIGURE5B_PARAMS
+        )
+        assert cache.hits == 2
+        assert results_equal(first.results, second.results)
+        assert results_equal(first.results, serial_campaign.results)
+
+    def test_formatted_has_one_section_per_trial(self, serial_campaign):
+        text = serial_campaign.formatted()
+        assert "figure5b trial 1/2" in text
+        assert "figure5b trial 2/2" in text

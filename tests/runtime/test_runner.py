@@ -1,0 +1,154 @@
+"""Tests for the parallel trial runner.
+
+The load-bearing property: a campaign's results depend only on its
+trials' seed material — not on worker count, execution order, or
+process placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.cidr import BlockSet, CIDRBlock
+from repro.population.model import HostPopulation
+from repro.runtime import ResultCache, Trial, TrialRunner, results_equal
+from repro.runtime.runner import resolve_workers
+from repro.sim.engine import (
+    EpidemicSimulator,
+    SimulationConfig,
+    run_simulation_trial,
+)
+from repro.worms.hitlist import HitListWorm
+
+SPACE = CIDRBlock.parse("60.0.0.0/18")
+
+
+def outbreak_trial(count=400, seed=None):
+    """One small closed-space outbreak; module-level for pickling.
+
+    The population layout is fixed; the trial seed drives only seed
+    choice and scan randomness, so two trials with the same seed
+    material are bitwise identical wherever they execute.
+    """
+    layout_rng = np.random.default_rng(0)
+    low = layout_rng.choice(SPACE.size, size=count, replace=False)
+    population = HostPopulation(
+        (np.uint32(SPACE.network) + low).astype(np.uint32)
+    )
+    simulator = EpidemicSimulator(HitListWorm(BlockSet([SPACE])), population)
+    config = SimulationConfig(
+        scan_rate=30.0, max_time=400.0, seed_count=3, stop_at_fraction=0.9
+    )
+    return run_simulation_trial(simulator, config, seed)
+
+
+def echo_trial(value, seed=None):
+    return value
+
+
+def failing_trial(seed=None):
+    raise ValueError("trial exploded")
+
+
+class TestDeterminism:
+    def test_serial_and_parallel_runs_are_bitwise_identical(self):
+        serial = TrialRunner(workers=1).run_repeated(
+            outbreak_trial, {"count": 400}, trials=4, base_seed=42
+        )
+        parallel = TrialRunner(workers=2).run_repeated(
+            outbreak_trial, {"count": 400}, trials=4, base_seed=42
+        )
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            # SimulationResult equality is bitwise across every array.
+            assert a == b
+        assert results_equal(serial, parallel)
+
+    def test_trials_are_independent(self):
+        results = TrialRunner(workers=1).run_repeated(
+            outbreak_trial, {"count": 400}, trials=2, base_seed=42
+        )
+        assert not results_equal(results[0], results[1])
+
+    def test_base_seed_changes_results(self):
+        first = TrialRunner(workers=1).run_repeated(
+            outbreak_trial, {"count": 400}, trials=1, base_seed=1
+        )
+        second = TrialRunner(workers=1).run_repeated(
+            outbreak_trial, {"count": 400}, trials=1, base_seed=2
+        )
+        assert not results_equal(first, second)
+
+
+class TestExecution:
+    def test_order_preserved_under_parallelism(self):
+        trials = [
+            Trial(func=echo_trial, kwargs={"value": index})
+            for index in range(20)
+        ]
+        assert TrialRunner(workers=4).run(trials) == list(range(20))
+
+    def test_unpicklable_trial_falls_back_to_serial(self):
+        trials = [
+            Trial(func=lambda seed=None, v=v: v, kwargs={}) for v in range(3)
+        ]
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results = TrialRunner(workers=2).run(trials)
+        assert results == [0, 1, 2]
+
+    def test_trial_errors_propagate(self):
+        with pytest.raises(ValueError, match="trial exploded"):
+            TrialRunner(workers=1).run([Trial(func=failing_trial)])
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            TrialRunner(workers=2, chunk_size=0)
+
+
+class TestCaching:
+    def test_second_campaign_is_all_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = TrialRunner(workers=1, cache=cache)
+        first = runner.run_repeated(
+            outbreak_trial,
+            {"count": 400},
+            trials=3,
+            base_seed=42,
+            cache_namespace="outbreak",
+        )
+        assert cache.misses == 3 and cache.hits == 0
+        second = runner.run_repeated(
+            outbreak_trial,
+            {"count": 400},
+            trials=3,
+            base_seed=42,
+            cache_namespace="outbreak",
+        )
+        assert cache.hits == 3
+        assert results_equal(first, second)
+
+    def test_param_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = TrialRunner(workers=1, cache=cache)
+        for count in (300, 350):
+            runner.run_repeated(
+                outbreak_trial,
+                {"count": count},
+                trials=1,
+                base_seed=42,
+                cache_namespace="outbreak",
+            )
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_uncached_without_namespace(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = TrialRunner(workers=1, cache=cache)
+        runner.run_repeated(echo_trial, {"value": 1}, trials=2, base_seed=0)
+        assert cache.hits == cache.misses == 0
+        assert list(cache.keys()) == []

@@ -1,0 +1,73 @@
+"""Tests for the seed-spawning discipline."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.seeding import (
+    as_seed_sequence,
+    seed_fingerprint,
+    spawn_trial_sequences,
+)
+
+
+class TestSpawn:
+    def test_same_base_same_children(self):
+        first = spawn_trial_sequences(42, 5)
+        second = spawn_trial_sequences(42, 5)
+        assert [seed_fingerprint(s) for s in first] == [
+            seed_fingerprint(s) for s in second
+        ]
+
+    def test_children_yield_identical_generators(self):
+        first = spawn_trial_sequences(42, 3)
+        second = spawn_trial_sequences(42, 3)
+        for a, b in zip(first, second):
+            assert np.array_equal(
+                np.random.default_rng(a).random(100),
+                np.random.default_rng(b).random(100),
+            )
+
+    def test_children_are_distinct_streams(self):
+        children = spawn_trial_sequences(42, 3)
+        draws = [np.random.default_rng(c).random(50) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_different_base_different_children(self):
+        assert seed_fingerprint(
+            spawn_trial_sequences(1, 1)[0]
+        ) != seed_fingerprint(spawn_trial_sequences(2, 1)[0])
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            spawn_trial_sequences(42, 0)
+
+
+class TestAsSeedSequence:
+    def test_wraps_int(self):
+        sequence = as_seed_sequence(7)
+        assert isinstance(sequence, np.random.SeedSequence)
+        assert sequence.entropy == 7
+
+    def test_idempotent(self):
+        sequence = np.random.SeedSequence(7)
+        assert as_seed_sequence(sequence) is sequence
+
+
+class TestFingerprint:
+    def test_int_passthrough(self):
+        assert seed_fingerprint(5) == 5
+        assert seed_fingerprint(np.int64(5)) == 5
+
+    def test_none_passthrough(self):
+        assert seed_fingerprint(None) is None
+
+    def test_sequence_captures_spawn_key(self):
+        parent = np.random.SeedSequence(9)
+        child_a, child_b = parent.spawn(2)
+        assert seed_fingerprint(child_a) != seed_fingerprint(child_b)
+        assert seed_fingerprint(child_a)["entropy"] == 9
+
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            seed_fingerprint("not-a-seed")

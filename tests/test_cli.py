@@ -11,6 +11,13 @@ class TestParser:
         out = capsys.readouterr().out
         assert "table1" in out and "figure5c" in out
 
+    def test_list_shows_titles_and_defaults(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1 — botnet propagation commands" in out
+        assert "defaults:" in out
+        assert "seed=2004" in out
+
     def test_no_args_lists(self, capsys):
         assert main([]) == 0
         assert "figure2" in capsys.readouterr().out
@@ -34,9 +41,59 @@ class TestParser:
         args = parser.parse_args(["figure1", "--set", "block_spec=99.0.0.0/17"])
         assert dict(args.overrides)["block_spec"] == "99.0.0.0/17"
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1", "--trials", "0"],
+            ["table1", "--trials", "-3"],
+            ["table1", "--trials", "many"],
+            ["table1", "--workers", "-1"],
+            ["table1", "--workers", "two"],
+        ],
+    )
+    def test_rejects_bad_counts(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_workers_zero_means_all_cores(self):
+        args = build_parser().parse_args(["table1", "--workers", "0"])
+        assert args.workers == 0
+
+    def test_cache_flag_round_trip(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1", "--cache"]).cache is True
+        assert parser.parse_args(["table1", "--no-cache"]).cache is False
+        assert parser.parse_args(["table1"]).cache is False
+
 
 class TestRun:
     def test_runs_table1(self, capsys):
         assert main(["table1", "--set", "seed=5"]) == 0
         out = capsys.readouterr().out
         assert "scan" in out
+
+    def test_unknown_override_is_a_clean_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--set", "bogus_param=1"])
+        assert excinfo.value.code == 2
+        assert "invalid arguments" in capsys.readouterr().err
+
+    def test_multi_trial_run(self, capsys):
+        assert main(["table1", "--trials", "2", "--set", "seed=5"]) == 0
+        out = capsys.readouterr().out
+        assert "table1 trial 1/2" in out and "table1 trial 2/2" in out
+
+    def test_cached_rerun_matches(self, tmp_path, capsys):
+        argv = [
+            "table1",
+            "--cache",
+            "--cache-dir",
+            str(tmp_path),
+            "--set",
+            "seed=5",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("*.pkl"))
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
