@@ -10,8 +10,6 @@ local preference from outside the region ≈ blind).
 import numpy as np
 import pytest
 
-from conftest import run_once
-
 from repro.analysis.coverage import (
     scan_coverage_curve,
     uniform_coverage_expectation,

@@ -11,7 +11,7 @@ sensitivity — is the binding constraint, which is the paper's point.
 import numpy as np
 import pytest
 
-from repro.net.cidr import BlockSet, CIDRBlock
+from repro.net.cidr import BlockSet
 from repro.population.model import HostPopulation
 from repro.sensors.deployment import SensorGrid, place_random
 from repro.sim.engine import EpidemicSimulator, SimulationConfig

@@ -11,10 +11,18 @@ exact definition of "run Figure 5b" that the CLI and the parallel
 trial runner use.
 """
 
+import importlib.util
+
 import pytest
 
 from repro.experiments import registry
 from repro.population.synthesis import PopulationSpec
+
+# Plain `pytest benchmarks/` without the pytest-benchmark plugin would
+# otherwise collect every bench_*.py (pyproject's python_files) and
+# fail on the missing `benchmark` fixture; skip collection instead.
+if importlib.util.find_spec("pytest_benchmark") is None:
+    collect_ignore_glob = ["bench_*.py"]
 
 SMALL_ANCHORS = ((0, 0.0), (10, 0.106), (100, 0.5049), (1000, 1.0))
 

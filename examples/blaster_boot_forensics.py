@@ -15,7 +15,6 @@ Usage::
     python examples/blaster_boot_forensics.py
 """
 
-import numpy as np
 
 from repro.experiments import figure1
 

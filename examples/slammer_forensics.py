@@ -26,7 +26,6 @@ from repro.worms.slammer import (
     SLAMMER_B_VALUES,
     SLAMMER_INTENDED_B,
     SQLSORT_IAT_VALUES,
-    SlammerWorm,
     state_to_address,
 )
 

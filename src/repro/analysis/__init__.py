@@ -11,6 +11,11 @@
     from the LCG cycle structure (Figures 2/3).
 ``filtering_study``
     The Table 2 enterprise-vs-broadband leaked-infection comparison.
+``lint``
+    The determinism & reproducibility static-analysis suite behind
+    ``hotspots lint`` (error codes RP001-RP006) — not imported here
+    to keep paper-analysis imports light; see
+    :mod:`repro.analysis.lint`.
 """
 
 from repro.analysis.blaster_seeds import BlasterSweepModel, SeedTargetMap

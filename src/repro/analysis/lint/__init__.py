@@ -1,0 +1,57 @@
+"""Determinism & reproducibility lint (``hotspots lint``).
+
+A custom AST-based static-analysis pass that mechanically enforces
+the discipline the reproduction's results rest on — seeded,
+explicitly-passed RNGs, pure model layers, picklable parallel
+dispatch, deliberate float comparison, and a consistent experiment
+registry.  Error codes:
+
+========  ==========================================================
+RP001     no global-state RNG (stdlib ``random``, ``np.random.seed``,
+          ``np.random.RandomState``) inside ``src/repro``
+RP002     no ``np.random.default_rng()`` without a seed outside
+          designated entrypoints
+RP003     no wall-clock / OS-entropy / unsorted-set nondeterminism in
+          ``sim``, ``worms``, ``env``, ``sensors``
+RP004     callables dispatched through ``TrialRunner`` must be
+          module-level (picklable)
+RP005     float ``==`` must use ``isclose`` or carry ``# bitwise``
+RP006     registry defaults bind to real runner parameters and every
+          experiment id is referenced by a test
+========  ==========================================================
+
+Suppression: inline ``# noqa: RPxxx`` on the flagged line(s), or a
+path-glob baseline under ``[tool.hotspots-lint]`` in
+``pyproject.toml`` (see :mod:`repro.analysis.lint.config`).
+"""
+
+from repro.analysis.lint.checkers import (
+    CHECKER_CLASSES,
+    all_checkers,
+    checkers_for_codes,
+)
+from repro.analysis.lint.config import LintConfig, load_config
+from repro.analysis.lint.diagnostics import Diagnostic, render_json, render_text
+from repro.analysis.lint.framework import (
+    Checker,
+    ImportResolver,
+    LintReport,
+    ProjectChecker,
+    run_lint,
+)
+
+__all__ = [
+    "CHECKER_CLASSES",
+    "Checker",
+    "Diagnostic",
+    "ImportResolver",
+    "LintConfig",
+    "LintReport",
+    "ProjectChecker",
+    "all_checkers",
+    "checkers_for_codes",
+    "load_config",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

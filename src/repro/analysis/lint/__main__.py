@@ -1,0 +1,8 @@
+"""``python -m repro.analysis.lint`` — same as ``hotspots lint``."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""RP004 — work dispatched through ``TrialRunner`` must be picklable.
+
+``ProcessPoolExecutor`` pickles each :class:`~repro.runtime.runner.Trial`
+to ship it to a worker.  A lambda or a function defined inside another
+function cannot be pickled, so a parallel campaign silently degrades
+to the serial fallback path — the run still *works*, which is exactly
+why only a static check catches the regression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker
+
+#: Call targets whose ``func`` argument fans out through the pool.
+_TRIAL_CONSTRUCTOR = "Trial"
+_DISPATCH_METHODS = {"run_repeated"}
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                walk(child, True)
+            elif isinstance(child, ast.Lambda):
+                walk(child, True)
+            else:
+                walk(child, inside_function)
+
+    walk(tree, False)
+    return nested
+
+
+def _func_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The ``func`` payload of a fan-out call, if this is one."""
+    if isinstance(node.func, ast.Name) and node.func.id == _TRIAL_CONSTRUCTOR:
+        for keyword in node.keywords:
+            if keyword.arg == "func":
+                return keyword.value
+        if node.args:
+            return node.args[0]
+        return None
+    callee: Optional[str] = None
+    if isinstance(node.func, ast.Attribute):
+        callee = node.func.attr
+    elif isinstance(node.func, ast.Name):
+        callee = node.func.id
+    if callee in _DISPATCH_METHODS:
+        for keyword in node.keywords:
+            if keyword.arg == "func":
+                return keyword.value
+        if node.args:
+            return node.args[0]
+    return None
+
+
+class PicklableDispatchChecker(Checker):
+    """RP004: no lambdas/closures at ``TrialRunner`` fan-out sites."""
+
+    code = "RP004"
+    name = "picklable-dispatch"
+    rationale = (
+        "lambdas and nested functions cannot be pickled, so handing "
+        "one to `Trial`/`run_repeated` silently forfeits parallelism "
+        "via the serial fallback; dispatched callables must be "
+        "module-level"
+    )
+    scope = ("src", "tests", "benchmarks")
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        nested = _nested_function_names(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            payload = _func_argument(node)
+            if payload is None:
+                continue
+            if isinstance(payload, ast.Lambda):
+                yield self.diagnostic(
+                    relpath,
+                    payload,
+                    "lambda passed to a TrialRunner fan-out site is "
+                    "unpicklable; use a module-level function",
+                )
+            elif isinstance(payload, ast.Name) and payload.id in nested:
+                yield self.diagnostic(
+                    relpath,
+                    payload,
+                    f"nested function `{payload.id}` passed to a "
+                    "TrialRunner fan-out site is unpicklable; move it "
+                    "to module level",
+                )

@@ -1,0 +1,76 @@
+"""RP005 — float equality must be deliberate.
+
+``x == 0.1`` is usually a bug (accumulated rounding), but this
+codebase also has *intentional* bitwise comparisons: the
+``SimulationResult.__eq__`` contract behind "parallel equals serial"
+and "cache hit equals fresh run".  The rule therefore demands that a
+float ``==``/``!=`` either use a tolerance (``np.isclose`` /
+``math.isclose``) or carry an explicit ``# bitwise`` marker stating
+exactness is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker
+
+#: The sanctioned marker for intentional exact float comparison.
+BITWISE_MARKER = "# bitwise"
+
+
+def _is_float_expression(node: ast.expr) -> bool:
+    """True for float literals, ``float(...)`` calls, and negations."""
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expression(node.operand)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    return False
+
+
+class FloatEqualityChecker(Checker):
+    """RP005: float ``==`` needs ``isclose`` or a ``# bitwise`` marker."""
+
+    code = "RP005"
+    name = "deliberate-float-equality"
+    rationale = (
+        "bare float == hides rounding drift; use np.isclose/"
+        "math.isclose, or mark intentional exact comparisons with "
+        "`# bitwise` (the SimulationResult.__eq__ contract)"
+    )
+    scope = ("src", "tests")
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        lines = source.splitlines()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(
+                isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+            ):
+                continue
+            operands = [node.left, *node.comparators]
+            if not any(_is_float_expression(operand) for operand in operands):
+                continue
+            first = node.lineno
+            last = node.end_lineno or first
+            flagged_span = lines[first - 1 : min(last, len(lines))]
+            if any(BITWISE_MARKER in line for line in flagged_span):
+                continue
+            yield self.diagnostic(
+                relpath,
+                node,
+                "float equality comparison; use np.isclose/math.isclose "
+                "or mark intentional exactness with `# bitwise`",
+            )

@@ -1,0 +1,130 @@
+"""RP003 — no wall-clock or environment nondeterminism in model code.
+
+The simulation layers (``sim/``, ``worms/``, ``env/``, ``sensors/``)
+compute pure functions of ``(parameters, seed)``.  A wall-clock read,
+OS entropy, or iteration over an unsorted ``set`` (string hashing is
+randomized per process) quietly couples results to the machine and
+the moment — the drift the serial≡parallel and cache-replay
+invariants exist to rule out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, ImportResolver
+
+#: Canonical dotted names whose *call* is inherently nondeterministic.
+_FORBIDDEN_CALLS = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "time.monotonic": "wall-clock read",
+    "time.monotonic_ns": "wall-clock read",
+    "time.perf_counter": "wall-clock read",
+    "time.perf_counter_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.randbelow": "OS entropy",
+    "uuid.uuid1": "host/time-derived id",
+    "uuid.uuid4": "OS entropy",
+}
+
+#: Calls that consume an iterable and preserve its (set) order.
+_ORDER_SENSITIVE_WRAPPERS = {"list", "tuple", "enumerate", "iter"}
+
+
+def _set_expression(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if it produces a ``set``, else ``None``."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in {"set", "frozenset"}
+    ):
+        return f"`{node.func.id}(...)`"
+    return None
+
+
+class NondeterminismChecker(Checker):
+    """RP003: model code must be a pure function of (params, seed)."""
+
+    code = "RP003"
+    name = "no-ambient-nondeterminism"
+    rationale = (
+        "wall-clock reads, OS entropy, and unsorted-set iteration make "
+        "results depend on the machine, the moment, or the hash seed; "
+        "model layers must be pure functions of parameters and seed"
+    )
+    scope = (
+        "src/repro/sim",
+        "src/repro/worms",
+        "src/repro/env",
+        "src/repro/sensors",
+    )
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        resolver = ImportResolver.for_tree(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                dotted = resolver.resolve(node.func)
+                if dotted in _FORBIDDEN_CALLS:
+                    yield self.diagnostic(
+                        relpath,
+                        node,
+                        f"`{dotted}` is {_FORBIDDEN_CALLS[dotted]}; "
+                        "results must not depend on when or where "
+                        "they are computed",
+                    )
+                    continue
+                # list(set(...)) / enumerate(set(...)): order escapes.
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in _ORDER_SENSITIVE_WRAPPERS
+                    and node.args
+                ):
+                    described = _set_expression(node.args[0])
+                    if described is not None:
+                        yield self.diagnostic(
+                            relpath,
+                            node,
+                            f"`{node.func.id}(...)` over {described} "
+                            "leaks hash-dependent ordering; wrap in "
+                            "`sorted(...)`",
+                        )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                described = _set_expression(node.iter)
+                if described is not None:
+                    yield self.diagnostic(
+                        relpath,
+                        node.iter,
+                        f"iterating {described} leaks hash-dependent "
+                        "ordering; wrap in `sorted(...)`",
+                    )
+            elif isinstance(node, ast.comprehension):
+                described = _set_expression(node.iter)
+                if described is not None:
+                    yield self.diagnostic(
+                        relpath,
+                        node.iter,
+                        f"iterating {described} in a comprehension "
+                        "leaks hash-dependent ordering; wrap in "
+                        "`sorted(...)`",
+                    )

@@ -1,0 +1,153 @@
+"""RP006 — the experiment registry must stay consistent.
+
+Every registered :class:`~repro.experiments.registry.Experiment` is a
+cache identity and a CLI contract.  Three invariants are checked by
+importing the real registry rather than parsing it:
+
+* the runner resolves (its module imports, the attribute exists);
+* every registry-level default names a real runner parameter (a typo
+  here silently changes what gets cached under which key);
+* the seed parameter exists on the runner (the trial runner injects
+  per-trial ``SeedSequence`` children through it);
+* every experiment id is referenced by at least one test file, so no
+  artifact can silently lose coverage.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import ProjectChecker
+
+
+def _registry_anchor(
+    registry_source: Optional[list[str]], experiment_id: str
+) -> int:
+    """The registry-source line declaring ``experiment_id`` (or 1)."""
+    if registry_source is None:
+        return 1
+    for index, line in enumerate(registry_source, start=1):
+        if f'id="{experiment_id}"' in line or f"id='{experiment_id}'" in line:
+            return index
+    return 1
+
+
+def _accepts_kwargs(signature: inspect.Signature) -> bool:
+    return any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in signature.parameters.values()
+    )
+
+
+class RegistryConsistencyChecker(ProjectChecker):
+    """RP006: registered experiments resolve, bind, and are tested."""
+
+    code = "RP006"
+    name = "registry-consistency"
+    rationale = (
+        "a default that names no runner parameter, an unresolvable "
+        "runner, or an experiment no test references silently corrupts "
+        "cache keys and coverage; the registry is checked against the "
+        "real signatures and the test tree"
+    )
+    scope = ()
+
+    def check_project(
+        self, root: Path, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        try:
+            registry_module = importlib.import_module(config.registry_module)
+        except Exception as error:  # pragma: no cover - import env issue
+            yield Diagnostic(
+                path=config.registry_module.replace(".", "/") + ".py",
+                line=1,
+                col=0,
+                code=self.code,
+                message=f"registry module does not import: {error}",
+            )
+            return
+        registry: Mapping[str, Any] = getattr(
+            registry_module, config.registry_attr, {}
+        )
+        module_file = getattr(registry_module, "__file__", None)
+        registry_path = (
+            Path(module_file).resolve() if module_file else None
+        )
+        relpath = config.registry_module.replace(".", "/") + ".py"
+        registry_source: Optional[list[str]] = None
+        if registry_path is not None and registry_path.is_file():
+            registry_source = registry_path.read_text(
+                encoding="utf-8"
+            ).splitlines()
+            try:
+                relpath = registry_path.relative_to(
+                    root.resolve()
+                ).as_posix()
+            except ValueError:
+                relpath = registry_path.as_posix()
+
+        tests_root = root / config.tests_path
+        test_texts: list[str] = []
+        if tests_root.is_dir():
+            for test_file in sorted(tests_root.rglob("*.py")):
+                rel = test_file.resolve()
+                try:
+                    rel_posix = rel.relative_to(root.resolve()).as_posix()
+                except ValueError:
+                    rel_posix = test_file.as_posix()
+                if config.is_excluded(rel_posix):
+                    continue
+                test_texts.append(test_file.read_text(encoding="utf-8"))
+
+        for experiment_id, experiment in sorted(registry.items()):
+            line = _registry_anchor(registry_source, experiment_id)
+
+            def report(message: str) -> Diagnostic:
+                return Diagnostic(
+                    path=relpath,
+                    line=line,
+                    col=0,
+                    code=self.code,
+                    message=f"experiment {experiment_id!r}: {message}",
+                )
+
+            try:
+                runner, formatter = experiment.resolve()
+            except Exception as error:
+                yield report(f"runner does not resolve: {error}")
+                continue
+            try:
+                signature = inspect.signature(runner)
+            except (TypeError, ValueError):
+                yield report("runner has no inspectable signature")
+                continue
+            parameters = set(signature.parameters)
+            if not _accepts_kwargs(signature):
+                for name in sorted(experiment.defaults):
+                    if name not in parameters:
+                        yield report(
+                            f"default {name!r} names no parameter of "
+                            f"{experiment.module}.{experiment.runner}()"
+                        )
+                seed_param = getattr(experiment, "seed_param", "seed")
+                if seed_param not in parameters:
+                    yield report(
+                        f"seed parameter {seed_param!r} missing from "
+                        f"{experiment.module}.{experiment.runner}(); "
+                        "multi-trial campaigns cannot inject seeds"
+                    )
+            if not callable(formatter):
+                yield report("formatter is not callable")
+            if test_texts and not any(
+                experiment_id in text for text in test_texts
+            ):
+                yield report(
+                    f"id is referenced by no test under "
+                    f"{config.tests_path}/; every artifact needs at "
+                    "least one test"
+                )

@@ -1,0 +1,140 @@
+"""RP001/RP002 — randomness must flow through seeded, passed-in RNGs.
+
+The reproduction's determinism contract is that every stochastic
+function takes an explicit ``rng: np.random.Generator`` argument and
+all entropy descends from one campaign ``SeedSequence``.  Global
+RNG state (``random``, ``np.random.seed``, ``np.random.RandomState``)
+and unseeded generators break that contract silently: results drift
+without any test failing — exactly the corruption mode the paper's
+PRNG case studies (Blaster's boot-time seeds, Slammer's broken LCG)
+show dominates real outcomes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker, ImportResolver
+
+#: Canonical dotted names that manipulate numpy's *global* RNG state.
+_GLOBAL_STATE_NAMES = {
+    "numpy.random.seed",
+    "numpy.random.RandomState",
+}
+
+
+class GlobalRandomChecker(Checker):
+    """RP001: no global-state RNG inside ``src/repro``."""
+
+    code = "RP001"
+    name = "no-global-rng"
+    rationale = (
+        "stdlib `random` and numpy's global RNG (`np.random.seed`, "
+        "`np.random.RandomState`) are process-wide mutable state; any "
+        "use breaks the explicit rng-passing discipline and makes "
+        "trial results depend on call order"
+    )
+    scope = ("src/repro",)
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        resolver = ImportResolver.for_tree(tree)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".", 1)[0]
+                    if root == "random":
+                        yield self.diagnostic(
+                            relpath,
+                            node,
+                            "stdlib `random` imported; thread a seeded "
+                            "`np.random.Generator` through instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None:
+                    root = node.module.split(".", 1)[0]
+                    if root == "random":
+                        yield self.diagnostic(
+                            relpath,
+                            node,
+                            "stdlib `random` imported; thread a seeded "
+                            "`np.random.Generator` through instead",
+                        )
+                    elif node.module.startswith("numpy"):
+                        for alias in node.names:
+                            dotted = f"{node.module}.{alias.name}"
+                            if dotted in _GLOBAL_STATE_NAMES:
+                                yield self.diagnostic(
+                                    relpath,
+                                    node,
+                                    f"`{dotted}` is global RNG state; "
+                                    "use `np.random.default_rng(seed)`",
+                                )
+            elif isinstance(node, ast.Attribute):
+                dotted = resolver.resolve(node)
+                if dotted in _GLOBAL_STATE_NAMES:
+                    yield self.diagnostic(
+                        relpath,
+                        node,
+                        f"`{dotted}` is global RNG state; "
+                        "use `np.random.default_rng(seed)`",
+                    )
+            elif isinstance(node, ast.Name) and not isinstance(
+                node.ctx, ast.Store
+            ):
+                dotted = resolver.resolve(node)
+                if dotted in _GLOBAL_STATE_NAMES:
+                    yield self.diagnostic(
+                        relpath,
+                        node,
+                        f"`{dotted}` is global RNG state; "
+                        "use `np.random.default_rng(seed)`",
+                    )
+
+
+class UnseededRngChecker(Checker):
+    """RP002: ``default_rng()`` needs an explicit seed argument."""
+
+    code = "RP002"
+    name = "no-unseeded-rng"
+    rationale = (
+        "`np.random.default_rng()` with no seed draws OS entropy, so "
+        "two runs of the same experiment differ; outside designated "
+        "interactive entrypoints every generator must be seeded or "
+        "spawned from the campaign SeedSequence"
+    )
+    scope = ("src/repro",)
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        if config.is_entrypoint(relpath):
+            return
+        resolver = ImportResolver.for_tree(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = resolver.resolve(node.func)
+            if dotted != "numpy.random.default_rng":
+                continue
+            if node.args or node.keywords:
+                continue
+            yield self.diagnostic(
+                relpath,
+                node,
+                "`np.random.default_rng()` without a seed is "
+                "nondeterministic; pass a seed or a spawned "
+                "`SeedSequence` child",
+            )

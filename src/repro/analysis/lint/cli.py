@@ -1,0 +1,145 @@
+"""The ``hotspots lint`` command.
+
+Usage::
+
+    hotspots lint                       # lint the whole project
+    hotspots lint src/repro/sim         # lint a subtree
+    hotspots lint path/to/file.py       # lint one file (all checkers)
+    hotspots lint --format json         # machine-readable output
+    hotspots lint --select RP001,RP005  # a subset of checkers
+    hotspots lint --list-checks         # codes and rationales
+
+Exit status: 0 when clean, 1 when any diagnostic survives
+suppression, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.lint.checkers import (
+    CHECKER_CLASSES,
+    all_checkers,
+    checkers_for_codes,
+)
+from repro.analysis.lint.config import load_config
+from repro.analysis.lint.diagnostics import render_json, render_text
+from repro.analysis.lint.framework import run_lint
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hotspots lint",
+        description="Determinism & reproducibility lint for the "
+        "hotspots reproduction (codes RP001-RP006).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the configured "
+        "project paths)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="project root holding pyproject.toml (default: cwd)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated checker codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-checks",
+        action="store_true",
+        help="list checker codes with rationales and exit",
+    )
+    parser.add_argument(
+        "--registry-module",
+        default=None,
+        metavar="MODULE",
+        help="dotted module holding the experiment registry "
+        "(RP006; default from config)",
+    )
+    parser.add_argument(
+        "--tests-path",
+        default=None,
+        metavar="DIR",
+        help="test tree RP006 scans for experiment-id references "
+        "(default from config)",
+    )
+    parser.add_argument(
+        "--no-project-checks",
+        action="store_true",
+        help="skip project-level checkers (RP006)",
+    )
+    return parser
+
+
+def _list_checks() -> str:
+    lines = []
+    for checker_class in CHECKER_CLASSES:
+        lines.append(f"{checker_class.code}  {checker_class.name}")
+        lines.append(f"       {checker_class.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        print(_list_checks())
+        return 0
+
+    root = (args.root or Path.cwd()).resolve()
+    config = load_config(root)
+    if args.registry_module or args.tests_path:
+        config = dataclasses.replace(
+            config,
+            registry_module=args.registry_module or config.registry_module,
+            tests_path=args.tests_path or config.tests_path,
+        )
+
+    checkers = all_checkers()
+    if args.select:
+        try:
+            checkers = checkers_for_codes(args.select.split(","))
+        except ValueError as error:
+            parser.error(str(error))
+
+    run_project: Optional[bool] = None
+    if args.no_project_checks:
+        run_project = False
+    elif args.registry_module is not None:
+        run_project = True
+
+    report = run_lint(
+        root,
+        paths=list(args.paths) or None,
+        config=config,
+        checkers=checkers,
+        run_project_checks=run_project,
+    )
+    if args.format == "json":
+        print(render_json(report.diagnostics, report.files_checked))
+    else:
+        print(render_text(report.diagnostics, report.files_checked))
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

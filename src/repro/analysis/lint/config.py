@@ -1,0 +1,192 @@
+"""Lint configuration: defaults, ``pyproject.toml`` loading, suppressions.
+
+Configuration lives in ``[tool.hotspots-lint]`` of the project's
+``pyproject.toml``::
+
+    [tool.hotspots-lint]
+    paths = ["src", "tests", "benchmarks"]
+    exclude = ["tests/analysis/lint_fixtures"]
+    entrypoints = ["src/repro/cli.py", "src/repro/__init__.py"]
+
+    [[tool.hotspots-lint.suppress]]
+    path = "src/repro/legacy_module.py"
+    codes = ["RP002"]
+
+``suppress`` entries form the *baseline*: per-path (glob-matched)
+lists of codes that do not fail the build, so a new checker can land
+before the last violation is fixed.  The shipped baseline is empty —
+the repo lints clean — and the defaults below keep the linter useful
+even without a readable ``pyproject.toml`` (Python < 3.11 without
+``tomllib``).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Optional, Sequence
+
+#: Directories walked when ``hotspots lint`` is invoked without paths.
+DEFAULT_PATHS: tuple[str, ...] = ("src", "tests", "benchmarks")
+
+#: Path fragments never linted: checker fixtures *are* violations.
+DEFAULT_EXCLUDE: tuple[str, ...] = ("tests/analysis/lint_fixtures",)
+
+#: Files allowed to call ``np.random.default_rng()`` without a seed
+#: (interactive entrypoints where fresh entropy is the point).
+DEFAULT_ENTRYPOINTS: tuple[str, ...] = (
+    "src/repro/cli.py",
+    "src/repro/__init__.py",
+)
+
+#: Where RP006 finds the experiment registry and the test tree.
+DEFAULT_REGISTRY_MODULE = "repro.experiments.registry"
+DEFAULT_REGISTRY_ATTR = "REGISTRY"
+DEFAULT_TESTS_PATH = "tests"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One baseline entry: codes tolerated under a path glob."""
+
+    path: str
+    codes: tuple[str, ...] = ()
+
+    def matches(self, relpath: str, code: str) -> bool:
+        """True when this entry silences ``code`` in ``relpath``."""
+        if self.codes and code not in self.codes:
+            return False
+        return (
+            fnmatch.fnmatch(relpath, self.path)
+            or relpath == self.path
+            or relpath.startswith(self.path.rstrip("/") + "/")
+        )
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Resolved lint configuration (defaults merged with TOML)."""
+
+    paths: tuple[str, ...] = DEFAULT_PATHS
+    exclude: tuple[str, ...] = DEFAULT_EXCLUDE
+    entrypoints: tuple[str, ...] = DEFAULT_ENTRYPOINTS
+    suppressions: tuple[Suppression, ...] = ()
+    registry_module: str = DEFAULT_REGISTRY_MODULE
+    registry_attr: str = DEFAULT_REGISTRY_ATTR
+    tests_path: str = DEFAULT_TESTS_PATH
+
+    def is_excluded(self, relpath: str) -> bool:
+        """True when ``relpath`` (posix, project-relative) is skipped."""
+        for pattern in self.exclude:
+            if (
+                fnmatch.fnmatch(relpath, pattern)
+                or relpath == pattern
+                or relpath.startswith(pattern.rstrip("/") + "/")
+            ):
+                return True
+        return False
+
+    def is_entrypoint(self, relpath: str) -> bool:
+        """True when ``relpath`` is a designated RP002 entrypoint."""
+        return any(
+            fnmatch.fnmatch(relpath, pattern) or relpath == pattern
+            for pattern in self.entrypoints
+        )
+
+    def is_suppressed(self, relpath: str, code: str) -> bool:
+        """True when the baseline silences ``code`` in ``relpath``."""
+        return any(
+            suppression.matches(relpath, code)
+            for suppression in self.suppressions
+        )
+
+
+def _str_tuple(value: Any, key: str) -> tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not all(
+        isinstance(item, str) for item in value
+    ):
+        raise TypeError(f"[tool.hotspots-lint] {key} must be a list of strings")
+    return tuple(value)
+
+
+def config_from_mapping(data: Mapping[str, Any]) -> LintConfig:
+    """Build a :class:`LintConfig` from a parsed TOML table."""
+    kwargs: dict[str, Any] = {}
+    for key in ("paths", "exclude", "entrypoints"):
+        if key in data:
+            kwargs[key] = _str_tuple(data[key], key)
+    for key, attr in (
+        ("registry-module", "registry_module"),
+        ("registry-attr", "registry_attr"),
+        ("tests-path", "tests_path"),
+    ):
+        value = data.get(key, data.get(attr.replace("-", "_")))
+        if value is not None:
+            if not isinstance(value, str):
+                raise TypeError(f"[tool.hotspots-lint] {key} must be a string")
+            kwargs[attr] = value
+    suppressions = []
+    for entry in data.get("suppress", ()):
+        if not isinstance(entry, Mapping) or "path" not in entry:
+            raise TypeError(
+                "[[tool.hotspots-lint.suppress]] entries need a 'path' key"
+            )
+        suppressions.append(
+            Suppression(
+                path=str(entry["path"]),
+                codes=_str_tuple(entry.get("codes", []), "suppress.codes"),
+            )
+        )
+    kwargs["suppressions"] = tuple(suppressions)
+    return LintConfig(**kwargs)
+
+
+def _read_pyproject_table(pyproject: Path) -> Optional[Mapping[str, Any]]:
+    """The ``[tool.hotspots-lint]`` table, or ``None`` if unavailable."""
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: fall back to defaults.
+        return None
+    try:
+        with open(pyproject, "rb") as handle:
+            document = tomllib.load(handle)
+    except (OSError, tomllib.TOMLDecodeError):
+        return None
+    tool = document.get("tool", {})
+    table = tool.get("hotspots-lint", tool.get("hotspots_lint"))
+    if table is None:
+        return None
+    if not isinstance(table, Mapping):
+        raise TypeError("[tool.hotspots-lint] must be a table")
+    return table
+
+
+def load_config(
+    root: Path, config_file: Optional[Path] = None
+) -> LintConfig:
+    """The effective configuration for a project rooted at ``root``.
+
+    Reads ``config_file`` (default: ``<root>/pyproject.toml``) when a
+    TOML parser is available; otherwise — and when the file or table
+    is absent — the shipped defaults apply unchanged.
+    """
+    pyproject = config_file or (root / "pyproject.toml")
+    table = _read_pyproject_table(pyproject)
+    if table is None:
+        return LintConfig()
+    return config_from_mapping(table)
+
+
+def default_config() -> LintConfig:
+    """The built-in defaults (used when no TOML is readable)."""
+    return LintConfig()
+
+
+__all__: Sequence[str] = [
+    "LintConfig",
+    "Suppression",
+    "config_from_mapping",
+    "default_config",
+    "load_config",
+]

@@ -1,0 +1,76 @@
+"""Lint diagnostics: what a checker reports and how it renders.
+
+A :class:`Diagnostic` is one file/line-anchored finding carrying an
+``RPxxx`` error code.  Rendering is deliberately boring — a
+``path:line:col: CODE message`` text form that editors and CI logs
+hyperlink, and a JSON form for tooling — so checkers stay focused on
+*finding* problems, not describing them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding, anchored to a file location.
+
+    Attributes
+    ----------
+    path:
+        Project-relative path of the offending file (posix separators).
+    line / col:
+        1-based line and 0-based column of the flagged node.
+    code:
+        The ``RPxxx`` error code of the checker that fired.
+    message:
+        Human-readable description of the specific violation.
+    end_line:
+        Last line of the flagged node — inline suppressions anywhere
+        in ``line..end_line`` silence the diagnostic.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    end_line: int = field(default=0, compare=False)
+
+    def render(self) -> str:
+        """The canonical ``path:line:col: CODE message`` text line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def render_text(
+    diagnostics: Sequence[Diagnostic], files_checked: int
+) -> str:
+    """The text report: one line per finding plus a summary line."""
+    lines = [diagnostic.render() for diagnostic in diagnostics]
+    if diagnostics:
+        lines.append(
+            f"found {len(diagnostics)} issue(s) in "
+            f"{len({d.path for d in diagnostics})} file(s) "
+            f"({files_checked} checked)"
+        )
+    else:
+        lines.append(f"clean: {files_checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(
+    diagnostics: Sequence[Diagnostic], files_checked: int
+) -> str:
+    """The JSON report: ``{"diagnostics": [...], "summary": {...}}``."""
+    payload = {
+        "diagnostics": [asdict(diagnostic) for diagnostic in diagnostics],
+        "summary": {
+            "issues": len(diagnostics),
+            "files_with_issues": len({d.path for d in diagnostics}),
+            "files_checked": files_checked,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,311 @@
+"""The shared checker framework behind ``hotspots lint``.
+
+Three layers:
+
+* :class:`Checker` / :class:`ProjectChecker` — the contract a lint
+  rule implements: an ``RPxxx`` code, a one-line rationale, a path
+  scope, and a visitor over one file's AST (or, for project checkers,
+  over the whole project).
+* :class:`ImportResolver` — per-file import-alias tracking so rules
+  can match *canonical* dotted names (``numpy.random.default_rng``)
+  regardless of how a module spelled the import (``import numpy as
+  np``, ``from numpy.random import default_rng as rng_factory``, …).
+* :func:`run_lint` — the driver: walk the configured paths, parse
+  each file once, fan the AST out to every applicable checker, then
+  drop findings silenced by an inline ``# noqa: RPxxx`` marker or the
+  TOML suppression baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.diagnostics import Diagnostic
+
+#: ``# noqa`` (all codes) or ``# noqa: RP001, RP005`` (listed codes).
+_NOQA_PATTERN = re.compile(
+    r"#\s*noqa(?::\s*(?P<codes>[A-Z]+[0-9]+(?:\s*,\s*[A-Z]+[0-9]+)*))?",
+    re.IGNORECASE,
+)
+
+
+class Checker:
+    """One lint rule applied file by file.
+
+    Subclasses set the class attributes and implement
+    :meth:`check_file`; the driver handles walking, parsing, scoping,
+    and suppression.
+    """
+
+    #: The ``RPxxx`` error code this rule reports under.
+    code: str = "RP000"
+    #: Short rule name (shown by ``hotspots lint --list-checks``).
+    name: str = "base"
+    #: One-line rationale (shown by ``--list-checks`` and the docs).
+    rationale: str = ""
+    #: Project-relative path prefixes the rule applies to by default.
+    scope: tuple[str, ...] = ("src/repro",)
+
+    def applies_to(self, relpath: str) -> bool:
+        """True when ``relpath`` falls inside this rule's scope."""
+        return any(
+            relpath == prefix or relpath.startswith(prefix.rstrip("/") + "/")
+            for prefix in self.scope
+        )
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        """Yield diagnostics for one parsed file."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the signature a generator
+
+    def diagnostic(
+        self, relpath: str, node: ast.AST, message: str
+    ) -> Diagnostic:
+        """A :class:`Diagnostic` anchored to ``node``."""
+        line = int(getattr(node, "lineno", 1))
+        return Diagnostic(
+            path=relpath,
+            line=line,
+            col=int(getattr(node, "col_offset", 0)),
+            code=self.code,
+            message=message,
+            end_line=int(getattr(node, "end_lineno", 0) or line),
+        )
+
+
+class ProjectChecker(Checker):
+    """A lint rule over the project as a whole, not a single file.
+
+    Used for consistency rules (RP006) that need to import modules
+    and cross-reference directories rather than visit one AST.
+    """
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def check_project(
+        self, root: Path, config: LintConfig
+    ) -> Iterator[Diagnostic]:
+        """Yield diagnostics for the project rooted at ``root``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes the signature a generator
+
+
+class ImportResolver(ast.NodeVisitor):
+    """Map local names to canonical dotted import paths for one file.
+
+    After visiting a module, :meth:`resolve` turns a ``Name`` or
+    ``Attribute`` expression into the fully-qualified dotted name it
+    denotes (``"numpy.random.seed"``), or ``None`` for names that are
+    not rooted in an import (locals, builtins, attribute chains on
+    call results).
+    """
+
+    def __init__(self) -> None:
+        self.aliases: dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self.aliases[alias.asname] = alias.name
+            else:
+                # ``import numpy.random`` binds the *root* package.
+                root = alias.name.split(".", 1)[0]
+                self.aliases[root] = root
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            return  # relative imports cannot be stdlib/numpy
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+    @classmethod
+    def for_tree(cls, tree: ast.Module) -> "ImportResolver":
+        """A resolver primed with every import in ``tree``."""
+        resolver = cls()
+        resolver.visit(tree)  # generic_visit recurses, so nested imports count
+        return resolver
+
+    def resolve(self, node: ast.expr) -> Optional[str]:
+        """The canonical dotted name of an expression, if import-rooted."""
+        parts: list[str] = []
+        current: ast.expr = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.aliases.get(current.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def inline_suppressed(
+    diagnostic: Diagnostic, source_lines: Sequence[str]
+) -> bool:
+    """True when a ``# noqa`` marker on the flagged lines applies."""
+    first = max(diagnostic.line, 1)
+    last = max(diagnostic.end_line, first)
+    for lineno in range(first, min(last, len(source_lines)) + 1):
+        for match in _NOQA_PATTERN.finditer(source_lines[lineno - 1]):
+            codes = match.group("codes")
+            if codes is None:
+                return True
+            listed = {code.strip().upper() for code in codes.split(",")}
+            if diagnostic.code.upper() in listed:
+                return True
+    return False
+
+
+def _iter_python_files(
+    root: Path, paths: Sequence[Path], config: LintConfig
+) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = (path,)
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            continue
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            yield candidate
+
+
+def _relative_posix(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+class LintReport:
+    """The outcome of one lint run."""
+
+    def __init__(
+        self, diagnostics: Sequence[Diagnostic], files_checked: int
+    ) -> None:
+        self.diagnostics = tuple(sorted(diagnostics))
+        self.files_checked = files_checked
+
+    @property
+    def clean(self) -> bool:
+        """True when no diagnostic survived suppression."""
+        return not self.diagnostics
+
+
+def run_lint(
+    root: Path,
+    paths: Optional[Sequence[Path]] = None,
+    config: Optional[LintConfig] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+    run_project_checks: Optional[bool] = None,
+) -> LintReport:
+    """Lint a project and return the surviving diagnostics.
+
+    ``paths`` defaults to the configured lint roots under ``root``.
+    When the caller passes explicit *files*, every file checker runs
+    on them regardless of its scope (so a fixture or an out-of-tree
+    file can be linted directly), and project-level checkers are
+    skipped unless ``run_project_checks`` forces them on.
+    """
+    if config is None:
+        from repro.analysis.lint.config import load_config
+
+        config = load_config(root)
+    if checkers is None:
+        from repro.analysis.lint.checkers import all_checkers
+
+        checkers = all_checkers()
+
+    explicit = paths is not None
+    if paths is None:
+        paths = [root / entry for entry in config.paths]
+    explicit_files = explicit and all(path.is_file() for path in paths)
+    # Files the caller named directly are always linted, even inside
+    # an excluded directory (the fixture corpus lints itself this way).
+    named_files = {
+        path.resolve() for path in paths if explicit and path.is_file()
+    }
+    if run_project_checks is None:
+        run_project_checks = not explicit_files
+
+    file_checkers = [
+        checker
+        for checker in checkers
+        if not isinstance(checker, ProjectChecker)
+    ]
+    project_checkers = [
+        checker for checker in checkers if isinstance(checker, ProjectChecker)
+    ]
+
+    diagnostics: list[Diagnostic] = []
+    files_checked = 0
+    for path in _iter_python_files(root, paths, config):
+        relpath = _relative_posix(path, root)
+        if config.is_excluded(relpath) and path.resolve() not in named_files:
+            continue
+        applicable = [
+            checker
+            for checker in file_checkers
+            if explicit_files or checker.applies_to(relpath)
+        ]
+        if not applicable:
+            continue
+        files_checked += 1
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            diagnostics.append(
+                Diagnostic(
+                    path=relpath,
+                    line=int(error.lineno or 1),
+                    col=int(error.offset or 0),
+                    code="RP000",
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        source_lines = source.splitlines()
+        for checker in applicable:
+            for diagnostic in checker.check_file(
+                relpath, tree, source, config
+            ):
+                if inline_suppressed(diagnostic, source_lines):
+                    continue
+                if config.is_suppressed(relpath, diagnostic.code):
+                    continue
+                diagnostics.append(diagnostic)
+
+    if run_project_checks:
+        for checker in project_checkers:
+            for diagnostic in checker.check_project(root, config):
+                if config.is_suppressed(diagnostic.path, diagnostic.code):
+                    continue
+                diagnostics.append(diagnostic)
+
+    return LintReport(diagnostics, files_checked)

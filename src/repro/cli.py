@@ -13,6 +13,12 @@ literals (ints, floats, tuples), falling back to strings.
 seeds, ``--workers`` fans those trials out over processes (results
 are identical to a serial run), and ``--cache`` memoizes finished
 trials on disk so re-runs are instant.
+
+``hotspots lint`` runs the determinism & reproducibility checkers
+(:mod:`repro.analysis.lint`) instead of an experiment::
+
+    hotspots lint
+    hotspots lint --format json src/repro/sim
 """
 
 from __future__ import annotations
@@ -68,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="hotspots",
         description="Reproduce the tables and figures of the Hotspots "
         "paper (Cooke, Mao, Jahanian — DSN 2006).",
+        epilog="The `hotspots lint` subcommand runs the determinism "
+        "& reproducibility checkers instead (see `hotspots lint "
+        "--help`).",
     )
     parser.add_argument(
         "experiment",
@@ -149,6 +158,14 @@ def _list_experiments() -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # The lint suite has its own option surface; dispatch before
+        # experiment-oriented parsing sees (and rejects) its flags.
+        from repro.analysis.lint.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:

@@ -27,7 +27,6 @@ import numpy as np
 
 from repro.env.environment import NetworkEnvironment
 from repro.net.address import parse_addr
-from repro.net.cidr import CIDRBlock
 from repro.population.synthesis import (
     PopulationSpec,
     nat_population,

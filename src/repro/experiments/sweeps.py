@@ -21,7 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
 
 from repro.experiments import figure5
 from repro.population.synthesis import PopulationSpec

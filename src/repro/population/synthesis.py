@@ -71,7 +71,7 @@ class PopulationSpec:
         fractions = [fraction for _, fraction in self.anchors]
         if ranks != sorted(ranks) or fractions != sorted(fractions):
             raise ValueError("anchors must be sorted in rank and fraction")
-        if self.anchors[0] != (0, 0.0) or self.anchors[-1][1] != 1.0:
+        if self.anchors[0] != (0, 0.0) or self.anchors[-1][1] != 1.0:  # bitwise
             raise ValueError("anchors must start at (0, 0) and end at fraction 1")
         if self.anchors[-1][0] != self.num_slash16:
             raise ValueError("last anchor rank must equal num_slash16")
@@ -173,7 +173,6 @@ def synthesize_clustered_population(
 
     # Pick a distinct second octet for every /16 within its /8.
     slash16_prefixes = np.empty(spec.num_slash16, dtype=np.uint32)
-    cursor = 0
     for slash8_index in range(spec.num_slash8):
         members = np.where(assignment == slash8_index)[0]
         if len(members) > 256:
@@ -184,7 +183,6 @@ def synthesize_clustered_population(
         second_octets = rng.choice(256, size=len(members), replace=False)
         prefix_base = np.uint32(slash8_octets[slash8_index]) << np.uint32(8)
         slash16_prefixes[members] = prefix_base | second_octets.astype(np.uint32)
-        cursor += len(members)
 
     # Host counts per /16 from the calibrated weight curve; the curve
     # is defined over ranks, so shuffle which /16 gets which rank.

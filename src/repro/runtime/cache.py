@@ -17,7 +17,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator, Mapping, Optional
+from typing import Any, Iterator, Mapping, Union
 
 import numpy as np
 
@@ -101,7 +101,9 @@ def stable_key(
 class ResultCache:
     """Directory-backed pickle cache for trial results."""
 
-    def __init__(self, directory: Optional[os.PathLike] = None):
+    def __init__(
+        self, directory: Union[str, "os.PathLike[str]", None] = None
+    ) -> None:
         if directory is None:
             directory = os.environ.get("REPRO_CACHE_DIR") or DEFAULT_CACHE_DIR
         self.directory = Path(directory)

@@ -98,7 +98,7 @@ class TrialRunner:
         workers: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
         chunk_size: Optional[int] = None,
-    ):
+    ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.chunk_size = chunk_size

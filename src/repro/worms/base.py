@@ -79,9 +79,11 @@ class WormModel(abc.ABC):
 
         This is the "quarantine harness" the paper builds with a
         honeypot: one infected host, its target stream observed
-        directly (Figure 4b/c).
+        directly (Figure 4b/c).  When no generator is supplied the
+        stream is seeded deterministically (seed 0) — the determinism
+        policy (RP002) forbids ambient OS entropy in model code.
         """
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(0)
         state = self.new_state()
         self.add_hosts(state, np.array([source], dtype=np.uint32), rng)
         return self.generate(state, scans, rng)[0]

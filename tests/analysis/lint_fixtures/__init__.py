@@ -1,0 +1,8 @@
+"""Fixture corpus for the ``hotspots lint`` checkers.
+
+Each ``rpNNN`` module deliberately contains the pattern its checker
+flags, the clean alternative, and a suppressed occurrence.  The
+directory is excluded from real lint runs (``DEFAULT_EXCLUDE`` and
+``[tool.hotspots-lint] exclude``) and from ruff via per-file ignores:
+these files are *supposed* to be wrong.
+"""

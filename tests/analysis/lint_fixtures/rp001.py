@@ -1,0 +1,17 @@
+"""RP001 fixture: global-state RNG use (3 violations, 2 suppressed)."""
+
+import random  # violation: stdlib random import
+
+import numpy as np
+from numpy.random import RandomState  # violation: global-state class
+
+np.random.seed(7)  # violation: mutates numpy's global RNG
+
+import random as stdlib_random  # noqa: RP001  (inline suppression)
+
+np.random.seed(11)  # noqa  (bare noqa also suppresses)
+
+# Clean patterns the checker must NOT flag:
+rng = np.random.default_rng(0)
+value = rng.integers(0, 10)
+randomish_name = "random"  # a string, not the module

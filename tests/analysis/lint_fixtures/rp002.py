@@ -1,0 +1,14 @@
+"""RP002 fixture: unseeded default_rng (2 violations, 1 suppressed)."""
+
+import numpy as np
+from numpy.random import default_rng
+
+unseeded = np.random.default_rng()  # violation: no seed
+also_unseeded = default_rng()  # violation: aliased import, no seed
+
+suppressed = np.random.default_rng()  # noqa: RP002
+
+# Clean patterns the checker must NOT flag:
+seeded = np.random.default_rng(0)
+keyword_seeded = np.random.default_rng(seed=42)
+spawned = np.random.default_rng(np.random.SeedSequence(1).spawn(1)[0])

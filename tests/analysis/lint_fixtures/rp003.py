@@ -1,0 +1,35 @@
+"""RP003 fixture: ambient nondeterminism (5 violations, 1 suppressed)."""
+
+import os
+import time
+from datetime import datetime
+
+
+def wall_clock_stamp() -> float:
+    return time.time()  # violation: wall-clock read
+
+
+def timestamped_label() -> str:
+    return datetime.now().isoformat()  # violation: wall-clock read
+
+
+def entropy_bytes() -> bytes:
+    return os.urandom(8)  # violation: OS entropy
+
+
+def hash_order_leak(values: list) -> list:
+    results = []
+    for item in set(values):  # violation: unsorted-set iteration
+        results.append(item)
+    return results + list({1, 2, 3})  # violation: list over set literal
+
+
+def suppressed_stamp() -> float:
+    return time.time()  # noqa: RP003
+
+
+def clean_order(values: list) -> list:
+    # Clean patterns the checker must NOT flag:
+    ordered = [item for item in sorted(set(values))]
+    membership = 3 in set(values)  # membership test, not iteration
+    return ordered if membership else []

@@ -1,0 +1,40 @@
+"""RP004 fixture: unpicklable dispatch (3 violations, 1 suppressed)."""
+
+from repro.runtime.runner import Trial, TrialRunner
+
+
+def module_level_trial(seed: object = None) -> int:
+    """A picklable payload: module-level, importable by workers."""
+    return 1
+
+
+bad_lambda = Trial(func=lambda seed=None: 0)  # violation: lambda payload
+
+
+def build_batch() -> list:
+    def closure_payload(seed: object = None) -> int:  # not picklable
+        return 2
+
+    return [
+        Trial(func=closure_payload),  # violation: nested function
+        Trial(func=module_level_trial),  # clean: module-level callable
+    ]
+
+
+def run_with_lambda() -> list:
+    runner = TrialRunner(workers=2)
+    return runner.run_repeated(
+        lambda seed=None: 3, trials=2, base_seed=0  # violation: lambda
+    )
+
+
+def run_suppressed() -> list:
+    runner = TrialRunner(workers=2)
+    return runner.run_repeated(
+        lambda seed=None: 4, trials=2, base_seed=0  # noqa: RP004
+    )
+
+
+def run_clean() -> list:
+    runner = TrialRunner(workers=1)
+    return runner.run_repeated(module_level_trial, trials=2, base_seed=0)

@@ -1,0 +1,17 @@
+"""RP005 fixture: bare float equality (3 violations, 2 sanctioned)."""
+
+import math
+
+observed = 0.1 + 0.2
+
+is_exact = observed == 0.3  # violation: bare float ==
+is_different = observed != 1.5  # violation: bare float !=
+from_cast = float("0.25") == observed  # violation: float(...) compared
+
+marked = observed == 0.30000000000000004  # bitwise  (sanctioned marker)
+suppressed = observed == 0.5  # noqa: RP005
+
+# Clean patterns the checker must NOT flag:
+close_enough = math.isclose(observed, 0.3)
+integer_compare = 3 == len("abc")
+string_compare = "0.3" == str(observed)

@@ -1,0 +1,48 @@
+"""RP006 fixture: broken and clean experiment registries.
+
+``REGISTRY`` (the default attribute) is deliberately inconsistent;
+``CLEAN_REGISTRY`` passes every RP006 invariant provided the
+configured tests path references the id ``"fixture-clean"``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import Experiment
+
+_MODULE = "tests.analysis.lint_fixtures.rp006_runner"
+
+REGISTRY: dict[str, Experiment] = {
+    experiment.id: experiment
+    for experiment in (
+        # Violation: default names no parameter of run().
+        Experiment(
+            id="fixture-bogus-default",
+            title="RP006 fixture: typo'd default",
+            module=_MODULE,
+            defaults={"nonexistent_param": 3},
+        ),
+        # Violation: runner attribute does not exist in the module.
+        Experiment(
+            id="fixture-missing-runner",
+            title="RP006 fixture: unresolvable runner",
+            module=_MODULE,
+            runner="no_such_function",
+        ),
+        # Violation: runner has no seed parameter to inject through.
+        Experiment(
+            id="fixture-seedless",
+            title="RP006 fixture: runner without a seed parameter",
+            module=_MODULE,
+            runner="run_seedless",
+        ),
+    )
+}
+
+CLEAN_REGISTRY: dict[str, Experiment] = {
+    "fixture-clean": Experiment(
+        id="fixture-clean",
+        title="RP006 fixture: fully consistent experiment",
+        module=_MODULE,
+        defaults={"scale": 2.0},
+    ),
+}

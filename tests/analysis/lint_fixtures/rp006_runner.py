@@ -1,0 +1,17 @@
+"""RP006 fixture: the runner module the fixture registries point at."""
+
+from __future__ import annotations
+
+
+def run(seed: int = 0, scale: float = 1.0) -> dict:
+    """A trivially deterministic 'experiment'."""
+    return {"seed": seed, "scale": scale}
+
+
+def format_result(result: dict) -> str:
+    return f"seed={result['seed']} scale={result['scale']}"
+
+
+def run_seedless(scale: float = 1.0) -> dict:
+    """A runner with no seed parameter (RP006 must flag this)."""
+    return {"scale": scale}

@@ -23,7 +23,7 @@ class TestAnalyticExpectation:
     def test_coupon_collector_shape(self):
         probes = np.array([0, 65_536, 2 * 65_536])
         curve = uniform_coverage_expectation(probes, 65_536)
-        assert curve[0] == 0.0
+        assert curve[0] == 0.0  # bitwise
         assert curve[1] == pytest.approx(1 - np.exp(-1))
         assert curve[2] == pytest.approx(1 - np.exp(-2))
 

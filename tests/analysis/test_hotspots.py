@@ -22,7 +22,7 @@ class TestGini:
         assert gini_coefficient(counts) > 0.99
 
     def test_empty_total(self):
-        assert gini_coefficient(np.zeros(10)) == 0.0
+        assert gini_coefficient(np.zeros(10)) == 0.0  # bitwise
 
     def test_moderate_skew_between(self):
         counts = np.array([1, 1, 1, 1, 16])
@@ -39,7 +39,7 @@ class TestEntropy:
         assert normalized_entropy(counts) == pytest.approx(0.0)
 
     def test_empty_counts(self):
-        assert normalized_entropy(np.zeros(10)) == 1.0
+        assert normalized_entropy(np.zeros(10)) == 1.0  # bitwise
 
 
 class TestReport:
@@ -61,7 +61,7 @@ class TestReport:
 
     def test_zero_fraction(self):
         counts = np.array([0, 0, 5, 5])
-        assert hotspot_report(counts).zero_fraction == 0.5
+        assert hotspot_report(counts).zero_fraction == 0.5  # bitwise
 
     def test_rejects_bad_inputs(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,116 @@
+"""End-to-end tests for ``hotspots lint`` — the acceptance gate.
+
+The two load-bearing properties: the CLI exits non-zero on a seeded
+fixture violation for *every* RP code, and exits zero on the repo at
+HEAD (the CI gate).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint.cli import main as lint_main
+from repro.cli import main as hotspots_main
+
+ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = ROOT / "tests" / "analysis" / "lint_fixtures"
+
+
+def run_lint_cli(argv, capsys):
+    exit_code = lint_main([str(arg) for arg in argv])
+    return exit_code, capsys.readouterr().out
+
+
+class TestFixtureViolationsFail:
+    @pytest.mark.parametrize("code", ["RP001", "RP002", "RP003", "RP004", "RP005"])
+    def test_each_file_checker_fails_its_fixture(self, code, capsys):
+        fixture = FIXTURES / f"{code.lower()}.py"
+        exit_code, output = run_lint_cli(
+            ["--root", ROOT, "--select", code, fixture], capsys
+        )
+        assert exit_code == 1
+        assert code in output
+
+    def test_rp006_fails_on_the_broken_fixture_registry(self, capsys):
+        exit_code, output = run_lint_cli(
+            [
+                "--root",
+                ROOT,
+                "--select",
+                "RP006",
+                "--registry-module",
+                "tests.analysis.lint_fixtures.rp006_registry",
+                "--tests-path",
+                "tests/net",
+            ],
+            capsys,
+        )
+        assert exit_code == 1
+        assert "RP006" in output
+
+    def test_main_cli_dispatches_lint_subcommand(self, capsys):
+        fixture = FIXTURES / "rp001.py"
+        exit_code = hotspots_main(
+            ["lint", "--root", str(ROOT), "--select", "RP001", str(fixture)]
+        )
+        assert exit_code == 1
+        assert "RP001" in capsys.readouterr().out
+
+
+class TestRepoAtHeadIsClean:
+    def test_full_lint_run_exits_zero(self, capsys):
+        exit_code, output = run_lint_cli(["--root", ROOT], capsys)
+        assert exit_code == 0, f"repo must lint clean:\n{output}"
+        assert output.startswith("clean:")
+
+    def test_json_format_reports_summary(self, capsys):
+        exit_code, output = run_lint_cli(
+            ["--root", ROOT, "--format", "json"], capsys
+        )
+        assert exit_code == 0
+        payload = json.loads(output)
+        assert payload["diagnostics"] == []
+        assert payload["summary"]["issues"] == 0
+        assert payload["summary"]["files_checked"] > 100
+
+
+class TestCliSurface:
+    def test_list_checks_names_every_code(self, capsys):
+        exit_code, output = run_lint_cli(["--list-checks"], capsys)
+        assert exit_code == 0
+        for number in range(1, 7):
+            assert f"RP00{number}" in output
+
+    def test_unknown_select_code_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--select", "RP999"])
+        assert excinfo.value.code == 2
+
+    def test_excluded_fixture_dir_is_skipped_in_tree_mode(self, capsys):
+        exit_code, output = run_lint_cli(
+            ["--root", ROOT, "--select", "RP001", ROOT / "tests" / "analysis"],
+            capsys,
+        )
+        assert exit_code == 0  # fixtures excluded when walking a tree
+
+    def test_named_fixture_file_bypasses_exclusion(self, capsys):
+        exit_code, _ = run_lint_cli(
+            ["--root", ROOT, "--select", "RP001", FIXTURES / "rp001.py"],
+            capsys,
+        )
+        assert exit_code == 1
+
+    def test_diagnostics_are_sorted_and_anchored(self, capsys):
+        exit_code, output = run_lint_cli(
+            ["--root", ROOT, FIXTURES / "rp001.py", FIXTURES / "rp002.py"],
+            capsys,
+        )
+        assert exit_code == 1
+        lines = [line for line in output.splitlines() if ":" in line]
+        locations = [
+            (line.split(":")[0], int(line.split(":")[1]))
+            for line in lines
+            if line.count(":") >= 3
+        ]
+        assert locations == sorted(locations)

@@ -12,7 +12,7 @@ from repro.analysis.slammer_cycles import (
 )
 from repro.net.cidr import CIDRBlock
 from repro.prng.cycles import cycle_structure
-from repro.worms.slammer import SLAMMER_A, SLAMMER_B_VALUES, address_to_state
+from repro.worms.slammer import SLAMMER_A, address_to_state
 
 
 B = 0x8831FA24

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.botnet.commands import (
-    BotScanCommand,
     OctetPattern,
     anonymize_command,
     parse_command,

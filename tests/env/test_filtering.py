@@ -1,6 +1,5 @@
 """Tests for repro.env.filtering."""
 
-import numpy as np
 import pytest
 
 from repro.env.filtering import FilterAction, FilterRule, FilteringPolicy

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.env.nat import NO_REALM, NATDeployment
-from repro.net.address import parse_addr, parse_addrs
+from repro.net.address import parse_addrs
 
 
 @pytest.fixture()

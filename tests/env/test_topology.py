@@ -27,7 +27,7 @@ class TestLatencyModel:
             np.ones(10, dtype=np.uint32),
             np.random.default_rng(0),
         )
-        assert (lat == 50.0).all()
+        assert (lat == 50.0).all()  # bitwise
 
     def test_region_latency_added_for_source_and_target(self):
         model = LatencyModel(
@@ -59,7 +59,7 @@ class TestTopology:
     def test_default_rate(self):
         topo = Topology(default_scan_rate=10.0)
         rates = topo.scan_rates(np.arange(5, dtype=np.uint32))
-        assert (rates == 10.0).all()
+        assert (rates == 10.0).all()  # bitwise
 
     def test_bandwidth_cap_applies_in_region(self):
         topo = Topology(
@@ -68,8 +68,8 @@ class TestTopology:
         )
         hosts = np.array([BROADBAND.first, ACADEMIC.first], dtype=np.uint32)
         rates = topo.scan_rates(hosts)
-        assert rates[0] == 100.0
-        assert rates[1] == 4000.0
+        assert rates[0] == 100.0  # bitwise
+        assert rates[1] == 4000.0  # bitwise
 
     def test_cap_never_raises_rate(self):
         topo = Topology(
@@ -77,7 +77,7 @@ class TestTopology:
             region_links=[RegionLink(BROADBAND, 10.0, 100.0)],
         )
         rates = topo.scan_rates(np.array([BROADBAND.first], dtype=np.uint32))
-        assert rates[0] == 10.0
+        assert rates[0] == 10.0  # bitwise
 
     def test_rejects_bad_default(self):
         with pytest.raises(ValueError):

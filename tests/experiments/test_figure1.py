@@ -1,6 +1,5 @@
 """Tests for the Figure 1 experiment (Blaster seed forensics)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import figure1

@@ -72,7 +72,7 @@ class TestTraceMatchesLiveRun:
             alert_threshold=5,
         )
         replay_into_grid(trace, grid)
-        assert grid.fraction_alerted() == 1.0
+        assert grid.fraction_alerted() == 1.0  # bitwise
 
     def test_worm_attribution_preserved(self, recorded_outbreak):
         _, trace, _ = recorded_outbreak

@@ -17,7 +17,7 @@ class TestLifecycle:
         assert population.num_vulnerable == 5
         assert population.num_infected == 0
         assert population.num_immune == 0
-        assert population.fraction_infected == 0.0
+        assert population.fraction_infected == 0.0  # bitwise
 
     def test_infect(self, population):
         fresh = population.infect(np.array([200, 400], dtype=np.uint32))

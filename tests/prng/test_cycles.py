@@ -11,7 +11,6 @@ from hypothesis import strategies as st
 
 from repro.prng.cycles import (
     INFINITE_VALUATION,
-    AffineCycleStructure,
     brute_force_cycles,
     cycle_members,
     cycle_structure,

@@ -1,6 +1,5 @@
 """Tests for the blocked fast LCG stream and jump edge cases."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -89,7 +89,9 @@ class TestExecution:
 
     def test_unpicklable_trial_falls_back_to_serial(self):
         trials = [
-            Trial(func=lambda seed=None, v=v: v, kwargs={}) for v in range(3)
+            # The unpicklable payload is the point of this test.
+            Trial(func=lambda seed=None, v=v: v, kwargs={})  # noqa: RP004
+            for v in range(3)
         ]
         with pytest.warns(RuntimeWarning, match="falling back to serial"):
             results = TrialRunner(workers=2).run(trials)

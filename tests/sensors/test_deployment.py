@@ -50,28 +50,28 @@ class TestSensorGrid:
         grid.observe(target, time=2.0)
         assert np.isnan(grid.alert_times()[0])
         grid.observe(target, time=3.0)
-        assert grid.alert_times()[0] == 3.0
-        assert grid.fraction_alerted() == 1.0
+        assert grid.alert_times()[0] == 3.0  # bitwise
+        assert grid.fraction_alerted() == 1.0  # bitwise
 
     def test_alert_time_not_overwritten(self):
         grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=1)
         target = np.array([parse_addr("10.0.0.7")], dtype=np.uint32)
         grid.observe(target, time=1.0)
         grid.observe(target, time=9.0)
-        assert grid.alert_times()[0] == 1.0
+        assert grid.alert_times()[0] == 1.0  # bitwise
 
     def test_batch_crossing_threshold_in_one_call(self):
         grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=5)
         targets = np.full(10, parse_addr("10.0.0.7"), dtype=np.uint32)
         grid.observe(targets, time=4.0)
-        assert grid.alert_times()[0] == 4.0
+        assert grid.alert_times()[0] == 4.0  # bitwise
 
     def test_fraction_alerted_at_time(self):
         grid = SensorGrid(prefixes_of("10.0.0.0", "10.0.1.0"), alert_threshold=1)
         grid.observe(np.array([parse_addr("10.0.0.7")], dtype=np.uint32), time=1.0)
         grid.observe(np.array([parse_addr("10.0.1.7")], dtype=np.uint32), time=5.0)
-        assert grid.fraction_alerted(at_time=2.0) == 0.5
-        assert grid.fraction_alerted() == 1.0
+        assert grid.fraction_alerted(at_time=2.0) == 0.5  # bitwise
+        assert grid.fraction_alerted() == 1.0  # bitwise
 
     def test_empty_batch(self):
         grid = SensorGrid(prefixes_of("10.0.0.0"))
@@ -81,7 +81,7 @@ class TestSensorGrid:
         grid = SensorGrid(prefixes_of("10.0.0.0"), alert_threshold=1)
         grid.observe(np.array([parse_addr("10.0.0.7")], dtype=np.uint32), time=1.0)
         grid.reset()
-        assert grid.fraction_alerted() == 0.0
+        assert grid.fraction_alerted() == 0.0  # bitwise
         assert grid.payload_counts()[0] == 0
 
 

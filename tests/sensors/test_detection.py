@@ -14,26 +14,26 @@ class TestAlertTimeline:
     def test_cumulative_curve(self):
         alert_times = np.array([1.0, 3.0, np.nan, 5.0])
         timeline = AlertTimeline.from_alert_times(alert_times, horizon=6.0)
-        assert timeline.fraction_at(0.0) == 0.0
-        assert timeline.fraction_at(1.0) == 0.25
-        assert timeline.fraction_at(4.0) == 0.5
-        assert timeline.final_fraction() == 0.75
+        assert timeline.fraction_at(0.0) == 0.0  # bitwise
+        assert timeline.fraction_at(1.0) == 0.25  # bitwise
+        assert timeline.fraction_at(4.0) == 0.5  # bitwise
+        assert timeline.final_fraction() == 0.75  # bitwise
 
     def test_never_alerting_sensors(self):
         alert_times = np.full(10, np.nan)
         timeline = AlertTimeline.from_alert_times(alert_times, horizon=10.0)
-        assert timeline.final_fraction() == 0.0
+        assert timeline.final_fraction() == 0.0  # bitwise
 
     def test_fraction_before_start(self):
         timeline = AlertTimeline.from_alert_times(np.array([5.0]), horizon=10.0)
-        assert timeline.fraction_at(-1.0) == 0.0
+        assert timeline.fraction_at(-1.0) == 0.0  # bitwise
 
 
 class TestQuorum:
     def test_reaches_quorum(self):
         alert_times = np.array([1.0, 2.0, 3.0, 4.0])
-        assert quorum_detection_time(alert_times, 0.5) == 2.0
-        assert quorum_detection_time(alert_times, 1.0) == 4.0
+        assert quorum_detection_time(alert_times, 0.5) == 2.0  # bitwise
+        assert quorum_detection_time(alert_times, 1.0) == 4.0  # bitwise
 
     def test_quorum_never_reached(self):
         alert_times = np.array([1.0, np.nan, np.nan, np.nan])
@@ -58,7 +58,7 @@ class TestDetectionLag:
         alert_times = np.array([10.0, 12.0])
         infection_times = [1.0, 2.0, 3.0, 4.0]
         # Quorum 1.0 fires at 12.0; 50% infected at t=2.0.
-        assert detection_lag(alert_times, infection_times, 0.5, 1.0) == 10.0
+        assert detection_lag(alert_times, infection_times, 0.5, 1.0) == 10.0  # bitwise
 
     def test_negative_lag_means_early_detection(self):
         alert_times = np.array([1.0])

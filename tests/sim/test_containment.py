@@ -43,8 +43,8 @@ class TestTriggerLogic:
         assert containment.triggered_at is None
         grid.observe(np.array([parse_addr("60.0.200.5")], dtype=np.uint32), 6.0)
         containment.update(6.0)
-        assert containment.triggered_at == 6.0
-        assert containment.active_from == 16.0
+        assert containment.triggered_at == 6.0  # bitwise
+        assert containment.active_from == 16.0  # bitwise
 
     def test_trigger_time_not_overwritten(self):
         grid = make_grid()
@@ -52,7 +52,7 @@ class TestTriggerLogic:
         grid.observe(np.array([parse_addr("60.0.200.5")], dtype=np.uint32), 1.0)
         containment.update(1.0)
         containment.update(50.0)
-        assert containment.triggered_at == 1.0
+        assert containment.triggered_at == 1.0  # bitwise
 
     def test_reaction_delay_gates_activity(self):
         grid = make_grid()

@@ -46,7 +46,7 @@ class TestSICurve:
         assert si_curve(t, 1000, 10, 10.0, 1e6) == pytest.approx(500.0, rel=1e-6)
 
     def test_time_zero_when_already_reached(self):
-        assert si_time_to_fraction(0.005, 1000, 10, 1.0, 1e6) == 0.0
+        assert si_time_to_fraction(0.005, 1000, 10, 1.0, 1e6) == 0.0  # bitwise
 
     def test_rejects_bad_fraction(self):
         with pytest.raises(ValueError):

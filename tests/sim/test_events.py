@@ -14,7 +14,7 @@ class TestScheduling:
         kernel.schedule(2.0, lambda k: fired.append("b"))
         kernel.run()
         assert fired == ["a", "b", "c"]
-        assert kernel.now == 3.0
+        assert kernel.now == 3.0  # bitwise
 
     def test_ties_fire_in_scheduling_order(self):
         kernel = EventKernel()
@@ -65,14 +65,14 @@ class TestRunBounds:
         kernel.schedule(10.0, lambda k: fired.append("late"))
         kernel.run(until=5.0)
         assert fired == ["early"]
-        assert kernel.now == 5.0
+        assert kernel.now == 5.0  # bitwise
         kernel.run()
         assert fired == ["early", "late"]
 
     def test_until_advances_clock_with_empty_queue(self):
         kernel = EventKernel()
         kernel.run(until=42.0)
-        assert kernel.now == 42.0
+        assert kernel.now == 42.0  # bitwise
 
     def test_max_events_budget(self):
         kernel = EventKernel()

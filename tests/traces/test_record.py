@@ -47,7 +47,7 @@ class TestTraceRecorder:
     def test_finish_empty(self):
         trace = TraceRecorder().finish()
         assert len(trace) == 0
-        assert trace.duration == 0.0
+        assert trace.duration == 0.0  # bitwise
 
     def test_finish_assembles_columns(self, recorder_with_data):
         trace = recorder_with_data.finish()
@@ -120,7 +120,7 @@ class TestProbeTrace:
         assert len(prefixes) == 3
 
     def test_duration(self, recorder_with_data):
-        assert recorder_with_data.finish().duration == 1.0
+        assert recorder_with_data.finish().duration == 1.0  # bitwise
 
     def test_save_load_roundtrip(self, recorder_with_data, tmp_path):
         trace = recorder_with_data.finish()

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.net.address import format_addr, parse_addr
+from repro.net.address import parse_addr
 from repro.prng.entropy import BootTimeModel
 from repro.prng.msrand import MSRand
 from repro.worms.blaster import (

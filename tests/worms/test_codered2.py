@@ -17,10 +17,10 @@ def big_trace():
 
 class TestCodeRedIIProbabilities:
     def test_constants_match_disassembly(self):
-        assert P_SAME_8 == 0.5
-        assert P_SAME_16 == 0.375
-        assert P_RANDOM == 0.125
-        assert P_SAME_8 + P_SAME_16 + P_RANDOM == 1.0
+        assert P_SAME_8 == 0.5  # bitwise
+        assert P_SAME_16 == 0.375  # bitwise
+        assert P_RANDOM == 0.125  # bitwise
+        assert P_SAME_8 + P_SAME_16 + P_RANDOM == 1.0  # bitwise
 
     def test_same_16_fraction(self, big_trace):
         source, targets = big_trace

@@ -66,7 +66,7 @@ class TestSpreadTree:
         result = simulator.run(
             config, np.random.default_rng(2), seed_addrs=targets[:1]
         )
-        assert result.final_fraction_infected == 1.0
+        assert result.final_fraction_infected == 1.0  # bitwise
 
     def test_flash_beats_scanning_dramatically(self):
         from repro.worms.hitlist import HitListWorm
@@ -95,15 +95,15 @@ class TestClosedForm:
     def test_generation_schedule(self):
         times = flash_infection_times(population=111, fanout=10, hop_latency=0.5)
         assert len(times) == 111
-        assert times[0] == 0.0
+        assert times[0] == 0.0  # bitwise
         # 1 + 10 + 100 covers 111: max generation 2.
-        assert times.max() == 1.0
+        assert times.max() == 1.0  # bitwise
 
     def test_full_infection_time(self):
         assert flash_time_to_full_infection(1_000_000, 10, 0.5) == pytest.approx(
             3.0
         )
-        assert flash_time_to_full_infection(1, 10, 0.5) == 0.0
+        assert flash_time_to_full_infection(1, 10, 0.5) == 0.0  # bitwise
 
     def test_rejects_bad_inputs(self):
         with pytest.raises(ValueError):

@@ -9,10 +9,10 @@ from repro.worms.nimda import P_RANDOM, P_SAME_8, P_SAME_16, NimdaWorm
 
 class TestNimdaWorm:
     def test_documented_mix(self):
-        assert P_SAME_16 == 0.5
-        assert P_SAME_8 == 0.25
-        assert P_RANDOM == 0.25
-        assert P_SAME_16 + P_SAME_8 + P_RANDOM == 1.0
+        assert P_SAME_16 == 0.5  # bitwise
+        assert P_SAME_8 == 0.25  # bitwise
+        assert P_RANDOM == 0.25  # bitwise
+        assert P_SAME_16 + P_SAME_8 + P_RANDOM == 1.0  # bitwise
 
     def test_measured_fractions(self):
         worm = NimdaWorm()
