@@ -1,0 +1,438 @@
+"""Benchmark: compiled probe-path kernels vs their reference paths.
+
+Three measurements, each paired with an equivalence gate:
+
+* **LPM** — batched longest-prefix-match through
+  ``PrefixTree.compile()`` vs the per-address trie walk
+  (``lookup_array``), on a policy-table-sized prefix set.
+* **Sensor dispatch** — one shared :class:`SensorIndex` pass over the
+  IMS deployment plus a /24 grid vs the per-sensor ``observe`` loop.
+* **End-to-end** — simulated outbreak ticks per second with every
+  kernel enabled vs every kernel forced off
+  (``kernel_override(False)``), bitwise-equal results required.
+
+Runs two ways:
+
+* under pytest-benchmark: ``pytest benchmarks/bench_kernels.py``;
+* standalone, which writes the tracked perf baseline::
+
+      python benchmarks/bench_kernels.py --quick --output BENCH_kernels.json
+
+  Standalone mode exits non-zero if any kernel/reference equivalence
+  check fails, which is what the CI ``bench-smoke`` job gates on.
+  ``scripts/bench_baseline.py`` drives the same functions at full
+  scale to refresh the committed ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.env.environment import NetworkEnvironment
+from repro.env.failures import LossModel, RegionLoss
+from repro.env.filtering import FilterRule, FilteringPolicy
+from repro.net.cidr import CIDRBlock
+from repro.net.kernels import kernel_override
+from repro.net.prefixtree import PrefixTree
+from repro.population.model import HostPopulation
+from repro.runtime.compare import results_equal
+from repro.runtime.runner import Trial, TrialRunner
+from repro.sensors.darknet import ims_standard_deployment
+from repro.sensors.deployment import SensorGrid
+from repro.sensors.index import SensorIndex
+from repro.sim.engine import (
+    EpidemicSimulator,
+    SimulationConfig,
+    run_simulation_trial,
+)
+from repro.worms.uniform import UniformScanWorm
+
+#: Quick (CI smoke) and full (tracked baseline) workload sizes.
+QUICK_SIZES = {
+    "lpm_batch": 20_000,
+    "lpm_prefixes": 64,
+    "dispatch_batch": 200_000,
+    "dispatch_batches": 3,
+    "end_to_end_hosts": 20_000,
+    "end_to_end_ticks": 30,
+}
+FULL_SIZES = {
+    "lpm_batch": 200_000,
+    "lpm_prefixes": 64,
+    "dispatch_batch": 1_000_000,
+    "dispatch_batches": 5,
+    "end_to_end_hosts": 60_000,
+    "end_to_end_ticks": 60,
+}
+
+
+def _best_of(repeats: int, func: Callable[[], object]) -> float:
+    """Best wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+# -- LPM -------------------------------------------------------------
+
+
+def build_policy_table(num_prefixes: int, seed: int = 2006) -> PrefixTree:
+    """A policy-table-shaped trie of random /8../24 prefixes."""
+    rng = np.random.default_rng(seed)
+    tree: PrefixTree[int] = PrefixTree()
+    for index in range(num_prefixes):
+        prefix_len = int(rng.integers(8, 25))
+        block = CIDRBlock.containing(
+            int(rng.integers(0, 1 << 32)), prefix_len
+        )
+        tree.insert(block, index)
+    return tree
+
+
+def bench_lpm(
+    batch_size: int, num_prefixes: int, seed: int = 2006, repeats: int = 3
+) -> dict:
+    """Compiled batched LPM vs the per-address trie walk."""
+    tree = build_policy_table(num_prefixes, seed)
+    compiled = tree.compile()
+    rng = np.random.default_rng(seed + 1)
+    addrs = rng.integers(0, 1 << 32, size=batch_size, dtype=np.uint64).astype(
+        np.uint32
+    )
+
+    equivalent = tree.lookup_array(addrs, default=-1) == compiled.lookup_array(
+        addrs, default=-1
+    )
+    reference_s = _best_of(repeats, lambda: tree.lookup_array(addrs, default=-1))
+    compiled_s = _best_of(
+        repeats, lambda: compiled.lookup_indices(addrs)
+    )
+    return {
+        "batch_size": batch_size,
+        "num_prefixes": num_prefixes,
+        "num_intervals": compiled.num_intervals,
+        "reference_s": reference_s,
+        "compiled_s": compiled_s,
+        "reference_probes_per_s": batch_size / reference_s,
+        "compiled_probes_per_s": batch_size / compiled_s,
+        "speedup": reference_s / compiled_s,
+        "equivalent": bool(equivalent),
+    }
+
+
+# -- sensor dispatch -------------------------------------------------
+
+
+def _dispatch_fixture(seed: int):
+    """IMS darknet sensors + a 2000-sensor /24 grid, with probe batches."""
+    rng = np.random.default_rng(seed)
+    sensors = ims_standard_deployment()
+    grid = SensorGrid(
+        rng.integers(0, 1 << 24, size=2000, dtype=np.uint64).astype(np.uint32),
+        alert_threshold=5,
+    )
+    return sensors, grid
+
+
+def bench_sensor_dispatch(
+    batch_size: int, num_batches: int, seed: int = 2006, repeats: int = 3
+) -> dict:
+    """Shared SensorIndex pass vs the per-sensor observe loop."""
+    rng = np.random.default_rng(seed + 2)
+    batches = [
+        (
+            rng.integers(0, 1 << 32, size=batch_size, dtype=np.uint64).astype(
+                np.uint32
+            ),
+            rng.integers(0, 1 << 32, size=batch_size, dtype=np.uint64).astype(
+                np.uint32
+            ),
+        )
+        for _ in range(num_batches)
+    ]
+
+    # Fixtures are built once and reset between runs: in a simulation
+    # the sensors and the SensorIndex exist once per run and serve
+    # thousands of ticks, so construction is not part of the per-batch
+    # cost being compared.
+    ref_sensors, ref_grid = _dispatch_fixture(seed)
+    idx_sensors, idx_grid = _dispatch_fixture(seed)
+    index = SensorIndex(idx_sensors, [idx_grid])
+
+    def run_reference() -> None:
+        for sensor in ref_sensors:
+            sensor.reset()
+        ref_grid.reset()
+        for tick, (sources, targets) in enumerate(batches):
+            for sensor in ref_sensors:
+                sensor.observe(sources, targets)
+            ref_grid.observe(targets, float(tick))
+
+    def run_indexed() -> None:
+        for sensor in idx_sensors:
+            sensor.reset()
+        idx_grid.reset()
+        for tick, (sources, targets) in enumerate(batches):
+            index.dispatch(sources, targets, float(tick))
+
+    run_reference()
+    run_indexed()
+    equivalent = all(
+        np.array_equal(a.probes_by_slash24(), b.probes_by_slash24())
+        and np.array_equal(
+            a.unique_sources_by_slash24(), b.unique_sources_by_slash24()
+        )
+        for a, b in zip(ref_sensors, idx_sensors)
+    ) and np.array_equal(ref_grid.payload_counts(), idx_grid.payload_counts())
+
+    reference_s = _best_of(repeats, run_reference)
+    indexed_s = _best_of(repeats, run_indexed)
+    probes = batch_size * num_batches
+    return {
+        "batch_size": batch_size,
+        "num_batches": num_batches,
+        "num_sensors": len(ref_sensors),
+        "grid_sensors": int(ref_grid.num_sensors),
+        "reference_s": reference_s,
+        "indexed_s": indexed_s,
+        "reference_probes_per_s": probes / reference_s,
+        "indexed_probes_per_s": probes / indexed_s,
+        "speedup": reference_s / indexed_s,
+        "equivalent": bool(equivalent),
+    }
+
+
+# -- end to end ------------------------------------------------------
+
+
+def build_outbreak_simulator(num_hosts: int, seed: int = 2006) -> EpidemicSimulator:
+    """A figure1-flavoured outbreak: IMS sensors, policy, loss."""
+    rng = np.random.default_rng(seed)
+    addrs = np.unique(
+        rng.integers(1 << 24, 224 << 24, size=num_hosts, dtype=np.uint64).astype(
+            np.uint32
+        )
+    )
+    policy = FilteringPolicy(
+        [
+            FilterRule("egress", CIDRBlock.parse("20.0.0.0/8")),
+            FilterRule("ingress", CIDRBlock.parse("60.0.0.0/8")),
+        ]
+    )
+    loss = LossModel(
+        base_rate=0.05,
+        region_losses=[RegionLoss(CIDRBlock.parse("100.0.0.0/8"), 0.5)],
+    )
+    return EpidemicSimulator(
+        UniformScanWorm(),
+        HostPopulation(addrs),
+        environment=NetworkEnvironment(policy=policy, loss=loss),
+        sensors=ims_standard_deployment(),
+    )
+
+
+def _end_to_end_config(num_hosts: int, num_ticks: int) -> SimulationConfig:
+    # Seeding half the population keeps every tick at figure-scale
+    # probe volume (hosts/2 * scan_rate probes per tick) from tick 1.
+    return SimulationConfig(
+        scan_rate=10.0,
+        max_time=float(num_ticks),
+        seed_count=max(1, num_hosts // 4),
+        stop_at_fraction=1.0,
+    )
+
+
+def bench_end_to_end(
+    num_hosts: int, num_ticks: int, seed: int = 2006, repeats: int = 2
+) -> dict:
+    """Whole-simulator tick rate, kernels on vs kernels off.
+
+    The kernelized run dispatches through ``TrialRunner`` — the same
+    unit the experiment registry fans out — so this measures exactly
+    what a registered campaign executes per trial.
+    """
+    config = _end_to_end_config(num_hosts, num_ticks)
+
+    def run_kernelized():
+        runner = TrialRunner(workers=1)
+        [result] = runner.run(
+            [
+                Trial(
+                    func=run_simulation_trial,
+                    kwargs={
+                        "simulator": build_outbreak_simulator(num_hosts, seed),
+                        "config": config,
+                        "seed": seed,
+                    },
+                )
+            ]
+        )
+        return result
+
+    def run_reference():
+        with kernel_override(False):
+            return run_simulation_trial(
+                build_outbreak_simulator(num_hosts, seed), config, seed
+            )
+
+    kernel_result = run_kernelized()
+    reference_result = run_reference()
+    equivalent = results_equal(reference_result, kernel_result)
+
+    kernel_s = _best_of(repeats, run_kernelized)
+    reference_s = _best_of(repeats, run_reference)
+    ticks = len(kernel_result.times)
+    return {
+        "num_hosts": num_hosts,
+        "num_ticks": ticks,
+        "total_probes": int(kernel_result.total_probes),
+        "reference_s": reference_s,
+        "kernel_s": kernel_s,
+        "reference_ticks_per_s": ticks / reference_s,
+        "kernel_ticks_per_s": ticks / kernel_s,
+        "kernel_probes_per_s": kernel_result.total_probes / kernel_s,
+        "speedup": reference_s / kernel_s,
+        "equivalent": bool(equivalent),
+    }
+
+
+# -- suite driver ----------------------------------------------------
+
+
+def run_suite(quick: bool, seed: int = 2006) -> dict:
+    """Every kernel benchmark at the chosen scale, as one report."""
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    report = {
+        "suite": "kernels",
+        "mode": "quick" if quick else "full",
+        "sizes": dict(sizes),
+        "lpm": bench_lpm(sizes["lpm_batch"], sizes["lpm_prefixes"], seed),
+        "sensor_dispatch": bench_sensor_dispatch(
+            sizes["dispatch_batch"], sizes["dispatch_batches"], seed
+        ),
+        "end_to_end": bench_end_to_end(
+            sizes["end_to_end_hosts"], sizes["end_to_end_ticks"], seed
+        ),
+    }
+    report["equivalent"] = all(
+        report[section]["equivalent"]
+        for section in ("lpm", "sensor_dispatch", "end_to_end")
+    )
+    return report
+
+
+def format_report(report: dict) -> str:
+    """Human-oriented rendering of :func:`run_suite` output."""
+    lpm = report["lpm"]
+    dispatch = report["sensor_dispatch"]
+    end = report["end_to_end"]
+    lines = [
+        f"kernel benchmarks ({report['mode']} mode)",
+        (
+            f"  LPM:      {lpm['compiled_probes_per_s']:,.0f} probes/s compiled"
+            f" vs {lpm['reference_probes_per_s']:,.0f} reference"
+            f" ({lpm['speedup']:.1f}x, {lpm['num_prefixes']} prefixes,"
+            f" batch {lpm['batch_size']:,})"
+        ),
+        (
+            f"  sensors:  {dispatch['indexed_probes_per_s']:,.0f} probes/s indexed"
+            f" vs {dispatch['reference_probes_per_s']:,.0f} per-sensor loop"
+            f" ({dispatch['speedup']:.1f}x, {dispatch['num_sensors']} darknets"
+            f" + {dispatch['grid_sensors']} grid /24s)"
+        ),
+        (
+            f"  end2end:  {end['kernel_ticks_per_s']:.2f} ticks/s kernelized"
+            f" vs {end['reference_ticks_per_s']:.2f} reference"
+            f" ({end['speedup']:.2f}x, {end['total_probes']:,} probes)"
+        ),
+        f"  equivalence: {'ok' if report['equivalent'] else 'FAILED'}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke sizes (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the JSON report to this path",
+    )
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args(argv)
+
+    report = run_suite(quick=args.quick, seed=args.seed)
+    print(format_report(report))
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if not report["equivalent"]:
+        print("kernel/reference equivalence FAILED", file=sys.stderr)
+        return 2
+    return 0
+
+
+# -- pytest-benchmark wrappers ---------------------------------------
+
+
+def test_lpm_kernel(benchmark):
+    sizes = QUICK_SIZES
+    tree = build_policy_table(sizes["lpm_prefixes"])
+    compiled = tree.compile()
+    rng = np.random.default_rng(1)
+    addrs = rng.integers(
+        0, 1 << 32, size=sizes["lpm_batch"], dtype=np.uint64
+    ).astype(np.uint32)
+    benchmark(compiled.lookup_indices, addrs)
+    assert tree.lookup_array(addrs, default=-1) == compiled.lookup_array(
+        addrs, default=-1
+    )
+
+
+def test_sensor_dispatch_kernel(benchmark):
+    result = benchmark.pedantic(
+        bench_sensor_dispatch,
+        kwargs={
+            "batch_size": QUICK_SIZES["dispatch_batch"],
+            "num_batches": QUICK_SIZES["dispatch_batches"],
+            "repeats": 1,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["speedup"] = round(result["speedup"], 2)
+    assert result["equivalent"]
+
+
+def test_end_to_end_kernel(benchmark):
+    result = benchmark.pedantic(
+        bench_end_to_end,
+        kwargs={
+            "num_hosts": QUICK_SIZES["end_to_end_hosts"],
+            "num_ticks": QUICK_SIZES["end_to_end_ticks"],
+            "repeats": 1,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["speedup"] = round(result["speedup"], 2)
+    assert result["equivalent"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""Refresh the tracked kernel perf baseline (``BENCH_kernels.json``).
+
+Runs the kernel benchmark suite at full (baseline) scale and writes
+the JSON report to the repository root::
+
+    python scripts/bench_baseline.py            # full sizes, ~1-2 min
+    python scripts/bench_baseline.py --quick    # CI-smoke sizes
+
+Commit the refreshed ``BENCH_kernels.json`` alongside any change that
+touches the probe-path kernels, so reviewers can diff probes/sec and
+the CI equivalence gate stays anchored to a known-good baseline.
+Exits non-zero if any kernel/reference equivalence check fails.
+"""
+
+import argparse
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from bench_kernels import format_report, run_suite  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke sizes instead of the full baseline sizes",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_kernels.json"),
+        help="where to write the JSON report (default: repo root)",
+    )
+    parser.add_argument("--seed", type=int, default=2006)
+    args = parser.parse_args(argv)
+
+    report = run_suite(quick=args.quick, seed=args.seed)
+    print(format_report(report))
+
+    import json
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if not report["equivalent"]:
+        print("kernel/reference equivalence FAILED", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

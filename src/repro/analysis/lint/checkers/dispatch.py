@@ -74,7 +74,7 @@ class PicklableDispatchChecker(Checker):
         "via the serial fallback; dispatched callables must be "
         "module-level"
     )
-    scope = ("src", "tests", "benchmarks")
+    scope = ("src", "tests", "benchmarks", "scripts")
 
     def check_file(
         self,

@@ -4,7 +4,7 @@ Configuration lives in ``[tool.hotspots-lint]`` of the project's
 ``pyproject.toml``::
 
     [tool.hotspots-lint]
-    paths = ["src", "tests", "benchmarks"]
+    paths = ["src", "tests", "benchmarks", "scripts"]
     exclude = ["tests/analysis/lint_fixtures"]
     entrypoints = ["src/repro/cli.py", "src/repro/__init__.py"]
 
@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Any, Mapping, Optional, Sequence
 
 #: Directories walked when ``hotspots lint`` is invoked without paths.
-DEFAULT_PATHS: tuple[str, ...] = ("src", "tests", "benchmarks")
+DEFAULT_PATHS: tuple[str, ...] = ("src", "tests", "benchmarks", "scripts")
 
 #: Path fragments never linted: checker fixtures *are* violations.
 DEFAULT_EXCLUDE: tuple[str, ...] = ("tests/analysis/lint_fixtures",)

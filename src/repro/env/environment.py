@@ -23,7 +23,7 @@ import numpy as np
 from repro.env.failures import LossModel
 from repro.env.filtering import FilteringPolicy
 from repro.env.nat import NATDeployment
-from repro.net.special import UNROUTABLE
+from repro.net.special import ADDR_PRIVATE, ADDR_UNROUTABLE, classify
 
 
 @dataclass
@@ -61,8 +61,13 @@ class NetworkEnvironment:
         """Mask of probes that reach their targets."""
         sources = np.asarray(sources, dtype=np.uint32)
         targets = np.asarray(targets, dtype=np.uint32)
-        ok = ~UNROUTABLE.contains_array(targets)
-        ok &= self.nat.deliverable(sources, targets)
+        # One compiled-LPM pass classifies every target; the routable
+        # check and the NAT layer both read from it.
+        target_class = classify(targets)
+        ok = target_class != ADDR_UNROUTABLE
+        ok &= self.nat.deliverable(
+            sources, targets, target_private=target_class == ADDR_PRIVATE
+        )
         ok &= self.policy.deliverable(sources, targets, worm)
         ok &= self.loss.deliverable(targets, rng)
         return ok
@@ -77,8 +82,11 @@ class NetworkEnvironment:
         """Deliverability mask plus an attribution of every drop."""
         sources = np.asarray(sources, dtype=np.uint32)
         targets = np.asarray(targets, dtype=np.uint32)
-        routable = ~UNROUTABLE.contains_array(targets)
-        nat_ok = self.nat.deliverable(sources, targets)
+        target_class = classify(targets)
+        routable = target_class != ADDR_UNROUTABLE
+        nat_ok = self.nat.deliverable(
+            sources, targets, target_private=target_class == ADDR_PRIVATE
+        )
         policy_ok = self.policy.deliverable(sources, targets, worm)
         loss_ok = self.loss.deliverable(targets, rng)
 

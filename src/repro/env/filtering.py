@@ -23,6 +23,12 @@ from typing import Iterable, Optional
 import numpy as np
 
 from repro.net.cidr import BlockSet, CIDRBlock
+from repro.net.kernels import kernels_enabled
+from repro.net.prefixtree import PrefixTree
+
+#: Above this many distinct regions the pair-decision table gets big
+#: (``(regions+1)^2`` scalar replays); fall back to the per-rule scan.
+_MAX_COMPILED_REGIONS = 256
 
 
 class FilterAction(enum.Enum):
@@ -74,11 +80,99 @@ class FilterRule:
         return target_inside & ~source_inside
 
 
+class _PolicyKernel:
+    """One policy × worm, compiled for batched evaluation.
+
+    Every rule region is a CIDR block, so regions are pairwise nested
+    or disjoint and an address's full region-membership set is a
+    function of the *longest* matching region.  The kernel therefore:
+
+    1. assigns each distinct region a bit and inserts it into a
+       :class:`PrefixTree` carrying its *cumulative* mask (own bit ORed
+       with every enclosing region's mask);
+    2. compiles the tree, so one interval-locate maps an address to
+       its membership mask's index;
+    3. replays the first-match-wins rule scan once per *pair* of
+       membership masks, caching the verdict in a 2-D decision table.
+
+    A batch evaluation is then two index lookups and one fancy-index —
+    independent of the rule count.
+    """
+
+    def __init__(self, rules: tuple[FilterRule, ...], worm: Optional[str]):
+        applicable = [
+            rule for rule in rules if rule.worm is None or rule.worm == worm
+        ]
+        regions = sorted({rule.region for rule in applicable})
+        bit_of = {region: 1 << index for index, region in enumerate(regions)}
+        tree: PrefixTree[int] = PrefixTree()
+        stack: list[tuple[CIDRBlock, int]] = []
+        for region in regions:  # sorted order = containment pre-order
+            while stack and not (
+                stack[-1][0].first <= region.first
+                and region.last <= stack[-1][0].last
+            ):
+                stack.pop()
+            mask = bit_of[region] | (stack[-1][1] if stack else 0)
+            tree.insert(region, mask)
+            stack.append((region, mask))
+        self._lpm = tree.compile()
+        # Miss mask (membership 0) lives in the LAST row/column so the
+        # compiled lookup's miss sentinel (-1) lands on it for free via
+        # numpy's negative indexing — no per-batch remapping needed.
+        masks = list(self._lpm.values) + [0]
+        decision = np.empty((len(masks), len(masks)), dtype=bool)
+        for row, source_mask in enumerate(masks):
+            for col, target_mask in enumerate(masks):
+                decision[row, col] = self._replay(
+                    applicable, bit_of, source_mask, target_mask
+                )
+        self._decision = decision
+
+    @staticmethod
+    def _replay(
+        applicable: list[FilterRule],
+        bit_of: dict[CIDRBlock, int],
+        source_mask: int,
+        target_mask: int,
+    ) -> bool:
+        """First-match-wins verdict for one membership-mask pair."""
+        for rule in applicable:
+            bit = bit_of[rule.region]
+            source_inside = bool(source_mask & bit)
+            target_inside = bool(target_mask & bit)
+            if rule.direction == "egress":
+                matched = source_inside and not target_inside
+            else:
+                matched = target_inside and not source_inside
+            if matched:
+                return rule.action is FilterAction.ALLOW
+        return True
+
+    def deliverable(
+        self, sources: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        return self._decision[
+            self._lpm.lookup_indices(sources),
+            self._lpm.lookup_indices(targets),
+        ]
+
+
 class FilteringPolicy:
-    """An ordered rule list evaluated first-match-wins."""
+    """An ordered rule list evaluated first-match-wins.
+
+    Batches evaluate through a compiled kernel (see
+    :class:`_PolicyKernel`) built lazily per worm name and invalidated
+    whenever the rule list changes; the per-rule reference scan stays
+    available for the equivalence tests via ``use_compiled = False``
+    or :func:`repro.net.kernels.kernel_override`.
+    """
 
     def __init__(self, rules: Iterable[FilterRule] = ()):
         self.rules = list(rules)
+        self.use_compiled = True
+        self._kernel_rules: Optional[tuple[FilterRule, ...]] = None
+        self._kernels: dict[Optional[str], _PolicyKernel] = {}
 
     @classmethod
     def egress_filtered_enterprises(
@@ -93,6 +187,18 @@ class FilteringPolicy:
         """Append a rule (evaluated after all existing rules)."""
         self.rules.append(rule)
 
+    def _kernel(self, worm: Optional[str]) -> _PolicyKernel:
+        """The compiled kernel for ``worm``, rebuilt after rule edits."""
+        snapshot = tuple(self.rules)
+        if self._kernel_rules != snapshot:
+            self._kernels = {}
+            self._kernel_rules = snapshot
+        kernel = self._kernels.get(worm)
+        if kernel is None:
+            kernel = _PolicyKernel(snapshot, worm)
+            self._kernels[worm] = kernel
+        return kernel
+
     def deliverable(
         self,
         sources: np.ndarray,
@@ -102,6 +208,24 @@ class FilteringPolicy:
         """Mask of probes the policy lets through (first match wins)."""
         targets = np.asarray(targets, dtype=np.uint32)
         sources = np.asarray(sources, dtype=np.uint32)
+        if not self.rules:
+            return np.ones(targets.shape, dtype=bool)
+        if (
+            self.use_compiled
+            and kernels_enabled()
+            and len({rule.region for rule in self.rules})
+            <= _MAX_COMPILED_REGIONS
+        ):
+            return self._kernel(worm).deliverable(sources, targets)
+        return self._deliverable_reference(sources, targets, worm)
+
+    def _deliverable_reference(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        worm: Optional[str] = None,
+    ) -> np.ndarray:
+        """The per-rule scan the kernel is checked against."""
         ok = np.ones(targets.shape, dtype=bool)
         decided = np.zeros(targets.shape, dtype=bool)
         for rule in self.rules:

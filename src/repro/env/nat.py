@@ -102,16 +102,24 @@ class NATDeployment:
         out[found] = self._realms[idx[found]]
         return out
 
-    def deliverable(self, sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    def deliverable(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        target_private: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Mask of probes NAT semantics allow through.
 
         Probes to private targets survive only inside a shared realm;
         probes to public targets always pass this layer (the NAT
-        translates outbound traffic).
+        translates outbound traffic).  ``target_private`` lets the
+        environment reuse its per-batch address classification instead
+        of re-deriving the mask here.
         """
         sources = np.asarray(sources, dtype=np.uint32)
         targets = np.asarray(targets, dtype=np.uint32)
-        target_private = is_private(targets)
+        if target_private is None:
+            target_private = is_private(targets)
         ok = np.ones(targets.shape, dtype=bool)
         if target_private.any():
             if self.intra_private_model == "statistical":

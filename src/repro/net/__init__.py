@@ -19,6 +19,10 @@ Modules
 ``prefixtree``
     A binary radix trie with longest-prefix-match lookup, used by the
     policy layers.
+``kernels``
+    Compiled interval tables (:class:`~repro.net.kernels.CompiledLPM`)
+    behind the batched hot-path lookups, plus the global kernel
+    on/off override the equivalence harness uses.
 """
 
 from repro.net.address import (
@@ -30,6 +34,7 @@ from repro.net.address import (
     parse_addrs,
 )
 from repro.net.cidr import BlockSet, CIDRBlock
+from repro.net.kernels import CompiledLPM, kernel_override, kernels_enabled
 from repro.net.prefixtree import PrefixTree
 from repro.net.special import (
     LOOPBACK,
@@ -43,12 +48,15 @@ from repro.net.special import (
 __all__ = [
     "BlockSet",
     "CIDRBlock",
+    "CompiledLPM",
     "LOOPBACK",
     "MULTICAST",
     "PRIVATE_BLOCKS",
     "PrefixTree",
     "RESERVED_CLASS_E",
     "format_addr",
+    "kernel_override",
+    "kernels_enabled",
     "format_addrs",
     "from_octets",
     "is_private",

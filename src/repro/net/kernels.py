@@ -1,0 +1,228 @@
+"""Compiled interval kernels for the probe hot path.
+
+The simulator pushes millions of probes per tick through address
+classification: longest-prefix policy matches, special-range checks,
+sensor membership.  Walking a radix trie (or scanning per-sensor
+blocks) per address is the dominant cost at figure scale, so the hot
+path compiles those structures down to one shared shape — a sorted
+partition of the 2^32 address space into half-open intervals — and
+answers whole batches with one :class:`IntervalLocator` pass.
+
+:class:`CompiledLPM` is that flattened table.  It is produced by
+:meth:`repro.net.prefixtree.PrefixTree.compile` and consumed by the
+filtering policy, the special-range classifier, and anything else
+that needs batched longest-prefix-match.  A compiled table is frozen:
+mutating the source tree does not update it (the tree's ``compiled()``
+accessor re-compiles lazily on version change).
+
+``kernel_override`` is the escape hatch the equivalence tests and the
+benchmark baseline use to force the pre-kernel reference paths; it
+exists so "kernelized run ≡ reference run" stays checkable forever.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional, Sequence
+
+import numpy as np
+
+#: ``lookup_indices`` result for addresses no prefix covers.
+NO_VALUE = -1
+
+_kernels_enabled = True
+
+
+def kernels_enabled() -> bool:
+    """Whether compiled kernels are globally enabled (default: yes)."""
+    return _kernels_enabled
+
+
+@contextmanager
+def kernel_override(enabled: bool) -> Iterator[None]:
+    """Force compiled kernels on or off within a ``with`` block.
+
+    The equivalence harness runs every experiment twice — once under
+    ``kernel_override(False)`` (the reference per-rule / per-sensor
+    paths) and once normally — and demands bitwise-equal results.
+    """
+    global _kernels_enabled
+    previous = _kernels_enabled
+    _kernels_enabled = enabled
+    try:
+        yield
+    finally:
+        _kernels_enabled = previous
+
+
+#: Bucket granularity of :class:`IntervalLocator`: one direct-indexed
+#: slot per /16, small enough to stay cache-resident (256 KiB).
+_BUCKET_BITS = 16
+_BUCKET_SHIFT = np.uint64(32 - _BUCKET_BITS)
+
+#: Tables at or below this size locate by summed compares instead of
+#: bucket gathers.  Random gathers cost ~10x a SIMD compare pass per
+#: element, so the crossover sits around a few dozen intervals.
+_SMALL_TABLE_MAX = 32
+
+#: Densest-bucket step bound beyond which the bucketed path would
+#: degenerate (each advance step is a full-batch pass); such tables
+#: fall back to plain ``searchsorted``.
+_MAX_ADVANCE_STEPS = 16
+
+
+class IntervalLocator:
+    """Vectorized "which interval?" over sorted interval starts.
+
+    Semantically identical to ``np.searchsorted(starts, addrs,
+    side="right") - 1`` but much faster on big batches, where
+    per-element binary search is branchy and cache-hostile.  Three
+    regimes, chosen at build time:
+
+    * small tables (≤ :data:`_SMALL_TABLE_MAX` starts): the slot is
+      the number of starts at or below the address, computed as a sum
+      of pure SIMD compare passes — no gathers at all;
+    * spread-out tables: a direct-indexed /16 bucket table precomputes
+      the slot at every bucket boundary, and the batch resolves with
+      one table gather plus a few vectorized advance steps (as many
+      as the densest bucket needs, usually 0-3);
+    * tables clustered so tightly that one /16 bucket would need more
+      than :data:`_MAX_ADVANCE_STEPS` advance steps (hotspot-shaped
+      address sets): plain ``searchsorted``, so the locator never
+      loses to the reference it replaces.
+    """
+
+    __slots__ = ("_starts32", "_starts_ext", "_bucket_slot", "_max_steps")
+
+    def __init__(self, starts: np.ndarray):
+        starts = np.asarray(starts, dtype=np.uint64)
+        # Starts are addresses, so they always fit uint32; the small
+        # and fallback paths compare against them directly to keep
+        # every pass at 4 bytes/element.
+        self._starts32 = starts.astype(np.uint32)
+        self._starts_ext = None
+        self._bucket_slot = None
+        self._max_steps = 0
+        if len(starts) <= _SMALL_TABLE_MAX:
+            return
+        bounds = np.arange(1 << _BUCKET_BITS, dtype=np.uint64) << _BUCKET_SHIFT
+        upper_bounds = np.concatenate(
+            [bounds[1:], np.array([1 << 32], dtype=np.uint64)]
+        )
+        lower_slots = np.searchsorted(starts, bounds, side="right")
+        starts_per_bucket = (
+            np.searchsorted(starts, upper_bounds, side="left") - lower_slots
+        )
+        max_steps = int(starts_per_bucket.max())
+        if max_steps > _MAX_ADVANCE_STEPS:
+            return
+        self._starts_ext = np.concatenate(
+            [starts, np.array([np.iinfo(np.uint64).max], dtype=np.uint64)]
+        )
+        self._bucket_slot = lower_slots.astype(np.int32) - 1
+        self._max_steps = max_steps
+
+    def locate(self, addrs: np.ndarray) -> np.ndarray:
+        """Interval slot per address (``-1`` = before every interval).
+
+        ``addrs`` must be unsigned integers below ``2^32``; pass
+        ``uint32`` so the small-table path stays at 4 bytes/element.
+        """
+        if self._bucket_slot is not None:
+            wide = (
+                addrs if addrs.dtype == np.uint64 else addrs.astype(np.uint64)
+            )
+            slot = self._bucket_slot[wide >> _BUCKET_SHIFT]
+            for _ in range(self._max_steps):
+                advance = self._starts_ext[slot + 1] <= wide
+                if not advance.any():
+                    break
+                slot = slot + advance
+            return slot
+        if len(self._starts32) <= _SMALL_TABLE_MAX:
+            slot = np.full(addrs.shape, -1, dtype=np.int16)
+            for start in self._starts32:
+                slot += addrs >= start
+            return slot
+        return (
+            np.searchsorted(self._starts32, addrs, side="right").astype(
+                np.int64
+            )
+            - 1
+        )
+
+
+class CompiledLPM:
+    """A longest-prefix-match table flattened to sorted intervals.
+
+    The address space ``[0, 2^32)`` is partitioned into half-open
+    intervals: interval ``i`` spans ``[starts[i], starts[i+1])`` (the
+    last one runs to the end of the space) and carries
+    ``value_index[i]`` — an index into :attr:`values`, or
+    :data:`NO_VALUE` where no prefix matches.  A batch lookup is one
+    interval-locate regardless of how many prefixes were compiled.
+    """
+
+    __slots__ = ("_starts", "_value_index", "_values", "_int_values", "_locator")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        value_index: np.ndarray,
+        values: Sequence[Any],
+    ):
+        starts = np.asarray(starts, dtype=np.uint64)
+        value_index = np.asarray(value_index, dtype=np.int64)
+        if len(starts) == 0 or int(starts[0]) != 0:
+            raise ValueError("interval table must start at address 0")
+        if len(starts) != len(value_index):
+            raise ValueError("starts and value_index must align")
+        self._starts = starts
+        self._value_index = value_index
+        self._values = list(values)
+        self._int_values: Optional[np.ndarray] = None
+        self._locator = IntervalLocator(starts)
+
+    @property
+    def num_intervals(self) -> int:
+        """Number of address intervals in the partition."""
+        return len(self._starts)
+
+    @property
+    def values(self) -> tuple:
+        """The compiled value table (index space of ``lookup_indices``)."""
+        return tuple(self._values)
+
+    def lookup_indices(self, addrs: np.ndarray) -> np.ndarray:
+        """Per-address index into :attr:`values` (:data:`NO_VALUE` = miss).
+
+        One bucketed interval-locate over the whole batch; output
+        shape matches the input shape.
+        """
+        addrs = np.asarray(addrs, dtype=np.uint32)
+        return self._value_index[self._locator.locate(addrs)]
+
+    def lookup_array(self, addrs: np.ndarray, default: Any = None) -> list[Any]:
+        """Batched LPM with ``PrefixTree.lookup_array``'s exact contract."""
+        indices = self.lookup_indices(np.asarray(addrs).ravel())
+        return [
+            self._values[index] if index >= 0 else default
+            for index in indices
+        ]
+
+    def lookup_int_array(self, addrs: np.ndarray, default: int = 0) -> np.ndarray:
+        """Vectorized lookup when every compiled value is an integer.
+
+        Returns an ``int64`` array shaped like ``addrs`` with
+        ``default`` where no prefix matches.
+        """
+        if self._int_values is None:
+            self._int_values = np.array(
+                [int(value) for value in self._values], dtype=np.int64
+            )
+        indices = self.lookup_indices(addrs)
+        matched = indices >= 0
+        out = np.full(indices.shape, default, dtype=np.int64)
+        if len(self._int_values):
+            out[matched] = self._int_values[indices[matched]]
+        return out

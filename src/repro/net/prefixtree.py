@@ -12,6 +12,7 @@ from typing import Any, Generic, Iterator, Optional, TypeVar
 import numpy as np
 
 from repro.net.cidr import CIDRBlock
+from repro.net.kernels import CompiledLPM
 
 V = TypeVar("V")
 
@@ -31,12 +32,16 @@ class PrefixTree(Generic[V]):
     def __init__(self) -> None:
         self._root: _Node[V] = _Node()
         self._count = 0
+        self._version = 0
+        self._compiled: Optional[CompiledLPM] = None
+        self._compiled_version = -1
 
     def __len__(self) -> int:
         return self._count
 
     def insert(self, block: CIDRBlock, value: V) -> None:
         """Associate ``value`` with ``block``; replaces any prior value."""
+        self._version += 1
         node = self._root
         for depth in range(block.prefix_len):
             bit = (block.network >> (31 - depth)) & 1
@@ -76,6 +81,54 @@ class PrefixTree(Generic[V]):
             value = self.lookup(int(addr))
             results.append(default if value is None else value)
         return results
+
+    def compile(self) -> CompiledLPM:
+        """Flatten the trie into a :class:`CompiledLPM` interval table.
+
+        Every prefix boundary splits the address space; each resulting
+        interval carries the index of the longest prefix covering it.
+        The compiled table is a frozen snapshot — later ``insert``
+        calls do not update it (use :meth:`compiled` for a cached
+        table that re-compiles after mutations).
+        """
+        entries = list(self.items())
+        index_tree: PrefixTree[int] = PrefixTree()
+        boundaries = {0}
+        for position, (block, _) in enumerate(entries):
+            index_tree.insert(block, position)
+            boundaries.add(block.first)
+            if block.last + 1 < (1 << 32):
+                boundaries.add(block.last + 1)
+        starts = np.array(sorted(boundaries), dtype=np.uint64)
+        value_index = np.array(
+            [
+                index if (index := index_tree.lookup(int(start))) is not None
+                else -1
+                for start in starts
+            ],
+            dtype=np.int64,
+        )
+        if len(starts) > 1:
+            keep = np.concatenate(
+                [[True], value_index[1:] != value_index[:-1]]
+            )
+            starts = starts[keep]
+            value_index = value_index[keep]
+        return CompiledLPM(
+            starts, value_index, [value for _, value in entries]
+        )
+
+    def compiled(self) -> CompiledLPM:
+        """A cached compiled table, rebuilt after any mutation.
+
+        ``insert`` bumps an internal version counter; this accessor
+        re-compiles when the cached table's version is stale, so hot
+        paths can call it every batch at zero steady-state cost.
+        """
+        if self._compiled is None or self._compiled_version != self._version:
+            self._compiled = self.compile()
+            self._compiled_version = self._version
+        return self._compiled
 
     def items(self) -> Iterator[tuple[CIDRBlock, V]]:
         """Iterate ``(block, value)`` pairs in prefix order."""

@@ -9,6 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.net.cidr import BlockSet, CIDRBlock
+from repro.net.prefixtree import PrefixTree
 
 #: RFC 1918 private address blocks.
 PRIVATE_10 = CIDRBlock.parse("10.0.0.0/8")
@@ -29,9 +30,41 @@ UNROUTABLE = BlockSet(
 )
 
 
+#: Address classes answered by :func:`classify`.
+ADDR_PUBLIC = 0
+ADDR_PRIVATE = 1
+ADDR_UNROUTABLE = 2
+
+
+def _build_class_table() -> PrefixTree:
+    """The special-range trie behind the compiled classifier."""
+    tree: PrefixTree[int] = PrefixTree()
+    for block in (LOOPBACK, MULTICAST, RESERVED_CLASS_E, ZERO_NETWORK):
+        tree.insert(block, ADDR_UNROUTABLE)
+    for block in (PRIVATE_10, PRIVATE_172, PRIVATE_192):
+        tree.insert(block, ADDR_PRIVATE)
+    return tree
+
+
+#: Compiled special-range classifier: the private and unroutable
+#: blocks never overlap, so one LPM pass assigns every address exactly
+#: one class.  The environment layer classifies each probe batch once
+#: instead of re-scanning it per block set.
+_CLASS_LPM = _build_class_table().compile()
+
+
+def classify(addrs: np.ndarray) -> np.ndarray:
+    """Address class per address (``ADDR_*`` constants).
+
+    One compiled-LPM pass over the batch; everything that is neither
+    RFC 1918 private nor in an unroutable range is ``ADDR_PUBLIC``.
+    """
+    return _CLASS_LPM.lookup_int_array(addrs, default=ADDR_PUBLIC)
+
+
 def is_private(addrs: np.ndarray) -> np.ndarray:
     """Boolean mask of RFC 1918 private addresses."""
-    return PRIVATE_BLOCKS.contains_array(np.asarray(addrs, dtype=np.uint32))
+    return classify(addrs) == ADDR_PRIVATE
 
 
 def is_routable(addrs: np.ndarray) -> np.ndarray:
@@ -41,5 +74,4 @@ def is_routable(addrs: np.ndarray) -> np.ndarray:
     private hosts behind the same NAT is handled by the environment
     layer, not here.
     """
-    addrs = np.asarray(addrs, dtype=np.uint32)
-    return ~(UNROUTABLE.contains_array(addrs) | is_private(addrs))
+    return classify(addrs) == ADDR_PUBLIC

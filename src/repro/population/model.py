@@ -10,8 +10,11 @@ probe targets against it with one ``searchsorted`` per tick.
 from __future__ import annotations
 
 import enum
+from typing import Optional
 
 import numpy as np
+
+from repro.net.kernels import IntervalLocator, kernels_enabled
 
 
 class HostStatus(enum.IntEnum):
@@ -37,6 +40,15 @@ class HostPopulation:
             raise ValueError("vulnerable addresses must be unique")
         self._addrs = addrs
         self._status = np.full(len(addrs), HostStatus.VULNERABLE, dtype=np.int8)
+        # Status transitions only ever go VULNERABLE -> INFECTED and
+        # VULNERABLE -> IMMUNE, so the population counts are maintained
+        # incrementally instead of re-scanning the status array (the
+        # simulator reads `num_infected` every tick).
+        self._num_infected = 0
+        self._num_immune = 0
+        # Lazily built exact-match index for `vulnerable_hits`; valid
+        # forever because `_addrs` never changes after construction.
+        self._locator: Optional[IntervalLocator] = None
 
     @property
     def size(self) -> int:
@@ -46,17 +58,17 @@ class HostPopulation:
     @property
     def num_infected(self) -> int:
         """Hosts currently infected."""
-        return int((self._status == HostStatus.INFECTED).sum())
+        return self._num_infected
 
     @property
     def num_vulnerable(self) -> int:
         """Hosts still vulnerable (not infected, not immune)."""
-        return int((self._status == HostStatus.VULNERABLE).sum())
+        return self.size - self._num_infected - self._num_immune
 
     @property
     def num_immune(self) -> int:
         """Hosts patched or otherwise immune."""
-        return int((self._status == HostStatus.IMMUNE).sum())
+        return self._num_immune
 
     @property
     def fraction_infected(self) -> float:
@@ -78,6 +90,12 @@ class HostPopulation:
     def _indices_of(self, addrs: np.ndarray) -> np.ndarray:
         """Indices of known addresses; raises on unknown addresses."""
         addrs = np.asarray(addrs, dtype=np.uint32)
+        if not len(self._addrs):
+            # np.clip with an upper bound of -1 would wrap the indices;
+            # an empty population simply knows no addresses.
+            if not len(addrs):
+                return np.empty(0, dtype=np.intp)
+            raise KeyError("address not in population")
         idx = np.searchsorted(self._addrs, addrs)
         idx = np.clip(idx, 0, len(self._addrs) - 1)
         if not (self._addrs[idx] == addrs).all():
@@ -100,6 +118,7 @@ class HostPopulation:
         fresh = self._status[idx] == HostStatus.VULNERABLE
         fresh_idx = np.unique(idx[fresh])
         self._status[fresh_idx] = HostStatus.INFECTED
+        self._num_infected += len(fresh_idx)
         return self._addrs[fresh_idx]
 
     def immunize(self, addrs: np.ndarray) -> None:
@@ -108,7 +127,9 @@ class HostPopulation:
             return
         idx = self._indices_of(addrs)
         vulnerable = self._status[idx] == HostStatus.VULNERABLE
-        self._status[idx[vulnerable]] = HostStatus.IMMUNE
+        flipped = np.unique(idx[vulnerable])
+        self._status[flipped] = HostStatus.IMMUNE
+        self._num_immune += len(flipped)
 
     def vulnerable_hits(self, targets: np.ndarray) -> np.ndarray:
         """Addresses of *vulnerable* hosts hit by a batch of probes.
@@ -120,8 +141,21 @@ class HostPopulation:
         targets = np.asarray(targets, dtype=np.uint32).ravel()
         if not len(targets) or not len(self._addrs):
             return np.empty(0, dtype=np.uint32)
-        idx = np.searchsorted(self._addrs, targets)
-        idx = np.clip(idx, 0, len(self._addrs) - 1)
+        if kernels_enabled():
+            # Bucketed locate instead of per-element binary search.
+            # `locate` = searchsorted(side="right") - 1, so a slot
+            # points at the greatest address <= target and matches
+            # exactly when that address equals the target; slot == -1
+            # wraps to the last address, which cannot equal a target
+            # smaller than the first, so no extra masking is needed.
+            if self._locator is None:
+                self._locator = IntervalLocator(
+                    self._addrs.astype(np.uint64)
+                )
+            idx = self._locator.locate(targets)
+        else:
+            idx = np.searchsorted(self._addrs, targets)
+            idx = np.clip(idx, 0, len(self._addrs) - 1)
         hit = self._addrs[idx] == targets
         hit &= self._status[idx] == HostStatus.VULNERABLE
         return np.unique(targets[hit])
@@ -129,3 +163,5 @@ class HostPopulation:
     def reset(self) -> None:
         """Return every host to the vulnerable state."""
         self._status[:] = HostStatus.VULNERABLE
+        self._num_infected = 0
+        self._num_immune = 0

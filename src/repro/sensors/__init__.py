@@ -16,6 +16,7 @@ from repro.sensors.deployment import (
 )
 from repro.sensors.detection import AlertTimeline, quorum_detection_time
 from repro.sensors.earlywarning import ExponentialTrendDetector, TrendAlarm
+from repro.sensors.index import SensorIndex
 from repro.sensors.identification import (
     IdentificationOutcome,
     PayloadIdentifier,
@@ -30,6 +31,7 @@ __all__ = [
     "IdentificationOutcome",
     "PayloadIdentifier",
     "SensorGrid",
+    "SensorIndex",
     "Transport",
     "TrendAlarm",
     "WormSignature",

@@ -19,6 +19,10 @@ import numpy as np
 
 from repro.net.cidr import CIDRBlock
 
+#: Pending unique (source, bin) pairs tolerated before the per-batch
+#: chunks are merged; bounds both memory and the worst-case merge.
+PAIR_COMPACT_THRESHOLD = 262_144
+
 
 class DarknetSensor:
     """One monitored address block with per-/24 accounting.
@@ -38,8 +42,10 @@ class DarknetSensor:
         self._bin_count = max(1, block.size // 256)
         self._probe_counts = np.zeros(self._bin_count, dtype=np.int64)
         # Unique (source, /24-bin) pairs accumulate as packed uint64s
-        # and deduplicate lazily.
+        # and deduplicate lazily; chunks merge once the pending volume
+        # crosses PAIR_COMPACT_THRESHOLD so long runs stay bounded.
         self._pair_chunks: list[np.ndarray] = []
+        self._pending_pairs = 0
         self._unique_pairs: Optional[np.ndarray] = None
 
     @property
@@ -57,8 +63,18 @@ class DarknetSensor:
         inside = self.block.contains_array(targets)
         if not inside.any():
             return 0
-        hit_targets = targets[inside]
-        hit_sources = sources[inside]
+        return self.ingest(sources[inside], targets[inside])
+
+    def ingest(self, hit_sources: np.ndarray, hit_targets: np.ndarray) -> int:
+        """Record probes already known to land inside this block.
+
+        The fast path behind :class:`~repro.sensors.index.SensorIndex`:
+        the shared dispatch already proved containment, so this skips
+        the per-sensor membership scan.  Callers must guarantee every
+        target lies inside :attr:`block`.
+        """
+        if not len(hit_targets):
+            return 0
         bins = ((hit_targets - np.uint32(self.block.first)) >> np.uint32(8)).astype(
             np.int64
         )
@@ -66,16 +82,25 @@ class DarknetSensor:
         packed = (bins.astype(np.uint64) << np.uint64(32)) | hit_sources.astype(
             np.uint64
         )
-        self._pair_chunks.append(np.unique(packed))
+        chunk = np.unique(packed)
+        self._pair_chunks.append(chunk)
+        self._pending_pairs += len(chunk)
         self._unique_pairs = None
-        return int(inside.sum())
+        if len(self._pair_chunks) > 1 and self._pending_pairs >= PAIR_COMPACT_THRESHOLD:
+            self._compact_pairs()
+        return int(len(hit_targets))
+
+    def _compact_pairs(self) -> None:
+        """Merge pending pair chunks into one deduplicated baseline."""
+        merged = np.unique(np.concatenate(self._pair_chunks))
+        self._pair_chunks = [merged]
+        self._pending_pairs = 0
 
     def _pairs(self) -> np.ndarray:
         if self._unique_pairs is None:
             if self._pair_chunks:
-                merged = np.unique(np.concatenate(self._pair_chunks))
-                self._pair_chunks = [merged]
-                self._unique_pairs = merged
+                self._compact_pairs()
+                self._unique_pairs = self._pair_chunks[0]
             else:
                 self._unique_pairs = np.empty(0, dtype=np.uint64)
         return self._unique_pairs
@@ -113,6 +138,7 @@ class DarknetSensor:
         """Clear all recorded observations."""
         self._probe_counts[:] = 0
         self._pair_chunks = []
+        self._pending_pairs = 0
         self._unique_pairs = None
 
 

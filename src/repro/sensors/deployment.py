@@ -70,7 +70,20 @@ class SensorGrid:
         hit = self._prefixes[idx] == probe_prefixes
         if not hit.any():
             return 0
-        sensor_ids, hit_counts = np.unique(idx[hit], return_counts=True)
+        return self.ingest(targets[hit], time)
+
+    def ingest(self, hit_targets: np.ndarray, time: float) -> int:
+        """Record probes already known to land on grid sensors.
+
+        The fast path behind :class:`~repro.sensors.index.SensorIndex`:
+        callers must guarantee every target's /24 is one of this
+        grid's sensors, so the batch-wide membership scan is skipped.
+        """
+        if not len(hit_targets):
+            return 0
+        probe_prefixes = np.asarray(hit_targets, dtype=np.uint32) >> np.uint32(8)
+        idx = np.searchsorted(self._prefixes, probe_prefixes)
+        sensor_ids, hit_counts = np.unique(idx, return_counts=True)
         below_before = self._payload_counts[sensor_ids] < self.alert_threshold
         self._payload_counts[sensor_ids] += hit_counts
         crossed = below_before & (
@@ -78,7 +91,7 @@ class SensorGrid:
         )
         newly_alerted = sensor_ids[crossed]
         self._alert_times[newly_alerted] = time
-        return int(hit.sum())
+        return int(len(hit_targets))
 
     def payload_counts(self) -> np.ndarray:
         """Observed payloads per sensor."""

@@ -29,9 +29,11 @@ import numpy as np
 
 from repro.env.environment import NetworkEnvironment
 from repro.env.topology import Topology
+from repro.net.kernels import kernels_enabled
 from repro.population.model import HostPopulation
 from repro.sensors.darknet import DarknetSensor
 from repro.sensors.deployment import SensorGrid
+from repro.sensors.index import SensorIndex
 from repro.sim.containment import QuorumTriggeredContainment
 from repro.traces.record import TraceRecorder
 from repro.worms.base import WormModel
@@ -129,12 +131,19 @@ class SimulationResult:
         return float(self.infected_counts[index]) / self.population_size
 
     def time_to_fraction(self, fraction: float) -> Optional[float]:
-        """First time the infected fraction reached ``fraction``."""
+        """First time the infected fraction reached ``fraction``.
+
+        Infections never revert, so ``infected_counts`` is monotone
+        non-decreasing and the first crossing is a ``searchsorted``
+        rather than a full scan.
+        """
         threshold = fraction * self.population_size
-        above = np.nonzero(self.infected_counts >= threshold)[0]
-        if not len(above):
+        index = int(
+            np.searchsorted(self.infected_counts, threshold, side="left")
+        )
+        if index >= len(self.infected_counts):
             return None
-        return float(self.times[above[0]])
+        return float(self.times[index])
 
 
 class EpidemicSimulator:
@@ -161,6 +170,11 @@ class EpidemicSimulator:
         self.sensor_grids = list(sensor_grids)
         self.containment = containment
         self.trace_recorder = trace_recorder
+        # Delivered batches normally route through one shared
+        # SensorIndex pass; the per-sensor loop survives behind this
+        # flag (and `kernel_override(False)`) as the equivalence
+        # reference and the benchmark baseline.
+        self.use_sensor_index = True
 
     def run(
         self,
@@ -186,7 +200,18 @@ class EpidemicSimulator:
         infected_now = population.infect(seed_addrs)
         self.worm.add_hosts(state, infected_now, rng)
 
-        scan_accumulator = np.zeros(state.num_hosts, dtype=float)
+        sensor_index = None
+        if (
+            self.use_sensor_index
+            and kernels_enabled()
+            and (self.sensors or self.sensor_grids)
+        ):
+            sensor_index = SensorIndex(self.sensors, self.sensor_grids)
+
+        # Per-host fractional-scan accumulator, grown geometrically so
+        # each wave of new infections appends into spare capacity
+        # instead of reallocating the whole array.
+        accumulator_buffer = np.zeros(max(state.num_hosts, 1), dtype=float)
         times: list[float] = []
         infected_counts: list[int] = []
         infection_times: list[float] = [0.0] * len(infected_now)
@@ -202,6 +227,7 @@ class EpidemicSimulator:
                 rates = self.topology.scan_rates(state.addresses())
             else:
                 rates = np.full(state.num_hosts, config.scan_rate)
+            scan_accumulator = accumulator_buffer[: state.num_hosts]
             scan_accumulator += rates * config.tick_seconds
             scans_per_host = np.floor(scan_accumulator).astype(np.int64)
             scan_accumulator -= scans_per_host
@@ -229,10 +255,15 @@ class EpidemicSimulator:
                 delivered_sources = flat_sources[deliverable]
                 delivered_probes += len(delivered_targets)
 
-                for sensor in self.sensors:
-                    sensor.observe(delivered_sources, delivered_targets)
-                for grid in self.sensor_grids:
-                    grid.observe(delivered_targets, now)
+                if sensor_index is not None:
+                    sensor_index.dispatch(
+                        delivered_sources, delivered_targets, now
+                    )
+                else:
+                    for sensor in self.sensors:
+                        sensor.observe(delivered_sources, delivered_targets)
+                    for grid in self.sensor_grids:
+                        grid.observe(delivered_targets, now)
                 if self.trace_recorder is not None:
                     self.trace_recorder.record(
                         now,
@@ -245,9 +276,13 @@ class EpidemicSimulator:
                 if len(fresh):
                     population.infect(fresh)
                     self.worm.add_hosts(state, fresh, rng)
-                    scan_accumulator = np.concatenate(
-                        [scan_accumulator, np.zeros(len(fresh))]
-                    )
+                    if state.num_hosts > len(accumulator_buffer):
+                        grown = np.zeros(
+                            max(state.num_hosts, 2 * len(accumulator_buffer)),
+                            dtype=float,
+                        )
+                        grown[: len(accumulator_buffer)] = accumulator_buffer
+                        accumulator_buffer = grown
                     infection_times.extend([now] * len(fresh))
 
             if config.patch_rate > 0:

@@ -1,0 +1,99 @@
+"""Compiled policy kernel vs the first-match-wins reference scan."""
+
+import numpy as np
+
+from repro.env.filtering import FilterAction, FilterRule, FilteringPolicy
+from repro.net.cidr import CIDRBlock
+from repro.net.kernels import kernel_override
+
+
+def random_policy(rng):
+    rules = []
+    for _ in range(int(rng.integers(1, 10))):
+        prefix_len = int(rng.integers(4, 25))
+        region = CIDRBlock.containing(int(rng.integers(0, 1 << 32)), prefix_len)
+        rules.append(
+            FilterRule(
+                direction=str(rng.choice(["egress", "ingress"])),
+                region=region,
+                action=(
+                    FilterAction.ALLOW
+                    if rng.random() < 0.3
+                    else FilterAction.DROP
+                ),
+                worm=str(rng.choice(["", "slammer", "blaster"])) or None,
+            )
+        )
+    if rng.random() < 0.5 and rules:
+        # Nest a region inside an existing one: exercises the
+        # cumulative-mask containment logic.
+        outer = rules[0].region
+        inner_len = min(outer.prefix_len + 6, 30)
+        rules.append(
+            FilterRule(
+                direction="egress",
+                region=CIDRBlock.containing(outer.first, inner_len),
+            )
+        )
+    return FilteringPolicy(rules)
+
+
+def batches(rng, policy, size=4000):
+    sources = rng.integers(0, 1 << 32, size=size, dtype=np.uint64)
+    targets = rng.integers(0, 1 << 32, size=size, dtype=np.uint64)
+    # Aim some traffic at rule regions from both sides so matches occur.
+    for offset, rule in enumerate(policy.rules):
+        span = rule.region.last - rule.region.first + 1
+        lo = offset * 100
+        sources[lo : lo + 50] = rule.region.first + rng.integers(
+            0, span, size=50, dtype=np.uint64
+        )
+        targets[lo + 50 : lo + 100] = rule.region.first + rng.integers(
+            0, span, size=50, dtype=np.uint64
+        )
+    return sources.astype(np.uint32), targets.astype(np.uint32)
+
+
+def test_kernel_matches_reference_scan():
+    rng = np.random.default_rng(2006)
+    for _ in range(40):
+        policy = random_policy(rng)
+        sources, targets = batches(rng, policy)
+        for worm in (None, "slammer", "blaster"):
+            expected = policy._deliverable_reference(sources, targets, worm)
+            actual = policy.deliverable(sources, targets, worm=worm)
+            assert np.array_equal(expected, actual)
+
+
+def test_kernel_override_forces_reference_path():
+    policy = FilteringPolicy([FilterRule("egress", CIDRBlock.parse("10.0.0.0/8"))])
+    sources = np.array([0x0A000001], dtype=np.uint32)
+    targets = np.array([0xC0000001], dtype=np.uint32)
+    with kernel_override(False):
+        assert not policy.deliverable(sources, targets)[0]
+        assert not policy._kernels
+    assert not policy.deliverable(sources, targets)[0]
+    assert policy._kernels
+
+
+def test_kernel_invalidated_by_rule_mutation():
+    policy = FilteringPolicy([FilterRule("egress", CIDRBlock.parse("10.0.0.0/8"))])
+    sources = np.array([0x14000001], dtype=np.uint32)
+    targets = np.array([0xC0000001], dtype=np.uint32)
+    assert policy.deliverable(sources, targets)[0]
+    policy.add(FilterRule("egress", CIDRBlock.parse("20.0.0.0/8")))
+    assert not policy.deliverable(sources, targets)[0]
+    # Direct list mutation (not via add) must also invalidate.
+    policy.rules.insert(
+        0,
+        FilterRule(
+            "egress", CIDRBlock.parse("20.0.0.0/8"), action=FilterAction.ALLOW
+        ),
+    )
+    assert policy.deliverable(sources, targets)[0]
+
+
+def test_empty_policy_allows_everything():
+    policy = FilteringPolicy()
+    targets = np.arange(10, dtype=np.uint32)
+    assert policy.deliverable(targets, targets).all()

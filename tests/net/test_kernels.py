@@ -1,0 +1,146 @@
+"""Compiled LPM and IntervalLocator vs their reference semantics."""
+
+import numpy as np
+import pytest
+
+from repro.net.cidr import CIDRBlock
+from repro.net.kernels import (
+    NO_VALUE,
+    IntervalLocator,
+    kernel_override,
+    kernels_enabled,
+)
+from repro.net.prefixtree import PrefixTree
+
+
+def random_tree(rng, num_prefixes):
+    tree = PrefixTree()
+    for index in range(num_prefixes):
+        prefix_len = int(rng.integers(0, 33))
+        block = CIDRBlock.containing(int(rng.integers(0, 1 << 32)), prefix_len)
+        tree.insert(block, f"value-{index}")
+    return tree
+
+
+def probe_addresses(rng, tree, count=2000):
+    """Random addresses plus every compiled boundary and its neighbour."""
+    addrs = [rng.integers(0, 1 << 32, size=count, dtype=np.uint64)]
+    for block, _ in tree.items():
+        addrs.append(np.array([block.first, block.last], dtype=np.uint64))
+        if block.first > 0:
+            addrs.append(np.array([block.first - 1], dtype=np.uint64))
+        if block.last + 1 < 1 << 32:
+            addrs.append(np.array([block.last + 1], dtype=np.uint64))
+    return np.concatenate(addrs).astype(np.uint32)
+
+
+class TestIntervalLocator:
+    """locate() must equal searchsorted(side='right') - 1 in every regime."""
+
+    @pytest.mark.parametrize("regime", ["small", "bucketed", "clustered"])
+    def test_matches_searchsorted(self, regime):
+        rng = np.random.default_rng(hash(regime) % (1 << 32))
+        for _ in range(20):
+            if regime == "small":
+                size = int(rng.integers(1, 33))
+                raw = rng.integers(0, 1 << 32, size=size, dtype=np.uint64)
+            elif regime == "bucketed":
+                size = int(rng.integers(40, 3000))
+                raw = rng.integers(0, 1 << 32, size=size, dtype=np.uint64)
+            else:
+                # Everything inside one /16: forces the searchsorted
+                # fallback (densest bucket above the advance-step cap).
+                base = int(rng.integers(0, (1 << 32) - (1 << 16)))
+                raw = base + rng.integers(0, 1 << 16, size=400, dtype=np.uint64)
+            starts = np.unique(raw)
+            locator = IntervalLocator(starts)
+            addrs = np.concatenate(
+                [
+                    rng.integers(0, 1 << 32, size=3000, dtype=np.uint64),
+                    starts,
+                    np.maximum(starts, 1) - 1,
+                ]
+            ).astype(np.uint32)
+            expected = (
+                np.searchsorted(
+                    starts, addrs.astype(np.uint64), side="right"
+                ).astype(np.int64)
+                - 1
+            )
+            assert np.array_equal(
+                locator.locate(addrs).astype(np.int64), expected
+            )
+
+    def test_empty_table(self):
+        locator = IntervalLocator(np.empty(0, dtype=np.uint64))
+        addrs = np.array([0, 1, 1 << 31], dtype=np.uint32)
+        assert (locator.locate(addrs) == -1).all()
+
+    def test_extreme_addresses(self):
+        starts = np.array([0, 1 << 31, (1 << 32) - 1], dtype=np.uint64)
+        locator = IntervalLocator(starts)
+        addrs = np.array([0, (1 << 31) - 1, 1 << 31, (1 << 32) - 1],
+                         dtype=np.uint32)
+        assert locator.locate(addrs).tolist() == [0, 0, 1, 2]
+
+
+class TestCompiledLPM:
+    def test_matches_tree_walk(self):
+        rng = np.random.default_rng(2006)
+        for _ in range(25):
+            tree = random_tree(rng, int(rng.integers(1, 48)))
+            compiled = tree.compile()
+            addrs = probe_addresses(rng, tree)
+            assert compiled.lookup_array(addrs, default="miss") == (
+                tree.lookup_array(addrs, default="miss")
+            )
+
+    def test_lookup_indices_shape_and_miss(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock.parse("10.0.0.0/8"), "ten")
+        compiled = tree.compile()
+        addrs = np.array(
+            [[0x0A000001, 0x0B000001], [0x0AFFFFFF, 0x00000000]],
+            dtype=np.uint32,
+        )
+        indices = compiled.lookup_indices(addrs)
+        assert indices.shape == addrs.shape
+        looked = [
+            compiled.values[i] if i != NO_VALUE else None
+            for i in indices.ravel()
+        ]
+        assert looked == ["ten", None, "ten", None]
+
+    def test_lookup_int_array(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock.parse("10.0.0.0/8"), 7)
+        tree.insert(CIDRBlock.parse("10.1.0.0/16"), 9)
+        compiled = tree.compile()
+        addrs = np.array([0x0A000001, 0x0A010001, 0xC0000001], dtype=np.uint32)
+        assert compiled.lookup_int_array(addrs, default=-5).tolist() == [
+            7,
+            9,
+            -5,
+        ]
+
+    def test_compile_cache_invalidated_by_insert(self):
+        tree = PrefixTree()
+        tree.insert(CIDRBlock.parse("10.0.0.0/8"), "ten")
+        first = tree.compiled()
+        assert tree.compiled() is first
+        tree.insert(CIDRBlock.parse("20.0.0.0/8"), "twenty")
+        second = tree.compiled()
+        assert second is not first
+        addr = np.array([0x14000001], dtype=np.uint32)
+        assert second.lookup_array(addr) == ["twenty"]
+        assert first.lookup_array(addr) == [None]
+
+
+def test_kernel_override_restores_state():
+    assert kernels_enabled()
+    with kernel_override(False):
+        assert not kernels_enabled()
+        with kernel_override(True):
+            assert kernels_enabled()
+        assert not kernels_enabled()
+    assert kernels_enabled()

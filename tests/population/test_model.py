@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.net.kernels import kernel_override
 from repro.population.model import HostPopulation, HostStatus
 
 
@@ -93,3 +94,74 @@ class TestVulnerableHits:
         population.infect(np.array([100], dtype=np.uint32))
         assert list(population.infected_addresses()) == [100]
         assert 100 not in population.vulnerable_addresses()
+
+
+class TestEmptyPopulation:
+    """Regression: empty populations must not crash batch lookups."""
+
+    def test_vulnerable_hits_empty_population(self):
+        empty = HostPopulation(np.empty(0, dtype=np.uint32))
+        hits = empty.vulnerable_hits(np.array([1, 2, 3], dtype=np.uint32))
+        assert len(hits) == 0
+
+    def test_status_of_empty_batch_on_empty_population(self):
+        empty = HostPopulation(np.empty(0, dtype=np.uint32))
+        statuses = empty.status_of(np.empty(0, dtype=np.uint32))
+        assert len(statuses) == 0
+
+    def test_status_of_unknown_address_raises(self):
+        empty = HostPopulation(np.empty(0, dtype=np.uint32))
+        with pytest.raises(KeyError):
+            empty.status_of(np.array([7], dtype=np.uint32))
+
+    def test_infect_and_immunize_no_ops(self):
+        empty = HostPopulation(np.empty(0, dtype=np.uint32))
+        assert len(empty.infect(np.empty(0, dtype=np.uint32))) == 0
+        empty.immunize(np.empty(0, dtype=np.uint32))
+        assert empty.size == 0
+        assert empty.num_infected == 0
+        assert empty.fraction_infected == 0.0  # bitwise
+
+
+class TestVulnerableHitsKernel:
+    """Locator fast path must match the searchsorted reference."""
+
+    def test_kernel_matches_reference(self):
+        rng = np.random.default_rng(99)
+        for _ in range(10):
+            addrs = np.unique(
+                rng.integers(0, 1 << 32, size=5000, dtype=np.uint64).astype(
+                    np.uint32
+                )
+            )
+            population = HostPopulation(addrs)
+            population.infect(addrs[:: 7])
+            targets = np.concatenate(
+                [
+                    rng.integers(0, 1 << 32, size=8000, dtype=np.uint64).astype(
+                        np.uint32
+                    ),
+                    addrs[:: 3],
+                ]
+            )
+            expected = None
+            with kernel_override(False):
+                expected = population.vulnerable_hits(targets)
+            assert np.array_equal(population.vulnerable_hits(targets), expected)
+
+    def test_clustered_population_matches(self):
+        # Hotspot-shaped population: everything inside one /16, which
+        # drives the locator's searchsorted fallback regime.
+        rng = np.random.default_rng(100)
+        base = 0x0A0A0000
+        addrs = np.unique(
+            base + rng.integers(0, 1 << 16, size=3000, dtype=np.uint64)
+        ).astype(np.uint32)
+        population = HostPopulation(addrs)
+        targets = np.concatenate(
+            [addrs[:: 2], rng.integers(0, 1 << 32, size=4000,
+                                       dtype=np.uint64).astype(np.uint32)]
+        )
+        with kernel_override(False):
+            expected = population.vulnerable_hits(targets)
+        assert np.array_equal(population.vulnerable_hits(targets), expected)

@@ -1,0 +1,124 @@
+"""SensorIndex dispatch vs the per-sensor observe loop."""
+
+import numpy as np
+import pytest
+
+from repro.net.cidr import CIDRBlock
+from repro.sensors.darknet import DarknetSensor, ims_standard_deployment
+from repro.sensors.deployment import SensorGrid
+from repro.sensors.index import SensorIndex
+
+
+def random_fixture(rng, overlap=False):
+    sensors = []
+    for _ in range(int(rng.integers(1, 8))):
+        prefix_len = int(rng.integers(8, 25))
+        block = CIDRBlock.containing(int(rng.integers(0, 1 << 32)), prefix_len)
+        sensors.append(DarknetSensor(f"dn-{len(sensors)}", block))
+    if overlap and sensors:
+        # A sensor nested inside another forces a second layer.
+        outer = sensors[0].block
+        inner_len = min(outer.prefix_len + 4, 28)
+        sensors.append(
+            DarknetSensor(
+                "dn-nested", CIDRBlock.containing(outer.first, inner_len)
+            )
+        )
+    grids = []
+    for _ in range(int(rng.integers(0, 3))):
+        prefixes = np.unique(
+            rng.integers(0, 1 << 24, size=int(rng.integers(1, 400)),
+                         dtype=np.uint64).astype(np.uint32)
+        )
+        grids.append(SensorGrid(prefixes, alert_threshold=3))
+    return sensors, grids
+
+
+def run_reference(sensors, grids, batches):
+    for tick, (sources, targets) in enumerate(batches):
+        for sensor in sensors:
+            sensor.observe(sources, targets)
+        for grid in grids:
+            grid.observe(targets, float(tick))
+
+
+def run_indexed(sensors, grids, batches):
+    index = SensorIndex(sensors, grids)
+    for tick, (sources, targets) in enumerate(batches):
+        index.dispatch(sources, targets, float(tick))
+    return index
+
+
+def assert_same_state(ref_sensors, ref_grids, idx_sensors, idx_grids):
+    for ref, idx in zip(ref_sensors, idx_sensors):
+        assert np.array_equal(
+            ref.probes_by_slash24(), idx.probes_by_slash24()
+        )
+        assert np.array_equal(
+            ref.unique_sources_by_slash24(), idx.unique_sources_by_slash24()
+        )
+    for ref, idx in zip(ref_grids, idx_grids):
+        assert np.array_equal(ref.payload_counts(), idx.payload_counts())
+        assert np.array_equal(
+            ref.alert_times(), idx.alert_times(), equal_nan=True
+        )
+
+
+@pytest.mark.parametrize("overlap", [False, True])
+def test_dispatch_matches_observe_loop(overlap):
+    rng = np.random.default_rng(42 + overlap)
+    for _ in range(12):
+        ref_sensors, ref_grids = random_fixture(rng, overlap)
+        idx_sensors = [
+            DarknetSensor(sensor.name, sensor.block)
+            for sensor in ref_sensors
+        ]
+        idx_grids = [
+            SensorGrid(grid.prefixes, alert_threshold=grid.alert_threshold)
+            for grid in ref_grids
+        ]
+        batches = [
+            (
+                rng.integers(0, 1 << 32, size=3000, dtype=np.uint64).astype(
+                    np.uint32
+                ),
+                rng.integers(0, 1 << 32, size=3000, dtype=np.uint64).astype(
+                    np.uint32
+                ),
+            )
+            for _ in range(3)
+        ]
+        # Aim a slice of traffic at the monitored space so hits exist.
+        for sensor in ref_sensors:
+            block = sensor.block
+            aimed = block.first + rng.integers(
+                0, block.last - block.first + 1, size=50, dtype=np.uint64
+            )
+            batches[0][1][:50] = aimed.astype(np.uint32)
+        run_reference(ref_sensors, ref_grids, batches)
+        index = run_indexed(idx_sensors, idx_grids, batches)
+        assert_same_state(ref_sensors, ref_grids, idx_sensors, idx_grids)
+        if overlap:
+            assert index.num_layers >= 2
+
+
+def test_ims_deployment_single_layer():
+    index = SensorIndex(ims_standard_deployment(), [])
+    assert index.num_layers == 1
+    assert index.num_owners == len(ims_standard_deployment())
+
+
+def test_dispatch_counts_observations():
+    sensor = DarknetSensor("dn", CIDRBlock.parse("10.0.0.0/8"))
+    index = SensorIndex([sensor], [])
+    sources = np.array([1, 2, 3], dtype=np.uint32)
+    targets = np.array([0x0A000001, 0x0B000001, 0x0A000002], dtype=np.uint32)
+    assert index.dispatch(sources, targets, 0.0) == 2
+
+
+def test_empty_batch_and_empty_index():
+    sensor = DarknetSensor("dn", CIDRBlock.parse("10.0.0.0/8"))
+    index = SensorIndex([sensor], [])
+    empty = np.empty(0, dtype=np.uint32)
+    assert index.dispatch(empty, empty, 0.0) == 0
+    assert SensorIndex([], []).dispatch(empty, empty, 0.0) == 0
