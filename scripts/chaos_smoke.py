@@ -1,0 +1,117 @@
+"""Chaos smoke test: a real CLI campaign survives an injected worker kill.
+
+Runs ``hotspots figure5b`` twice over a small synthetic population:
+
+1. clean and serial — the ground truth;
+2. parallel with ``--retries 2`` and a ``$REPRO_FAULT_PLAN`` that
+   kills the worker running trial 1 on its first attempt (and makes
+   trial 2 raise), so the run exercises pool replacement *and*
+   deterministic retry.
+
+The chaotic run must exit 0, report the recovery on stderr, and print
+stdout byte-identical to the clean run — the repo's determinism
+guarantee, end to end through the real CLI.  Exit status: 0 on pass,
+1 on any divergence (suitable for CI).
+
+    python scripts/chaos_smoke.py [--verbose]
+"""
+
+import argparse
+import difflib
+import os
+import subprocess
+import sys
+
+#: Small enough for CI, large enough that hotspot structure (and thus
+#: the figure's starvation effect) survives: 20k hosts over 300 /16s.
+POPULATION_SPEC = (
+    "{'total_hosts': 20000, 'num_slash8': 8, 'num_slash16': 300, "
+    "'anchors': ((0, 0.0), (10, 0.35), (100, 0.85), (300, 1.0))}"
+)
+
+#: Kill trial 1's worker on its first attempt; make trial 2's first
+#: attempt raise.  Both must recover via --retries with no output drift.
+FAULT_PLAN = '{"1": ["kill"], "2": ["raise"]}'
+
+BASE_ARGS = [
+    sys.executable,
+    "-m",
+    "repro.cli",
+    "figure5b",
+    "--trials",
+    "4",
+    "--set",
+    f"population_spec={POPULATION_SPEC}",
+    "--set",
+    "max_time=300",
+]
+
+
+def run_cli(extra_args, fault_plan=None):
+    env = dict(os.environ)
+    env.pop("REPRO_FAULT_PLAN", None)
+    if fault_plan is not None:
+        env["REPRO_FAULT_PLAN"] = fault_plan
+    return subprocess.run(
+        BASE_ARGS + extra_args,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--verbose", action="store_true", help="print both runs' stderr"
+    )
+    args = parser.parse_args()
+
+    print("[chaos-smoke] clean serial run ...", flush=True)
+    clean = run_cli(["--workers", "1"])
+    if clean.returncode != 0:
+        print("[chaos-smoke] FAIL: clean run exited nonzero")
+        print(clean.stderr)
+        return 1
+
+    print("[chaos-smoke] chaotic parallel run (kill + raise) ...", flush=True)
+    chaos = run_cli(
+        ["--workers", "2", "--retries", "2"], fault_plan=FAULT_PLAN
+    )
+    if args.verbose:
+        print(chaos.stderr)
+
+    failed = False
+    if chaos.returncode != 0:
+        print("[chaos-smoke] FAIL: chaotic run exited nonzero")
+        print(chaos.stderr)
+        failed = True
+    if chaos.stdout != clean.stdout:
+        print("[chaos-smoke] FAIL: chaotic output diverged from clean run")
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                clean.stdout.splitlines(keepends=True),
+                chaos.stdout.splitlines(keepends=True),
+                fromfile="clean",
+                tofile="chaos",
+            )
+        )
+        failed = True
+    if "retried" not in chaos.stderr:
+        # The faults must actually have fired; a silently clean run
+        # would make this smoke test vacuous.
+        print("[chaos-smoke] FAIL: no retries reported — faults never fired?")
+        print(chaos.stderr)
+        failed = True
+    if failed:
+        return 1
+    print(
+        "[chaos-smoke] PASS: worker killed, trial raised, campaign "
+        "recovered, output identical to the clean serial run"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,22 +5,39 @@ This is the source of the numbers recorded in EXPERIMENTS.md::
     python scripts/run_full_scale.py | tee fullscale_output.txt
 
 Budget: ~15-25 minutes on a laptop-class machine, dominated by the
-Figure 5 outbreak simulations over the full 134,586-host population;
-``--workers N`` fans the per-hit-list-size simulations out over N
-processes (results identical to the serial run).
+Figure 5 outbreak simulations over the full 134,586-host population.
+Every section goes through the experiment registry and the
+fault-tolerant trial runner, so the long campaigns survive worker
+crashes, can bound a hung simulation, and resume after interruption::
+
+    python scripts/run_full_scale.py --workers 4 --retries 2 \
+        --timeout 3600 --cache --resume
+
+``--workers N`` fans the Figure 5 per-hit-list-size simulations out
+over N processes; no flag here changes results (all recovery paths
+are bitwise-identical to a clean serial run).
 """
 
 import argparse
+import sys
 import time
 
-from repro.experiments import (
-    figure1,
-    figure2,
-    figure3,
-    figure4,
-    figure5,
-    table1,
-    table2,
+from repro.experiments import figure5, registry
+from repro.runtime import ResultCache
+
+#: The paper-scale campaign: (experiment id, parameter overrides).
+#: figure5a's result carries the 5(b) detection curves too, so one
+#: outbreak run prints both sections (as the paper derives both from
+#: the same simulations).
+FULL_SCALE = (
+    ("table1", {}),
+    ("figure1", {}),
+    ("figure2", {"num_hosts": 75_000}),
+    ("figure3", {}),
+    ("figure4", {}),
+    ("table2", {}),
+    ("figure5a", {"max_time": 2_500.0, "seed": 2005}),
+    ("figure5c", {"max_time": 1_500.0, "stop_at_fraction": 0.5, "seed": 2006}),
 )
 
 
@@ -28,14 +45,7 @@ def banner(title: str) -> None:
     print(f"\n{'=' * 70}\n{title}\n{'=' * 70}", flush=True)
 
 
-def timed(label, func, **kwargs):
-    start = time.time()
-    result = func(**kwargs)
-    print(f"[{label}: {time.time() - start:.1f}s]", flush=True)
-    return result
-
-
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--workers",
@@ -44,51 +54,85 @@ def main() -> None:
         help="processes for the Figure 5 per-hit-list fan-out "
         "(0 = all cores)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="extra attempts for a failed or timed-out section "
+        "(retries re-run the identical seeded trial; default: 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-section runtime bound in seconds under parallel "
+        "execution (default: unbounded)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="memoize finished sections on disk (re-runs are instant)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/hotspots-repro)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip sections a previous interrupted run already "
+        "completed, per the campaign journal; implies --cache",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        help="campaign journal directory (default: $REPRO_JOURNAL_DIR "
+        "or ~/.cache/hotspots-repro/journals); implies --cache",
+    )
     args = parser.parse_args()
 
-    banner("Table 1 — botnet scan commands")
-    print(table1.format_result(timed("table1", table1.run)))
+    cache = None
+    if args.cache or args.cache_dir or args.resume or args.journal_dir:
+        cache = ResultCache(args.cache_dir)
 
-    banner("Figure 1 — Blaster hotspots and boot-time inversion")
-    print(figure1.format_result(timed("figure1", figure1.run)))
-
-    banner("Figure 2 — aggregate Slammer bias (75,000 hosts)")
-    print(
-        figure2.format_result(
-            timed("figure2", figure2.run, num_hosts=75_000)
+    failures = []
+    for experiment_id, overrides in FULL_SCALE:
+        experiment = registry.get(experiment_id)
+        banner(experiment.title)
+        start = time.time()
+        campaign = experiment.run(
+            trials=1,
+            workers=args.workers,
+            cache=cache,
+            retry=args.retries,
+            timeout=args.timeout,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            raise_on_failure=False,
+            **overrides,
         )
-    )
+        print(f"[{experiment_id}: {time.time() - start:.1f}s]", flush=True)
+        print(campaign.formatted(), flush=True)
+        report = campaign.report
+        if experiment_id == "figure5a" and (report is None or report.ok):
+            # The same outbreak yields both 5(a) and 5(b).
+            print(figure5.format_detection(campaign.result), flush=True)
+        if report is not None and not report.uneventful:
+            print(f"[runner] {report.describe()}", file=sys.stderr, flush=True)
+        if report is not None and not report.ok:
+            failures.append(experiment_id)
 
-    banner("Figure 3 — per-host Slammer footprints + cycle spectrum")
-    print(figure3.format_result(timed("figure3", figure3.run)))
-
-    banner("Figure 4 — CodeRedII NAT leakage")
-    print(figure4.format_result(timed("figure4", figure4.run)))
-
-    banner("Table 2 — enterprise egress filtering vs broadband")
-    print(table2.format_result(timed("table2", table2.run)))
-
-    banner("Figure 5(a/b) — hit-list outbreaks over 134,586 hosts")
-    ab = timed(
-        "figure5ab",
-        figure5.run_infection,
-        max_time=2_500.0,
-        seed=2005,
-        workers=args.workers,
-    )
-    print(figure5.format_infection(ab))
-    print(figure5.format_detection(ab))
-
-    banner("Figure 5(c) — NATed worm vs sensor placements (full scale)")
-    c = timed(
-        "figure5c",
-        figure5.run_nat_detection,
-        max_time=1_500.0,
-        stop_at_fraction=0.5,
-        seed=2006,
-    )
-    print(figure5.format_nat_detection(c))
+    if failures:
+        print(
+            f"[runner] {len(failures)} section(s) failed after retries: "
+            f"{', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

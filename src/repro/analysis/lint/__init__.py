@@ -18,6 +18,8 @@ RP004     callables dispatched through ``TrialRunner`` must be
 RP005     float ``==`` must use ``isclose`` or carry ``# bitwise``
 RP006     registry defaults bind to real runner parameters and every
           experiment id is referenced by a test
+RP007     no bare ``except:``/``except BaseException:`` and no
+          handlers that silently ``pass`` inside ``src/repro``
 ========  ==========================================================
 
 Suppression: inline ``# noqa: RPxxx`` on the flagged line(s), or a

@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.lint.checkers.dispatch import PicklableDispatchChecker
+from repro.analysis.lint.checkers.excepts import SilentExceptChecker
 from repro.analysis.lint.checkers.floats import FloatEqualityChecker
 from repro.analysis.lint.checkers.nondeterminism import NondeterminismChecker
 from repro.analysis.lint.checkers.registry_consistency import (
@@ -28,6 +29,7 @@ CHECKER_CLASSES: tuple[type[Checker], ...] = (
     PicklableDispatchChecker,
     FloatEqualityChecker,
     RegistryConsistencyChecker,
+    SilentExceptChecker,
 )
 
 
@@ -62,5 +64,6 @@ __all__ = [
     "NondeterminismChecker",
     "PicklableDispatchChecker",
     "RegistryConsistencyChecker",
+    "SilentExceptChecker",
     "UnseededRngChecker",
 ]

@@ -1,0 +1,116 @@
+"""RP007 — no silent or catch-everything exception handlers.
+
+The fault-tolerant runner's whole contract is that failures are
+*accounted for*: retried, reported, journaled — never swallowed.  A
+bare ``except:`` or ``except BaseException:`` catches
+``KeyboardInterrupt`` and ``SystemExit`` (so ^C stops stopping), and
+a handler whose body is only ``pass`` erases the evidence that
+anything failed.  Deliberate best-effort cleanup paths do exist
+(temp-file removal, terminating already-dead workers); they opt out
+explicitly with ``# noqa: RP007`` on the ``except`` line, which is
+the allowlist.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.config import LintConfig
+from repro.analysis.lint.diagnostics import Diagnostic
+from repro.analysis.lint.framework import Checker
+
+
+def _silent_body(body: list[ast.stmt]) -> bool:
+    """True when a handler body does nothing but ``pass`` / ``...``."""
+    for statement in body:
+        if isinstance(statement, ast.Pass):
+            continue
+        if (
+            isinstance(statement, ast.Expr)
+            and isinstance(statement.value, ast.Constant)
+            and statement.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True
+
+
+def _catches_base_exception(annotation: ast.expr) -> bool:
+    """True when the except clause names ``BaseException``."""
+    if isinstance(annotation, ast.Tuple):
+        return any(
+            _catches_base_exception(element) for element in annotation.elts
+        )
+    return (
+        isinstance(annotation, ast.Name)
+        and annotation.id == "BaseException"
+    )
+
+
+class SilentExceptChecker(Checker):
+    """RP007: exception handlers must be narrow and honest."""
+
+    code = "RP007"
+    name = "no-silent-except"
+    rationale = (
+        "bare `except:`/`except BaseException:` swallows ^C and "
+        "interpreter exit, and a handler that only `pass`es erases "
+        "failures the runner is contractually obliged to report; "
+        "deliberate best-effort cleanup marks the except line "
+        "`# noqa: RP007`"
+    )
+    scope = ("src/repro",)
+
+    def check_file(
+        self,
+        relpath: str,
+        tree: ast.Module,
+        source: str,
+        config: LintConfig,
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self._on_except_line(
+                    relpath,
+                    node,
+                    "bare `except:` catches everything, including "
+                    "KeyboardInterrupt and SystemExit; name the "
+                    "exceptions this path can actually recover from",
+                )
+            elif _catches_base_exception(node.type):
+                yield self._on_except_line(
+                    relpath,
+                    node,
+                    "`except BaseException` intercepts interpreter "
+                    "shutdown and ^C; catch `Exception` or narrower "
+                    "(deliberate cleanup paths mark the line "
+                    "`# noqa: RP007`)",
+                )
+            elif _silent_body(node.body):
+                caught = ast.unparse(node.type)
+                yield self._on_except_line(
+                    relpath,
+                    node,
+                    f"handler for `{caught}` silently `pass`es; "
+                    "record what was swallowed (warn, count, or "
+                    "comment the why and mark `# noqa: RP007`)",
+                )
+
+    def _on_except_line(
+        self, relpath: str, node: ast.ExceptHandler, message: str
+    ) -> Diagnostic:
+        # Anchor to the ``except`` line only: the handler *body* may
+        # legitimately contain unrelated ``# noqa`` markers, and the
+        # allowlist convention is a marker on the except line itself.
+        line = int(node.lineno)
+        return Diagnostic(
+            path=relpath,
+            line=line,
+            col=int(node.col_offset),
+            code=self.code,
+            message=message,
+            end_line=line,
+        )

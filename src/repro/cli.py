@@ -14,6 +14,16 @@ seeds, ``--workers`` fans those trials out over processes (results
 are identical to a serial run), and ``--cache`` memoizes finished
 trials on disk so re-runs are instant.
 
+Fault tolerance: ``--retries`` re-executes failed trials under their
+original seeds, ``--timeout`` bounds each trial's runtime (hung
+workers are replaced), and ``--resume`` (with ``--journal-dir`` to
+relocate the checkpoint) skips trials an interrupted run already
+completed.  None of these change results — every recovery path is
+bitwise-identical to a clean serial run::
+
+    hotspots figure5b --trials 8 --workers 4 --retries 2 --timeout 900
+    hotspots figure5b --trials 8 --workers 4 --resume   # after a crash
+
 ``hotspots lint`` runs the determinism & reproducibility checkers
 (:mod:`repro.analysis.lint`) instead of an experiment::
 
@@ -65,6 +75,30 @@ def _workers_count(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError(
             f"workers must be >= 1, or 0 for all cores; got {value}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number of seconds, got {value}"
         )
     return value
 
@@ -128,6 +162,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/hotspots-repro)",
     )
+    parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=0,
+        metavar="N",
+        help="extra attempts for a failed or timed-out trial; retries "
+        "re-execute the identical seeded trial, so results never change "
+        "(default: 0)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-trial runtime bound under parallel execution; a hung "
+        "trial's worker pool is replaced and the trial retried per "
+        "--retries (default: unbounded)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip trials a previous (interrupted) run of this exact "
+        "campaign already completed, per its journal; implies --cache",
+    )
+    parser.add_argument(
+        "--journal-dir",
+        default=None,
+        metavar="DIR",
+        help="where campaign journals (completion checkpoints) live "
+        "(default: $REPRO_JOURNAL_DIR or ~/.cache/hotspots-repro/"
+        "journals); passing it enables journaling and implies --cache",
+    )
     return parser
 
 
@@ -173,7 +239,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     cache = None
-    if args.cache or args.cache_dir is not None:
+    journaling = args.resume or args.journal_dir is not None
+    if args.cache or args.cache_dir is not None or journaling:
+        # --resume/--journal-dir imply --cache: the journal records
+        # which trials finished; the cache holds their results.
         cache = ResultCache(args.cache_dir)
     overrides = dict(args.overrides)
     experiment = registry.get(args.experiment)
@@ -182,6 +251,11 @@ def main(argv: Sequence[str] | None = None) -> int:
             trials=args.trials,
             workers=args.workers,
             cache=cache,
+            retry=args.retries,
+            timeout=args.timeout,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            raise_on_failure=False,
             **overrides,
         )
     except TypeError as error:
@@ -191,6 +265,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as error:
         parser.error(f"invalid value for {args.experiment!r}: {error}")
     print(campaign.formatted())
+    report = campaign.report
+    if report is not None and not report.uneventful:
+        # Recoveries and failures are worth a stderr line even on
+        # success; silence only covers the boring case.
+        print(f"[runner] {report.describe()}", file=sys.stderr)
+    if report is not None and not report.ok:
+        return 1
     return 0
 
 

@@ -21,7 +21,7 @@ detection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Mapping, Optional, Sequence, Union
 
 import numpy as np
 
@@ -30,6 +30,7 @@ from repro.net.cidr import BlockSet, CIDRBlock
 from repro.population.model import HostPopulation
 from repro.population.synthesis import (
     PopulationSpec,
+    as_population_spec,
     nat_population,
     synthesize_clustered_population,
 )
@@ -165,7 +166,7 @@ def _hitlist_trial(
 
 
 def run_infection(
-    population_spec: Optional[PopulationSpec] = None,
+    population_spec: Union[PopulationSpec, Mapping[str, object], None] = None,
     hitlist_sizes: Sequence[int] = HITLIST_SIZES,
     scan_rate: float = 10.0,
     seed_count: int = 25,
@@ -179,7 +180,7 @@ def run_infection(
     ``SeedSequence`` child, so the per-size runs fan out over
     ``workers`` processes with results identical to the serial loop.
     """
-    spec = population_spec if population_spec is not None else PopulationSpec()
+    spec = as_population_spec(population_spec)
     population_seq, *size_seqs = as_seed_sequence(seed).spawn(
         len(tuple(hitlist_sizes)) + 1
     )
@@ -230,7 +231,7 @@ def format_infection(result: Figure5ABResult) -> str:
 #: so the registry can introspect defaults for ``--list`` and cache
 #: keys.
 def run_detection(
-    population_spec: Optional[PopulationSpec] = None,
+    population_spec: Union[PopulationSpec, Mapping[str, object], None] = None,
     hitlist_sizes: Sequence[int] = HITLIST_SIZES,
     scan_rate: float = 10.0,
     seed_count: int = 25,
@@ -307,7 +308,7 @@ class Figure5CResult:
 
 
 def run_nat_detection(
-    population_spec: Optional[PopulationSpec] = None,
+    population_spec: Union[PopulationSpec, Mapping[str, object], None] = None,
     nat_fraction: float = 0.15,
     num_random_sensors: int = 10_000,
     scan_rate: float = 10.0,
@@ -326,7 +327,7 @@ def run_nat_detection(
     subpopulation unreachable (private hosts are only infectable from
     private space) and the experiment degenerates.
     """
-    spec = population_spec if population_spec is not None else PopulationSpec()
+    spec = as_population_spec(population_spec)
     rng = np.random.default_rng(seed)
     base_population = synthesize_clustered_population(spec, rng)
     addrs, nat = nat_population(base_population, nat_fraction, rng)

@@ -23,7 +23,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
 from repro.runtime.cache import ResultCache, stable_key
-from repro.runtime.runner import Trial, TrialRunner
+from repro.runtime.journal import TrialJournal
+from repro.runtime.report import RunReport
+from repro.runtime.runner import RetryPolicy, Trial, TrialRunner
 from repro.runtime.seeding import spawn_trial_sequences
 
 Runner = Callable[..., Any]
@@ -101,6 +103,11 @@ class Experiment:
         trials: Optional[int] = None,
         workers: Optional[int] = 1,
         cache: Optional[ResultCache] = None,
+        retry: "RetryPolicy | int | None" = None,
+        timeout: Optional[float] = None,
+        journal_dir: Optional[str] = None,
+        resume: bool = False,
+        raise_on_failure: bool = True,
         **overrides: Any,
     ) -> "ExperimentRun":
         """Run the experiment's Monte-Carlo campaign.
@@ -117,6 +124,18 @@ class Experiment:
         single trial for runners that accept a ``workers`` keyword
         (the Figure 5 per-hit-list-size fan-out).  Worker count never
         changes results, so it never enters cache keys.
+
+        Fault tolerance: ``retry`` (a :class:`RetryPolicy` or plain
+        extra-attempt count) re-executes failed trials under their
+        original seeds, ``timeout`` bounds each trial's runtime under
+        parallel execution, and ``journal_dir``/``resume`` checkpoint
+        completed trials so an interrupted campaign re-executes only
+        what is unfinished.  None of these change results — every
+        recovery path is bitwise-identical to a clean serial run —
+        and all of them are accounted for in ``ExperimentRun.report``.
+        ``raise_on_failure=False`` returns the partial campaign (with
+        ``None`` slots) instead of raising
+        :class:`~repro.runtime.report.TrialExecutionError`.
         """
         if trials is None:
             trials = self.default_trials
@@ -131,9 +150,34 @@ class Experiment:
             and "workers" in self.signature_defaults()
         ):
             params["workers"] = workers
+        # Reject unknown/invalid parameters before dispatching: the
+        # fault-tolerant runner would otherwise record the TypeError
+        # as a per-trial failure instead of a caller error.
+        try:
+            inspect.signature(run_callable).bind_partial(**params)
+        except TypeError as error:
+            raise TypeError(f"{self.id}: {error}") from None
 
         base_seed = self.base_seed(params)
-        runner = TrialRunner(workers=workers, cache=cache)
+        journal = None
+        if journal_dir is not None or resume:
+            if cache is None:
+                raise ValueError(
+                    "journaling/resume needs a result cache to hold the "
+                    "completed trials' results (pass cache=...)"
+                )
+            journal = TrialJournal.for_campaign(
+                self.campaign_key(params, trials),
+                journal_dir,
+                resume=resume,
+            )
+        runner = TrialRunner(
+            workers=workers,
+            cache=cache,
+            retry=retry,
+            timeout=timeout,
+            journal=journal,
+        )
 
         if trials == 1:
             # The single-trial path keeps the runner's historical seed
@@ -188,11 +232,38 @@ class Experiment:
                 for index, sequence in enumerate(trial_seeds)
             ]
 
-        results = runner.run(batch)
+        report = runner.run_report(batch)
+        if raise_on_failure:
+            report.raise_on_failure()
         return ExperimentRun(
             experiment=self,
-            results=tuple(results),
+            results=report.results,
             trial_seeds=tuple(trial_seeds),
+            report=report,
+        )
+
+    def campaign_key(
+        self, params: Mapping[str, Any], trials: int
+    ) -> str:
+        """The stable identity of one campaign (journal file name).
+
+        A campaign is (experiment, fully-bound parameters, trial
+        count, base seed) — the same invocation always maps to the
+        same key, which is how ``--resume`` finds its checkpoint
+        without being told where it lives.
+        """
+        seedless = {
+            key: value
+            for key, value in params.items()
+            if key != self.seed_param
+        }
+        return stable_key(
+            f"campaign:{self.id}",
+            {
+                **self._effective_params(seedless, drop_seed=True),
+                "__trials__": trials,
+            },
+            self.base_seed(params),
         )
 
     def _effective_params(
@@ -214,11 +285,18 @@ class Experiment:
 
 @dataclass(frozen=True)
 class ExperimentRun:
-    """A finished campaign: one result per trial, plus provenance."""
+    """A finished campaign: one result per trial, plus provenance.
+
+    ``report`` (when the campaign ran through the fault-tolerant
+    runner) accounts for every trial: cached/resumed skips, retries,
+    timeouts, failures, and batch-level fallback events.  Failed
+    trials leave ``None`` in their ``results`` slot.
+    """
 
     experiment: Experiment
     results: tuple[Any, ...]
     trial_seeds: tuple[Any, ...]
+    report: Optional[RunReport] = None
 
     @property
     def result(self) -> Any:
@@ -233,15 +311,23 @@ class ExperimentRun:
     def formatted(self) -> str:
         """Every trial rendered with the experiment's formatter."""
         _, format_result = self.experiment.resolve()
+
+        def render(index: int, trial_result: Any) -> str:
+            if trial_result is None and self.report is not None:
+                outcome = self.report.outcomes[index]
+                if not outcome.succeeded:
+                    return f"<trial {outcome.status}: {outcome.describe()}>"
+            return str(format_result(trial_result))
+
         if len(self.results) == 1:
-            return format_result(self.results[0])
+            return render(0, self.results[0])
         sections = []
         for index, trial_result in enumerate(self.results):
             sections.append(
                 f"=== {self.experiment.id} trial {index + 1}/"
                 f"{len(self.results)} ==="
             )
-            sections.append(format_result(trial_result))
+            sections.append(render(index, trial_result))
         return "\n".join(sections)
 
 

@@ -21,7 +21,7 @@ fractions — the property Figure 5(a/b) depends on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 from scipy.optimize import brentq
@@ -75,6 +75,33 @@ class PopulationSpec:
             raise ValueError("anchors must start at (0, 0) and end at fraction 1")
         if self.anchors[-1][0] != self.num_slash16:
             raise ValueError("last anchor rank must equal num_slash16")
+
+
+def as_population_spec(
+    value: "PopulationSpec | Mapping[str, object] | None",
+) -> PopulationSpec:
+    """Coerce ``value`` to a :class:`PopulationSpec`.
+
+    Accepts an existing spec, ``None`` (paper defaults), or a plain
+    mapping of field overrides — the form a CLI ``--set`` override
+    arrives in, e.g. ``--set "population_spec={'total_hosts': 20000}"``.
+    """
+    if value is None:
+        return PopulationSpec()
+    if isinstance(value, PopulationSpec):
+        return value
+    if isinstance(value, Mapping):
+        overrides = dict(value)
+        anchors = overrides.get("anchors")
+        if anchors is not None:
+            overrides["anchors"] = tuple(
+                (int(rank), float(fraction)) for rank, fraction in anchors
+            )
+        return PopulationSpec(**overrides)
+    raise TypeError(
+        "population_spec must be a PopulationSpec, a mapping of its "
+        f"fields, or None; got {type(value).__name__}"
+    )
 
 
 #: Power-law exponent of the first anchor segment (mild head decay;

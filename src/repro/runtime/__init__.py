@@ -1,25 +1,44 @@
-"""Parallel trial execution for Monte-Carlo experiment campaigns.
+"""Fault-tolerant parallel trial execution for experiment campaigns.
 
 The paper's Section 5 results are outbreak simulations; credible
-hotspot statistics need many independent trials.  This subsystem is
-the one place that knows how to run them:
+hotspot statistics need many independent trials — and at production
+scale, the runner needs the same failure discipline the paper
+demands of the network it models.  This subsystem is the one place
+that knows how to run trials:
 
 * :class:`~repro.runtime.runner.TrialRunner` fans independent trials
-  out over a ``ProcessPoolExecutor`` (configurable worker count,
-  chunked submission) and falls back to in-process serial execution
-  when ``workers=1`` or the pool cannot be used;
+  out over a ``ProcessPoolExecutor`` — one ``submit()`` future per
+  trial, so a raising, hanging, or worker-killing trial never
+  discards its siblings — and falls back to in-process serial
+  execution when ``workers=1`` or the pool cannot be used, keeping
+  every already-completed result;
+* :class:`~repro.runtime.runner.RetryPolicy` bounds deterministic
+  re-execution and a per-trial ``timeout`` replaces the pool under
+  hung workers; every recovery is recorded in a
+  :class:`~repro.runtime.report.RunReport`;
 * per-trial RNGs derive from ``numpy.random.SeedSequence.spawn``
-  (:func:`~repro.runtime.seeding.spawn_trial_sequences`), so serial
-  and parallel runs of the same campaign produce bitwise-identical
-  results;
+  (:func:`~repro.runtime.seeding.spawn_trial_sequences`), so serial,
+  parallel, retried, and resumed runs of the same campaign produce
+  bitwise-identical results;
 * :class:`~repro.runtime.cache.ResultCache` memoizes finished trials
-  on disk, keyed by a stable hash of (experiment id, parameters,
-  seed), so re-running ``hotspots figure5b`` is instant.
+  on disk and :class:`~repro.runtime.journal.TrialJournal`
+  checkpoints completions, so re-running ``hotspots figure5b`` is
+  instant and an interrupted campaign resumes where it died;
+* :mod:`repro.runtime.faults` injects deterministic failures
+  (raise/hang/kill/corrupt) so every recovery path is testable.
 """
 
 from repro.runtime.cache import ResultCache, stable_key
 from repro.runtime.compare import results_equal
-from repro.runtime.runner import Trial, TrialRunner
+from repro.runtime.faults import FaultPlan, FaultSpec, InjectedFault
+from repro.runtime.journal import TrialJournal
+from repro.runtime.report import RunReport, TrialExecutionError, TrialOutcome
+from repro.runtime.runner import (
+    RetryPolicy,
+    Trial,
+    TrialRunner,
+    TrialTimeoutError,
+)
 from repro.runtime.seeding import (
     as_seed_sequence,
     seed_fingerprint,
@@ -27,9 +46,18 @@ from repro.runtime.seeding import (
 )
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
     "ResultCache",
+    "RetryPolicy",
+    "RunReport",
     "Trial",
+    "TrialExecutionError",
+    "TrialJournal",
+    "TrialOutcome",
     "TrialRunner",
+    "TrialTimeoutError",
     "as_seed_sequence",
     "results_equal",
     "seed_fingerprint",

@@ -16,6 +16,7 @@ import json
 import os
 import pickle
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Union
 
@@ -109,20 +110,41 @@ class ResultCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
+        self._warned_keys: set[str] = set()
 
     def path_for(self, key: str) -> Path:
         """Where one key's pickle lives."""
         return self.directory / f"{key}.pkl"
 
     def get(self, key: str) -> Any:
-        """The cached value, or the :data:`MISS` sentinel."""
+        """The cached value, or the :data:`MISS` sentinel.
+
+        An *absent* entry is a silent miss; an entry that exists but
+        cannot be read back counts as a miss too, **with a warning**
+        (once per key per run) — a corrupt or version-skewed cache
+        should not masquerade as a cold one.
+        """
         path = self.path_for(key)
         try:
             with open(path, "rb") as handle:
                 value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+        except FileNotFoundError:
             self.misses += 1
+            return MISS
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError) as error:
+            self.misses += 1
+            self.corrupt += 1
+            if key not in self._warned_keys:
+                self._warned_keys.add(key)
+                warnings.warn(
+                    f"cache entry {key} exists at {path} but cannot be "
+                    f"read ({type(error).__name__}: {error}); treating "
+                    "as a miss and re-running the trial",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             return MISS
         self.hits += 1
         return value
@@ -138,10 +160,10 @@ class ResultCache:
             with os.fdopen(descriptor, "wb") as handle:
                 pickle.dump(value, handle, protocol=4)
             os.replace(temp_name, final)
-        except BaseException:
+        except BaseException:  # noqa: RP007 — cleanup must survive ^C
             try:
                 os.unlink(temp_name)
-            except OSError:
+            except OSError:  # noqa: RP007 — best-effort temp cleanup
                 pass
             raise
 
@@ -162,6 +184,6 @@ class ResultCache:
                 try:
                     path.unlink()
                     removed += 1
-                except OSError:
+                except OSError:  # noqa: RP007 — best-effort delete
                     pass
         return removed

@@ -1,0 +1,145 @@
+"""Append-only checkpoint of completed trials (``--resume``).
+
+A campaign that dies 20 minutes into a 25-minute sweep should not
+start over.  The journal is one JSONL file per campaign — a line per
+finished trial::
+
+    {"key": "<cache key>", "status": "ok", "attempts": 1}
+
+written with a single ``write()`` of a newline-terminated record and
+flushed+fsynced, so a crash mid-record leaves at most one garbled
+*trailing* line (which :meth:`TrialJournal.load` tolerates and
+drops).  On ``--resume`` the runner skips every journaled-``ok``
+trial whose result the :class:`~repro.runtime.cache.ResultCache`
+still holds; everything else — unfinished, failed, or
+journaled-but-evicted — re-executes under its original seed, so the
+resumed campaign is bitwise-identical to an uninterrupted one.
+
+The journal records *identity* (cache keys), never results; the
+cache holds the payloads.  That split keeps the journal tiny and
+append-only while the cache stays safely deletable: lose the cache
+and resume simply re-runs everything.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Union
+
+#: Journal files live here unless told otherwise; overridden by
+#: ``$REPRO_JOURNAL_DIR``.
+DEFAULT_JOURNAL_DIR = Path.home() / ".cache" / "hotspots-repro" / "journals"
+
+
+def default_journal_dir() -> Path:
+    """``$REPRO_JOURNAL_DIR`` or the per-user default."""
+    override = os.environ.get("REPRO_JOURNAL_DIR")
+    return Path(override) if override else DEFAULT_JOURNAL_DIR
+
+
+class TrialJournal:
+    """One campaign's append-only completion log.
+
+    Parameters
+    ----------
+    path:
+        The JSONL file backing this journal.
+    resume:
+        ``True`` loads any existing entries (an interrupted run's
+        checkpoint); ``False`` starts fresh, truncating a leftover
+        file so a *new* campaign never inherits a stale checkpoint.
+    """
+
+    def __init__(
+        self, path: Union[str, "os.PathLike[str]"], *, resume: bool = False
+    ) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict[str, object]] = {}
+        self.dropped_lines = 0
+        if resume:
+            self.load()
+        elif self.path.exists():
+            try:
+                self.path.unlink()
+            except OSError:  # noqa: RP007 — best-effort truncation
+                pass
+
+    @classmethod
+    def for_campaign(
+        cls,
+        campaign_key: str,
+        directory: Union[str, "os.PathLike[str]", None] = None,
+        *,
+        resume: bool = False,
+    ) -> "TrialJournal":
+        """The journal file for one campaign identity.
+
+        ``campaign_key`` is a stable hash of (experiment, parameters,
+        trial count, base seed) — the same campaign always maps to
+        the same file, which is what lets ``--resume`` find its
+        checkpoint without the caller naming one.
+        """
+        base = Path(directory) if directory is not None else default_journal_dir()
+        return cls(base / f"{campaign_key}.jsonl", resume=resume)
+
+    # -- reading -----------------------------------------------------
+
+    def load(self) -> None:
+        """(Re)read the file, tolerating a garbled trailing line."""
+        self._entries = {}
+        self.dropped_lines = 0
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A crash mid-append leaves one partial record; count
+                # it so reports can mention the truncation.
+                self.dropped_lines += 1
+                continue
+            if isinstance(entry, dict) and isinstance(entry.get("key"), str):
+                self._entries[entry["key"]] = entry
+            else:
+                self.dropped_lines += 1
+
+    def completed(self, key: str) -> bool:
+        """True when ``key`` finished successfully in a prior run."""
+        entry = self._entries.get(key)
+        return entry is not None and entry.get("status") == "ok"
+
+    @property
+    def entries(self) -> Mapping[str, Mapping[str, object]]:
+        """Every loaded/recorded entry, keyed by cache key."""
+        return dict(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writing -----------------------------------------------------
+
+    def record(self, key: str, *, status: str, attempts: int) -> None:
+        """Append one trial's final outcome (durable immediately).
+
+        Failed trials are recorded too — for post-mortems — but only
+        ``status="ok"`` entries count as completed on resume.
+        """
+        entry: dict[str, object] = {
+            "key": key,
+            "status": status,
+            "attempts": int(attempts),
+        }
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[key] = entry

@@ -1,0 +1,54 @@
+"""RP007 fixture: silent/broad exception handlers (4 violations, 2 suppressed)."""
+
+
+def bare_handler() -> int:
+    try:
+        return 1
+    except:  # violation: bare except
+        return 0
+
+
+def base_exception_handler() -> int:
+    try:
+        return 1
+    except BaseException:  # violation: catches interpreter exit
+        raise
+
+
+def base_exception_in_tuple() -> int:
+    try:
+        return 1
+    except (ValueError, BaseException):  # violation: tuple hides BaseException
+        return 0
+
+
+def silent_pass() -> None:
+    try:
+        print("work")
+    except OSError:  # violation: silently swallows the failure
+        pass
+
+
+def allowlisted_cleanup() -> None:
+    try:
+        print("work")
+    except BaseException:  # noqa: RP007 — fixture allowlist
+        raise
+
+
+def allowlisted_best_effort() -> None:
+    try:
+        print("work")
+    except OSError:  # noqa: RP007 — fixture allowlist
+        pass
+
+
+def clean_handlers(counts: dict) -> int:
+    # Clean patterns the checker must NOT flag:
+    try:
+        return counts["key"]
+    except KeyError:
+        counts["misses"] = counts.get("misses", 0) + 1
+        return 0
+    finally:
+        pass  # a bare pass outside a handler is fine

@@ -17,6 +17,7 @@ from repro.analysis.lint.checkers import (
     NondeterminismChecker,
     PicklableDispatchChecker,
     RegistryConsistencyChecker,
+    SilentExceptChecker,
     UnseededRngChecker,
     all_checkers,
     checkers_for_codes,
@@ -251,12 +252,65 @@ class TestRegistryConsistencyChecker:
         assert report.diagnostics == () and suppressed
 
 
+class TestSilentExceptChecker:
+    def test_flags_bare_broad_and_silent_handlers(self):
+        diagnostics = lint_fixture(SilentExceptChecker(), "rp007")
+        assert len(diagnostics) == 4
+        assert {d.code for d in diagnostics} == {"RP007"}
+        messages = " ".join(d.message for d in diagnostics)
+        assert "bare `except:`" in messages
+        assert "BaseException" in messages
+        assert "silently `pass`es" in messages
+
+    def test_clean_patterns_do_not_fire(self):
+        source = (FIXTURES / "rp007.py").read_text().splitlines()
+        for diagnostic in lint_fixture(SilentExceptChecker(), "rp007"):
+            assert "violation" in source[diagnostic.line - 1]
+
+    def test_noqa_on_except_line_suppresses(self):
+        source_lines = (FIXTURES / "rp007.py").read_text().splitlines()
+        allowlisted = {
+            index
+            for index, line in enumerate(source_lines, start=1)
+            if "# noqa: RP007" in line
+        }
+        assert len(allowlisted) == 2
+        diagnostics = lint_fixture(SilentExceptChecker(), "rp007")
+        assert allowlisted.isdisjoint({d.line for d in diagnostics})
+
+    def test_diagnostics_anchor_to_the_except_line(self):
+        # A noqa in the handler *body* must not blanket-suppress; the
+        # allowlist convention is a marker on the except line itself.
+        for diagnostic in lint_fixture(SilentExceptChecker(), "rp007"):
+            assert diagnostic.end_line == diagnostic.line
+
+    def test_baseline_suppression_applies(self):
+        config = LintConfig(
+            suppressions=(
+                Suppression(
+                    path="tests/analysis/lint_fixtures/*",
+                    codes=("RP007",),
+                ),
+            )
+        )
+        assert lint_fixture(SilentExceptChecker(), "rp007", config) == ()
+
+    def test_repo_source_is_clean_under_rp007(self):
+        report = run_lint(
+            ROOT,
+            paths=[ROOT / "src" / "repro"],
+            checkers=[SilentExceptChecker()],
+            run_project_checks=False,
+        )
+        assert report.diagnostics == ()
+
+
 class TestCheckerRegistry:
     def test_codes_are_unique_and_ordered(self):
         codes = [checker_class.code for checker_class in CHECKER_CLASSES]
         assert codes == sorted(codes)
         assert len(set(codes)) == len(codes)
-        assert codes == [f"RP00{n}" for n in range(1, 7)]
+        assert codes == [f"RP00{n}" for n in range(1, 8)]
 
     def test_every_checker_has_a_rationale(self):
         for checker_class in CHECKER_CLASSES:

@@ -1,5 +1,7 @@
 """Tests for the on-disk result cache and its stable keying."""
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -84,10 +86,29 @@ class TestResultCache:
         assert cache.get("k") is None
         assert cache.hits == 1
 
-    def test_corrupt_entry_is_a_miss(self, cache):
+    def test_corrupt_entry_is_a_miss_with_a_warning(self, cache):
         cache.put("k", 123)
         cache.path_for("k").write_bytes(b"not a pickle")
-        assert cache.get("k") is MISS
+        with pytest.warns(RuntimeWarning, match="cannot be read"):
+            assert cache.get("k") is MISS
+        assert cache.corrupt == 1 and cache.misses == 1
+
+    def test_corrupt_entry_warns_once_per_key(self, cache):
+        cache.put("k", 123)
+        cache.path_for("k").write_bytes(b"not a pickle")
+        with pytest.warns(RuntimeWarning):
+            cache.get("k")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            assert cache.get("k") is MISS
+        assert cache.corrupt == 2
+
+    def test_write_failure_raises_oserror(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file where the cache dir should be")
+        cache = ResultCache(blocker)
+        with pytest.raises(OSError):
+            cache.put("k", 123)
 
     def test_contains_and_keys(self, cache):
         assert "k" not in cache

@@ -1,0 +1,117 @@
+"""Tests for the append-only trial journal behind ``--resume``."""
+
+import json
+
+import pytest
+
+from repro.runtime.journal import (
+    DEFAULT_JOURNAL_DIR,
+    TrialJournal,
+    default_journal_dir,
+)
+
+
+@pytest.fixture
+def journal_path(tmp_path):
+    return tmp_path / "campaign.jsonl"
+
+
+class TestRecordAndLoad:
+    def test_roundtrip(self, journal_path):
+        journal = TrialJournal(journal_path)
+        journal.record("abc", status="ok", attempts=1)
+        journal.record("def", status="failed", attempts=3)
+
+        reloaded = TrialJournal(journal_path, resume=True)
+        assert len(reloaded) == 2
+        assert reloaded.entries["abc"] == {
+            "key": "abc", "status": "ok", "attempts": 1
+        }
+        assert reloaded.entries["def"]["attempts"] == 3
+
+    def test_only_ok_counts_as_completed(self, journal_path):
+        journal = TrialJournal(journal_path)
+        journal.record("good", status="ok", attempts=2)
+        journal.record("bad", status="failed", attempts=3)
+        journal.record("slow", status="timed-out", attempts=1)
+        assert journal.completed("good")
+        assert not journal.completed("bad")
+        assert not journal.completed("slow")
+        assert not journal.completed("never-recorded")
+
+    def test_rerecording_a_key_keeps_the_latest(self, journal_path):
+        journal = TrialJournal(journal_path)
+        journal.record("k", status="failed", attempts=2)
+        journal.record("k", status="ok", attempts=3)
+        reloaded = TrialJournal(journal_path, resume=True)
+        assert reloaded.completed("k")
+        assert reloaded.entries["k"]["attempts"] == 3
+
+    def test_records_are_durable_one_line_each(self, journal_path):
+        journal = TrialJournal(journal_path)
+        journal.record("a", status="ok", attempts=1)
+        journal.record("b", status="ok", attempts=1)
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["status"] == "ok" for line in lines)
+
+
+class TestCrashTolerance:
+    def test_garbled_trailing_line_is_dropped(self, journal_path):
+        journal = TrialJournal(journal_path)
+        journal.record("a", status="ok", attempts=1)
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "status": "o')  # crash mid-append
+
+        reloaded = TrialJournal(journal_path, resume=True)
+        assert reloaded.completed("a")
+        assert not reloaded.completed("b")
+        assert reloaded.dropped_lines == 1
+
+    def test_records_without_a_key_are_dropped(self, journal_path):
+        journal_path.write_text('{"status": "ok"}\n[1, 2, 3]\n')
+        reloaded = TrialJournal(journal_path, resume=True)
+        assert len(reloaded) == 0
+        assert reloaded.dropped_lines == 2
+
+    def test_missing_file_resumes_empty(self, journal_path):
+        journal = TrialJournal(journal_path, resume=True)
+        assert len(journal) == 0 and journal.dropped_lines == 0
+
+
+class TestFreshStart:
+    def test_without_resume_a_stale_file_is_truncated(self, journal_path):
+        TrialJournal(journal_path).record("stale", status="ok", attempts=1)
+        fresh = TrialJournal(journal_path)  # resume defaults to False
+        assert not journal_path.exists()
+        assert not fresh.completed("stale")
+
+    def test_entries_property_is_a_copy(self, journal_path):
+        journal = TrialJournal(journal_path)
+        journal.record("a", status="ok", attempts=1)
+        snapshot = journal.entries
+        journal.record("b", status="ok", attempts=1)
+        assert "b" not in snapshot and len(journal) == 2
+
+
+class TestCampaignNaming:
+    def test_for_campaign_names_the_file_by_key(self, tmp_path):
+        journal = TrialJournal.for_campaign("cafe01", tmp_path)
+        assert journal.path == tmp_path / "cafe01.jsonl"
+
+    def test_same_campaign_finds_its_checkpoint(self, tmp_path):
+        TrialJournal.for_campaign("cafe01", tmp_path).record(
+            "t0", status="ok", attempts=1
+        )
+        resumed = TrialJournal.for_campaign("cafe01", tmp_path, resume=True)
+        assert resumed.completed("t0")
+
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_JOURNAL_DIR", str(tmp_path / "envdir"))
+        assert default_journal_dir() == tmp_path / "envdir"
+        journal = TrialJournal.for_campaign("cafe01")
+        assert journal.path == tmp_path / "envdir" / "cafe01.jsonl"
+
+    def test_default_dir_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOURNAL_DIR", raising=False)
+        assert default_journal_dir() == DEFAULT_JOURNAL_DIR

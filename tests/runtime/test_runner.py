@@ -105,6 +105,17 @@ class TestExecution:
         assert resolve_workers(3) == 3
         assert resolve_workers(None) >= 1
         assert resolve_workers(0) >= 1
+
+    def test_resolve_workers_uses_cpu_count(self, monkeypatch):
+        monkeypatch.setattr("repro.runtime.runner.os.cpu_count", lambda: 6)
+        assert resolve_workers(None) == 6
+        assert resolve_workers(0) == 6
+
+    def test_resolve_workers_survives_unknown_cpu_count(self, monkeypatch):
+        # ``os.cpu_count`` may return None on exotic platforms.
+        monkeypatch.setattr("repro.runtime.runner.os.cpu_count", lambda: None)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
         with pytest.raises(ValueError):
             resolve_workers(-2)
 
@@ -147,6 +158,28 @@ class TestCaching:
                 cache_namespace="outbreak",
             )
         assert cache.misses == 2 and cache.hits == 0
+
+    def test_cache_write_failure_warns_but_run_succeeds(self, tmp_path):
+        # A regular file where the cache directory should be makes
+        # every ``put`` raise; the campaign must still complete, with
+        # the failure surfaced as a warning and a fallback event.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a regular file blocking the cache directory")
+        runner = TrialRunner(workers=1, cache=ResultCache(blocker))
+        with pytest.warns(RuntimeWarning, match="result cache write failed"):
+            report = runner.run_repeated(
+                echo_trial,
+                {"value": 7},
+                trials=2,
+                base_seed=1,
+                cache_namespace="blocked",
+                report=True,
+            )
+        assert report.ok
+        assert list(report.results) == [7, 7]
+        assert any(
+            "cache write failed" in event for event in report.fallback_events
+        )
 
     def test_uncached_without_namespace(self, tmp_path):
         cache = ResultCache(tmp_path)

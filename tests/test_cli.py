@@ -65,6 +65,43 @@ class TestParser:
         assert parser.parse_args(["table1", "--no-cache"]).cache is False
         assert parser.parse_args(["table1"]).cache is False
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["table1", "--retries", "-1"],
+            ["table1", "--retries", "two"],
+            ["table1", "--retries", "1.5"],
+            ["table1", "--timeout", "0"],
+            ["table1", "--timeout", "-5"],
+            ["table1", "--timeout", "forever"],
+        ],
+    )
+    def test_rejects_bad_fault_tolerance_values(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_fault_tolerance_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "figure5b",
+                "--retries", "2",
+                "--timeout", "900",
+                "--resume",
+                "--journal-dir", "/tmp/journals",
+            ]
+        )
+        assert args.retries == 2
+        assert args.timeout == 900.0  # bitwise — float("900") parses exactly
+        assert args.resume is True
+        assert args.journal_dir == "/tmp/journals"
+
+    def test_fault_tolerance_defaults_are_off(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.retries == 0
+        assert args.timeout is None
+        assert args.resume is False
+        assert args.journal_dir is None
+
 
 class TestRun:
     def test_runs_table1(self, capsys):
@@ -97,3 +134,35 @@ class TestRun:
         assert list(tmp_path.glob("*.pkl"))
         assert main(argv) == 0
         assert capsys.readouterr().out == first
+
+    def test_resume_round_trip(self, tmp_path, capsys):
+        argv = [
+            "table1",
+            "--trials",
+            "2",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--journal-dir",
+            str(tmp_path / "journals"),
+            "--set",
+            "seed=5",
+        ]
+        assert main(argv) == 0  # --journal-dir implies --cache
+        first = capsys.readouterr()
+        assert list((tmp_path / "journals").glob("*.jsonl"))
+        assert main(argv + ["--resume"]) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "resumed" in second.err
+
+    def test_retries_recover_from_injected_fault(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", '{"0": ["raise"]}')
+        argv = ["table1", "--trials", "2", "--retries", "1", "--set", "seed=5"]
+        assert main(argv) == 0
+        assert "retried" in capsys.readouterr().err
+
+    def test_exhausted_retries_exit_nonzero(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", '{"0": ["raise", "raise"]}')
+        argv = ["table1", "--trials", "2", "--retries", "1", "--set", "seed=5"]
+        assert main(argv) == 1
+        assert "failed" in capsys.readouterr().err
