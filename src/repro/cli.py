@@ -36,10 +36,12 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
+from contextlib import nullcontext
 from typing import Any, Sequence
 
 from repro.experiments import registry
 from repro.runtime.cache import ResultCache
+from repro.runtime.perf import format_stages, perf_collection
 
 
 def _parse_override(text: str) -> tuple[str, Any]:
@@ -122,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--list",
         action="store_true",
         help="list available experiments with titles and default params",
+    )
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="collect per-stage engine timings "
+        "(generate/filter/dispatch/infect) and print them to stderr; "
+        "forces --workers 1 so every trial is timed in-process",
     )
     parser.add_argument(
         "--set",
@@ -246,18 +255,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         cache = ResultCache(args.cache_dir)
     overrides = dict(args.overrides)
     experiment = registry.get(args.experiment)
+    workers = args.workers
+    perf_context = nullcontext()
+    if args.perf:
+        if workers != 1:
+            print(
+                "[perf] forcing --workers 1 (stage timings are "
+                "collected in-process)",
+                file=sys.stderr,
+            )
+            workers = 1
+        perf_context = perf_collection()
     try:
-        campaign = experiment.run(
-            trials=args.trials,
-            workers=args.workers,
-            cache=cache,
-            retry=args.retries,
-            timeout=args.timeout,
-            journal_dir=args.journal_dir,
-            resume=args.resume,
-            raise_on_failure=False,
-            **overrides,
-        )
+        with perf_context:
+            campaign = experiment.run(
+                trials=args.trials,
+                workers=workers,
+                cache=cache,
+                retry=args.retries,
+                timeout=args.timeout,
+                journal_dir=args.journal_dir,
+                resume=args.resume,
+                raise_on_failure=False,
+                **overrides,
+            )
     except TypeError as error:
         # Typically an unknown --set override; argparse-style message,
         # not a traceback.
@@ -266,6 +287,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"invalid value for {args.experiment!r}: {error}")
     print(campaign.formatted())
     report = campaign.report
+    if report is not None and report.perf_stages:
+        print(
+            "[perf] "
+            + format_stages(report.perf_stages, report.perf_ticks),
+            file=sys.stderr,
+        )
     if report is not None and not report.uneventful:
         # Recoveries and failures are worth a stderr line even on
         # success; silence only covers the boring case.

@@ -57,19 +57,37 @@ class NetworkEnvironment:
         targets: np.ndarray,
         rng: np.random.Generator,
         worm: Optional[str] = None,
+        *,
+        target_class: Optional[np.ndarray] = None,
+        policy_ok: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Mask of probes that reach their targets."""
+        """Mask of probes that reach their targets.
+
+        ``target_class`` and ``policy_ok`` let the fused tick path
+        hand in answers it already resolved through one merged-
+        partition locate; they must equal what :func:`classify` and
+        ``policy.deliverable`` would compute (the equivalence suite
+        enforces this).  Layer composition, and in particular the
+        loss model's RNG consumption, is identical either way.
+        """
         sources = np.asarray(sources, dtype=np.uint32)
         targets = np.asarray(targets, dtype=np.uint32)
-        # One compiled-LPM pass classifies every target; the routable
-        # check and the NAT layer both read from it.
-        target_class = classify(targets)
+        if target_class is None:
+            # One compiled-LPM pass classifies every target; the
+            # routable check and the NAT layer both read from it.
+            target_class = classify(targets)
         ok = target_class != ADDR_UNROUTABLE
-        ok &= self.nat.deliverable(
-            sources, targets, target_private=target_class == ADDR_PRIVATE
+        np.logical_and(
+            ok,
+            self.nat.deliverable(
+                sources, targets, target_private=target_class == ADDR_PRIVATE
+            ),
+            out=ok,
         )
-        ok &= self.policy.deliverable(sources, targets, worm)
-        ok &= self.loss.deliverable(targets, rng)
+        if policy_ok is None:
+            policy_ok = self.policy.deliverable(sources, targets, worm)
+        np.logical_and(ok, policy_ok, out=ok)
+        np.logical_and(ok, self.loss.deliverable(targets, rng), out=ok)
         return ok
 
     def verdicts(

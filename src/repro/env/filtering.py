@@ -149,6 +149,13 @@ class _PolicyKernel:
                 return rule.action is FilterAction.ALLOW
         return True
 
+    @property
+    def decision_table(self) -> np.ndarray:
+        """The (masks+1)^2 verdict table; last row/column is the miss
+        slot, so membership indices (including the ``-1`` sentinel)
+        index it directly.  Treat as read-only."""
+        return self._decision
+
     def deliverable(
         self, sources: np.ndarray, targets: np.ndarray
     ) -> np.ndarray:
@@ -156,6 +163,31 @@ class _PolicyKernel:
             self._lpm.lookup_indices(sources),
             self._lpm.lookup_indices(targets),
         ]
+
+    def deliverable_from_indices(
+        self, source_indices: np.ndarray, target_indices: np.ndarray
+    ) -> np.ndarray:
+        """Verdicts from precomputed membership indices.
+
+        The fused tick path resolves target membership through the
+        merged partition and caches per-host source membership, so the
+        two locates of :meth:`deliverable` vanish; the ``-1`` miss
+        sentinel still lands on the decision table's last row/column
+        via negative indexing.
+        """
+        return self._decision[source_indices, target_indices]
+
+    def source_membership(self, addrs: np.ndarray) -> np.ndarray:
+        """Membership-mask index per source address (``-1`` = miss)."""
+        return self._lpm.lookup_indices(addrs)
+
+    def partition_component(self) -> tuple[np.ndarray, np.ndarray]:
+        """The membership LPM in partition form for merging.
+
+        ``values[locate(addrs)]`` equals ``lookup_indices(addrs)`` —
+        the target-side half of :meth:`deliverable`.
+        """
+        return self._lpm.interval_starts, self._lpm.interval_value_index
 
 
 class FilteringPolicy:
@@ -199,6 +231,22 @@ class FilteringPolicy:
             self._kernels[worm] = kernel
         return kernel
 
+    def compiled_kernel(self, worm: Optional[str]) -> Optional[_PolicyKernel]:
+        """The compiled kernel batches route through, or ``None``.
+
+        ``None`` means batches take the reference scan (no rules,
+        compilation disabled, kernels globally off, or more distinct
+        regions than the pair-decision table supports).  Kernel object
+        identity doubles as the version stamp: any rule-list edit
+        produces a fresh kernel, so holders of a merged partition can
+        invalidate by ``is`` comparison.
+        """
+        if not self.rules or not self.use_compiled or not kernels_enabled():
+            return None
+        if len({rule.region for rule in self.rules}) > _MAX_COMPILED_REGIONS:
+            return None
+        return self._kernel(worm)
+
     def deliverable(
         self,
         sources: np.ndarray,
@@ -210,13 +258,9 @@ class FilteringPolicy:
         sources = np.asarray(sources, dtype=np.uint32)
         if not self.rules:
             return np.ones(targets.shape, dtype=bool)
-        if (
-            self.use_compiled
-            and kernels_enabled()
-            and len({rule.region for rule in self.rules})
-            <= _MAX_COMPILED_REGIONS
-        ):
-            return self._kernel(worm).deliverable(sources, targets)
+        kernel = self.compiled_kernel(worm)
+        if kernel is not None:
+            return kernel.deliverable(sources, targets)
         return self._deliverable_reference(sources, targets, worm)
 
     def _deliverable_reference(

@@ -16,6 +16,7 @@ The legacy string-dispatch API (``EXPERIMENTS`` + ``get_runner`` +
 
 from __future__ import annotations
 
+import dataclasses
 import importlib
 import inspect
 import warnings
@@ -24,6 +25,7 @@ from typing import Any, Callable, Mapping, Optional
 
 from repro.runtime.cache import ResultCache, stable_key
 from repro.runtime.journal import TrialJournal
+from repro.runtime.perf import active_timings
 from repro.runtime.report import RunReport
 from repro.runtime.runner import RetryPolicy, Trial, TrialRunner
 from repro.runtime.seeding import spawn_trial_sequences
@@ -233,6 +235,17 @@ class Experiment:
             ]
 
         report = runner.run_report(batch)
+        timings = active_timings()
+        if timings is not None and timings.seconds:
+            # `--perf` ran the campaign under a stage-timing
+            # collection; the cumulative per-stage seconds ride back
+            # on the report (serial trials only — pooled workers time
+            # in their own processes and report nothing).
+            report = dataclasses.replace(
+                report,
+                perf_stages=dict(timings.seconds),
+                perf_ticks=timings.ticks,
+            )
         if raise_on_failure:
             report.raise_on_failure()
         return ExperimentRun(

@@ -59,6 +59,7 @@ def kernel_override(enabled: bool) -> Iterator[None]:
 #: slot per /16, small enough to stay cache-resident (256 KiB).
 _BUCKET_BITS = 16
 _BUCKET_SHIFT = np.uint64(32 - _BUCKET_BITS)
+_BUCKET_SHIFT_32 = np.uint32(32 - _BUCKET_BITS)
 
 #: Tables at or below this size locate by summed compares instead of
 #: bucket gathers.  Random gathers cost ~10x a SIMD compare pass per
@@ -116,8 +117,19 @@ class IntervalLocator:
         max_steps = int(starts_per_bucket.max())
         if max_steps > _MAX_ADVANCE_STEPS:
             return
+        # The advance table stays in uint32 (starts are addresses) so
+        # every gather and compare moves 4 bytes per element; the
+        # sentinel is the max address, which a real batch can contain —
+        # such elements over-advance into the sentinel padding (hence
+        # max_steps + 1 pad entries) and the final clip in `locate`
+        # pulls them back to the last interval.
         self._starts_ext = np.concatenate(
-            [starts, np.array([np.iinfo(np.uint64).max], dtype=np.uint64)]
+            [
+                self._starts32,
+                np.full(
+                    max_steps + 1, np.iinfo(np.uint32).max, dtype=np.uint32
+                ),
+            ]
         )
         self._bucket_slot = lower_slots.astype(np.int32) - 1
         self._max_steps = max_steps
@@ -126,18 +138,22 @@ class IntervalLocator:
         """Interval slot per address (``-1`` = before every interval).
 
         ``addrs`` must be unsigned integers below ``2^32``; pass
-        ``uint32`` so the small-table path stays at 4 bytes/element.
+        ``uint32`` so every pass stays at 4 bytes/element.
         """
         if self._bucket_slot is not None:
-            wide = (
-                addrs if addrs.dtype == np.uint64 else addrs.astype(np.uint64)
-            )
-            slot = self._bucket_slot[wide >> _BUCKET_SHIFT]
+            if addrs.dtype != np.uint32:
+                addrs = addrs.astype(np.uint32)
+            slot = self._bucket_slot[addrs >> _BUCKET_SHIFT_32]
             for _ in range(self._max_steps):
-                advance = self._starts_ext[slot + 1] <= wide
+                advance = self._starts_ext[slot + 1] <= addrs
                 if not advance.any():
                     break
-                slot = slot + advance
+                np.add(slot, advance, out=slot, casting="unsafe")
+            # Max-address elements ride the sentinel padding past the
+            # last interval; everything else is already in range.
+            np.minimum(
+                slot, np.int32(len(self._starts32) - 1), out=slot
+            )
             return slot
         if len(self._starts32) <= _SMALL_TABLE_MAX:
             slot = np.full(addrs.shape, -1, dtype=np.int16)
@@ -193,6 +209,37 @@ class CompiledLPM:
         """The compiled value table (index space of ``lookup_indices``)."""
         return tuple(self._values)
 
+    @property
+    def interval_starts(self) -> np.ndarray:
+        """Sorted interval starts (``uint64``, first entry is 0).
+
+        Together with :attr:`interval_value_index` this is the table's
+        *partition form* — the shape :class:`MergedPartition` fuses.
+        Treat both arrays as read-only.
+        """
+        return self._starts
+
+    @property
+    def interval_value_index(self) -> np.ndarray:
+        """Per-interval index into :attr:`values` (:data:`NO_VALUE` = miss)."""
+        return self._value_index
+
+    def interval_int_values(self, default: int = 0) -> np.ndarray:
+        """Resolved integer value per interval (``default`` on miss).
+
+        The partition-form analogue of :meth:`lookup_int_array`:
+        ``interval_int_values(d)[locator.locate(addrs)]`` equals
+        ``lookup_int_array(addrs, d)`` for any batch.
+        """
+        out = np.full(len(self._value_index), default, dtype=np.int64)
+        matched = self._value_index >= 0
+        if matched.any():
+            ints = np.array(
+                [int(value) for value in self._values], dtype=np.int64
+            )
+            out[matched] = ints[self._value_index[matched]]
+        return out
+
     def lookup_indices(self, addrs: np.ndarray) -> np.ndarray:
         """Per-address index into :attr:`values` (:data:`NO_VALUE` = miss).
 
@@ -226,3 +273,73 @@ class CompiledLPM:
         if len(self._int_values):
             out[matched] = self._int_values[indices[matched]]
         return out
+
+
+class MergedPartition:
+    """Several interval partitions fused into one locate.
+
+    The per-tick probe path asks three independent "which interval?"
+    questions about the *same* target batch — special-range class,
+    filtering-policy membership, sensor ownership.  Each component is
+    a partition of ``[0, 2^32)``: sorted ``uint64`` starts (first
+    entry 0) plus an ``int64`` value per interval.  Merging unions
+    every component's breakpoints into one sorted table and
+    re-samples each component's values onto the merged intervals, so
+    a single :class:`IntervalLocator` pass answers every question::
+
+        slots = merged.locate(targets)          # one locate
+        cls   = merged.values(0)[slots]         # special class
+        pol   = merged.values(1)[slots]         # policy membership
+        own   = merged.values(2)[slots]         # sensor owner
+
+    A merged table is frozen, like every compiled kernel; the caller
+    (``sim.engine``'s fused tick path) tracks component versions —
+    policy-kernel identity, sensor-index identity — and rebuilds on
+    change.
+    """
+
+    __slots__ = ("_starts", "_component_values", "_locator")
+
+    def __init__(
+        self, components: Sequence[tuple[np.ndarray, np.ndarray]]
+    ):
+        if not components:
+            raise ValueError("need at least one partition component")
+        normalized = []
+        for starts, values in components:
+            starts = np.asarray(starts, dtype=np.uint64)
+            values = np.asarray(values, dtype=np.int64)
+            if len(starts) == 0 or int(starts[0]) != 0:
+                raise ValueError("partition components must start at 0")
+            if len(starts) != len(values):
+                raise ValueError("starts and values must align")
+            normalized.append((starts, values))
+        merged = np.unique(
+            np.concatenate([starts for starts, _ in normalized])
+        )
+        self._starts = merged
+        # Every component start is a merged start, so the resampling
+        # slot is always >= 0.
+        self._component_values = tuple(
+            values[np.searchsorted(starts, merged, side="right") - 1]
+            for starts, values in normalized
+        )
+        self._locator = IntervalLocator(merged)
+
+    @property
+    def num_intervals(self) -> int:
+        """Merged interval count (union of every component's starts)."""
+        return len(self._starts)
+
+    @property
+    def num_components(self) -> int:
+        """How many partitions were fused."""
+        return len(self._component_values)
+
+    def locate(self, addrs: np.ndarray) -> np.ndarray:
+        """Merged interval slot per address (one pass for the batch)."""
+        return self._locator.locate(np.asarray(addrs, dtype=np.uint32))
+
+    def values(self, component: int) -> np.ndarray:
+        """Component's per-merged-slot value table (index with slots)."""
+        return self._component_values[component]

@@ -62,6 +62,20 @@ def classify(addrs: np.ndarray) -> np.ndarray:
     return _CLASS_LPM.lookup_int_array(addrs, default=ADDR_PUBLIC)
 
 
+def class_partition() -> tuple[np.ndarray, np.ndarray]:
+    """The classifier in partition form: ``(starts, class_per_interval)``.
+
+    The component :class:`repro.net.kernels.MergedPartition` fuses:
+    ``class_per_interval[locate(addrs)]`` is bit-identical to
+    :func:`classify` for any batch.  The table is static for the
+    process lifetime (the special ranges never change), so callers may
+    cache the returned arrays; treat them as read-only.
+    """
+    return _CLASS_LPM.interval_starts, _CLASS_LPM.interval_int_values(
+        default=ADDR_PUBLIC
+    )
+
+
 def is_private(addrs: np.ndarray) -> np.ndarray:
     """Boolean mask of RFC 1918 private addresses."""
     return classify(addrs) == ADDR_PRIVATE

@@ -141,6 +141,23 @@ class HostPopulation:
         targets = np.asarray(targets, dtype=np.uint32).ravel()
         if not len(targets) or not len(self._addrs):
             return np.empty(0, dtype=np.uint32)
+        if kernels_enabled() and len(targets) >= len(self._addrs):
+            # Figure-scale batches dwarf the host table, so flip the
+            # lookup: sort the batch once, then binary-search each
+            # *host* in it — O(T log T + H log T) with a tiny search
+            # side, several times faster than locating every probe.
+            # `_addrs` is sorted, so the surviving addresses come out
+            # ascending — exactly the sorted-unique order of the
+            # per-probe path below.
+            sorted_targets = np.sort(targets)
+            idx = np.searchsorted(sorted_targets, self._addrs)
+            # idx == len means the address exceeds every target; slot 0
+            # is a safe stand-in because the equality check rejects it
+            # (searchsorted would have found an equal first element).
+            idx[idx == len(sorted_targets)] = 0
+            hit = sorted_targets[idx] == self._addrs
+            hit &= self._status == HostStatus.VULNERABLE
+            return self._addrs[np.flatnonzero(hit)]
         if kernels_enabled():
             # Bucketed locate instead of per-element binary search.
             # `locate` = searchsorted(side="right") - 1, so a slot
@@ -158,7 +175,14 @@ class HostPopulation:
             idx = np.clip(idx, 0, len(self._addrs) - 1)
         hit = self._addrs[idx] == targets
         hit &= self._status[idx] == HostStatus.VULNERABLE
-        return np.unique(targets[hit])
+        # Index-based gather, then dedup: a vulnerable host hit twice
+        # in one batch must yield exactly ONE address here — the
+        # engine turns this array into one `infect` call, one
+        # `worm.add_hosts` row, and one `infection_times` entry, and
+        # those state arrays stay aligned only if this invariant
+        # holds (np.unique also returns the sorted order the engine's
+        # bitwise-equivalence contract depends on).
+        return np.unique(targets.take(np.flatnonzero(hit)))
 
     def reset(self) -> None:
         """Return every host to the vulnerable state."""

@@ -31,7 +31,7 @@ Statuses
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 #: Every status a :class:`TrialOutcome` may carry.
 STATUSES = ("ok", "cached", "resumed", "retried", "failed", "timed-out")
@@ -91,11 +91,19 @@ class RunReport:
     where the trial ultimately failed); ``outcomes`` explains each
     slot; ``fallback_events`` lists batch-level recoveries in the
     order they occurred.
+
+    ``perf_stages``/``perf_ticks`` are filled only when the campaign
+    ran under :func:`repro.runtime.perf.perf_collection` (the CLI's
+    ``--perf``): cumulative engine-stage seconds
+    (generate/filter/dispatch/infect) and tick count across every
+    in-process trial.
     """
 
     outcomes: tuple[TrialOutcome, ...]
     results: tuple[Any, ...]
     fallback_events: tuple[str, ...] = field(default_factory=tuple)
+    perf_stages: Optional[Mapping[str, float]] = None
+    perf_ticks: int = 0
 
     def __post_init__(self) -> None:
         if len(self.outcomes) != len(self.results):

@@ -137,11 +137,85 @@ class SensorIndex:
                 continue
             hit_positions = np.flatnonzero(hit)
             hit_owners = layer.owners[slot[hit_positions]]
-            for owner_id in np.unique(hit_owners):
-                chosen = hit_positions[hit_owners == owner_id]
-                owner = self._owners[owner_id]
-                if owner_id >= self._grid_base:
-                    observed += owner.ingest(targets[chosen], time)
-                else:
-                    observed += owner.ingest(sources[chosen], targets[chosen])
+            observed += self._scatter(
+                sources, targets, time, hit_positions, hit_owners
+            )
+        return observed
+
+    def _scatter(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        time: float,
+        hit_positions: np.ndarray,
+        hit_owners: np.ndarray,
+    ) -> int:
+        """Deliver one layer's hits to their owners, in batch order."""
+        observed = 0
+        for owner_id in np.unique(hit_owners):
+            chosen = hit_positions[hit_owners == owner_id]
+            owner = self._owners[owner_id]
+            if owner_id >= self._grid_base:
+                observed += owner.ingest(targets[chosen], time)
+            else:
+                observed += owner.ingest(sources[chosen], targets[chosen])
+        return observed
+
+    def partition_components(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Each layer as a partition: ``(starts, owner_per_interval)``.
+
+        Gaps between monitored intervals become explicit ``-1``-owner
+        intervals, so ``owner_per_interval[locate(addrs)]`` answers
+        ownership without the inclusive-end check ``dispatch`` needs.
+        Feed these to :class:`repro.net.kernels.MergedPartition` and
+        route batches through :meth:`dispatch_from_owner_slots`.
+        """
+        components = []
+        for layer in self._layers:
+            interval_ends = layer.ends.astype(np.uint64) + np.uint64(1)
+            bounds = np.unique(
+                np.concatenate(
+                    [
+                        np.zeros(1, dtype=np.uint64),
+                        layer.starts,
+                        interval_ends,
+                    ]
+                )
+            )
+            bounds = bounds[bounds < (1 << 32)]
+            slot = (
+                np.searchsorted(layer.starts, bounds, side="right") - 1
+            )
+            inside = (slot >= 0) & (
+                bounds <= layer.ends.astype(np.uint64)[slot]
+            )
+            owners = np.where(inside, layer.owners[slot], -1)
+            components.append((bounds, owners.astype(np.int64)))
+        return components
+
+    def dispatch_from_owner_slots(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        time: float,
+        owners_per_layer: Sequence[np.ndarray],
+    ) -> int:
+        """Route a batch whose ownership is already resolved.
+
+        ``owners_per_layer`` holds, per layer (the order of
+        :meth:`partition_components`), the owner id of each probe or
+        ``-1`` — typically a merged-partition value table indexed by
+        one shared locate.  Observation order per owner matches
+        :meth:`dispatch` exactly.
+        """
+        if not len(targets) or not self._layers:
+            return 0
+        observed = 0
+        for hit_owners in owners_per_layer:
+            hit_positions = np.flatnonzero(hit_owners >= 0)
+            if not len(hit_positions):
+                continue
+            observed += self._scatter(
+                sources, targets, time, hit_positions, hit_owners[hit_positions]
+            )
         return observed

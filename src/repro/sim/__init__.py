@@ -12,6 +12,7 @@
     (latency-sensitive scenarios the 1-second engine cannot resolve).
 """
 
+from repro.sim.arena import TickArena
 from repro.sim.containment import QuorumTriggeredContainment
 from repro.sim.engine import (
     EpidemicSimulator,
@@ -29,6 +30,7 @@ __all__ = [
     "QuorumTriggeredContainment",
     "SimulationConfig",
     "SimulationResult",
+    "TickArena",
     "run_simulation_trial",
     "si_curve",
     "si_time_to_fraction",

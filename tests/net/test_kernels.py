@@ -7,6 +7,7 @@ from repro.net.cidr import CIDRBlock
 from repro.net.kernels import (
     NO_VALUE,
     IntervalLocator,
+    MergedPartition,
     kernel_override,
     kernels_enabled,
 )
@@ -144,3 +145,71 @@ def test_kernel_override_restores_state():
             assert kernels_enabled()
         assert not kernels_enabled()
     assert kernels_enabled()
+
+
+class TestMergedPartition:
+    """Merged locate+resample must equal each component's own lookup."""
+
+    @staticmethod
+    def random_partition(rng, num_intervals):
+        starts = np.unique(
+            np.concatenate(
+                [
+                    np.zeros(1, dtype=np.uint64),
+                    rng.integers(
+                        0, 1 << 32, size=num_intervals - 1, dtype=np.uint64
+                    ),
+                ]
+            )
+        )
+        values = rng.integers(-3, 100, size=len(starts), dtype=np.int64)
+        return starts, values
+
+    def test_matches_per_component_searchsorted(self):
+        rng = np.random.default_rng(13)
+        components = [
+            self.random_partition(rng, n) for n in (2, 17, 400, 1)
+        ]
+        merged = MergedPartition(components)
+        assert merged.num_components == len(components)
+        addrs = np.concatenate(
+            [
+                rng.integers(0, 1 << 32, size=5000, dtype=np.uint64),
+                np.array([0, (1 << 32) - 1], dtype=np.uint64),
+                # Every merged breakpoint and its neighbours.
+                *(starts for starts, _ in components),
+                *(
+                    np.clip(starts.astype(np.int64) - 1, 0, (1 << 32) - 1)
+                    .astype(np.uint64)
+                    for starts, _ in components
+                ),
+            ]
+        ).astype(np.uint32)
+        slots = merged.locate(addrs)
+        for index, (starts, values) in enumerate(components):
+            expected = values[
+                np.searchsorted(starts, addrs.astype(np.uint64), side="right")
+                - 1
+            ]
+            assert np.array_equal(merged.values(index)[slots], expected)
+
+    def test_interval_count_is_union_of_breakpoints(self):
+        a = (np.array([0, 100, 200], dtype=np.uint64), np.arange(3))
+        b = (np.array([0, 150, 200], dtype=np.uint64), np.arange(3) + 10)
+        merged = MergedPartition([a, b])
+        assert merged.num_intervals == 4  # {0, 100, 150, 200}
+        assert merged.values(0).tolist() == [0, 1, 1, 2]
+        assert merged.values(1).tolist() == [10, 10, 11, 12]
+
+    def test_rejects_bad_components(self):
+        good = (np.array([0], dtype=np.uint64), np.array([1]))
+        with pytest.raises(ValueError):
+            MergedPartition([])
+        with pytest.raises(ValueError):
+            MergedPartition(
+                [good, (np.array([5], dtype=np.uint64), np.array([1]))]
+            )
+        with pytest.raises(ValueError):
+            MergedPartition(
+                [(np.array([0, 9], dtype=np.uint64), np.array([1]))]
+            )

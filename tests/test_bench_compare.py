@@ -1,0 +1,73 @@
+"""The perf-baseline ``--compare`` gate: regression + equivalence logic.
+
+The CI smoke exercises the gate end-to-end (fresh run vs a quick
+baseline); these tests pin down the pure comparison semantics —
+what counts as a gated metric, where the tolerance floor sits, and
+that an equivalence failure can never pass.
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+
+from bench_baseline import _gated_metrics, compare_reports  # noqa: E402
+
+
+def report(fused_tps=100.0, ref_tps=50.0, equivalent=True, **extra):
+    body = {
+        "fused_ticks_per_s": fused_tps,
+        "reference_ticks_per_s": ref_tps,
+        "fused_s": 1.0,
+        "equivalent": equivalent,
+    }
+    body.update(extra)
+    return {
+        "suite": "engine",
+        "mode": "quick",
+        "fused": body,
+        "equivalent": equivalent,
+    }
+
+
+def test_gated_metrics_skip_reference_and_non_throughput():
+    metrics = _gated_metrics(report(fused_probes_per_s=7.0))
+    assert metrics == {
+        "fused.fused_ticks_per_s": 100.0,
+        "fused.fused_probes_per_s": 7.0,
+    }
+
+
+def test_identical_reports_pass():
+    assert compare_reports(report(), report(), tolerance=0.20) == []
+
+
+def test_drop_within_tolerance_passes():
+    assert compare_reports(report(100.0), report(85.0), 0.20) == []
+
+
+def test_drop_beyond_tolerance_fails():
+    problems = compare_reports(report(100.0), report(75.0), 0.20)
+    assert len(problems) == 1
+    assert "fused.fused_ticks_per_s" in problems[0]
+
+
+def test_reference_throughput_is_advisory():
+    # Reference path 10x slower: machine noise, not a regression.
+    assert compare_reports(report(ref_tps=500.0), report(ref_tps=50.0), 0.20) == []
+
+
+def test_improvement_passes():
+    assert compare_reports(report(100.0), report(300.0), 0.20) == []
+
+
+def test_metric_missing_from_baseline_is_skipped():
+    fresh = report()
+    fresh["fused"]["fused_probes_per_s"] = 1.0  # renamed/new metric
+    assert compare_reports(report(), fresh, 0.20) == []
+
+
+def test_equivalence_failure_always_fails():
+    problems = compare_reports(report(), report(equivalent=False), 0.20)
+    assert any("equivalence" in problem for problem in problems)

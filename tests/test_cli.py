@@ -166,3 +166,36 @@ class TestRun:
         argv = ["table1", "--trials", "2", "--retries", "1", "--set", "seed=5"]
         assert main(argv) == 1
         assert "failed" in capsys.readouterr().err
+
+
+class TestPerf:
+    SMALL = [
+        "--set", "max_time=60",
+        "--set", "hosts_per_slash16=150",
+        "--set", "num_sensors=100",
+        "--set", "scan_rate=20",
+    ]
+
+    def test_perf_flag_defaults_off(self):
+        parser = build_parser()
+        assert parser.parse_args(["table1"]).perf is False
+        assert parser.parse_args(["table1", "--perf"]).perf is True
+
+    def test_perf_prints_stage_timings(self, capsys):
+        assert main(["containment", "--perf", *self.SMALL]) == 0
+        err = capsys.readouterr().err
+        assert "[perf]" in err
+        for stage in ("generate", "filter", "dispatch", "infect"):
+            assert stage in err
+        assert "ticks" in err
+
+    def test_no_perf_no_stage_timings(self, capsys):
+        assert main(["containment", *self.SMALL]) == 0
+        assert "[perf]" not in capsys.readouterr().err
+
+    def test_perf_forces_serial_workers(self, capsys):
+        argv = ["containment", "--perf", "--workers", "2", *self.SMALL]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "forcing --workers 1" in err
+        assert "[perf]" in err
