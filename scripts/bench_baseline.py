@@ -37,10 +37,12 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 import bench_engine  # noqa: E402
 import bench_kernels  # noqa: E402
+import bench_shard  # noqa: E402
 
 SUITES = {
     "kernels": bench_kernels,
     "engine": bench_engine,
+    "shard": bench_shard,
 }
 
 #: Throughput keys gated by --compare; ``reference_*`` stays advisory.

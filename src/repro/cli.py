@@ -142,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="override a run() keyword argument (repeatable)",
     )
     parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        metavar="K",
+        help="partition the simulated address space into K shards "
+        "(experiments that accept a `shards` keyword only); an "
+        "execution-topology knob like --workers — results are "
+        "bitwise-identical to an unsharded run",
+    )
+    parser.add_argument(
         "--trials",
         type=_positive_int,
         default=None,
@@ -254,6 +264,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         # which trials finished; the cache holds their results.
         cache = ResultCache(args.cache_dir)
     overrides = dict(args.overrides)
+    if args.shards is not None:
+        if "shards" in overrides:
+            parser.error(
+                "--shards conflicts with --set shards=...; pass one"
+            )
+        overrides["shards"] = args.shards
     experiment = registry.get(args.experiment)
     workers = args.workers
     perf_context = nullcontext()

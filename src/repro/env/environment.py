@@ -51,6 +51,43 @@ class NetworkEnvironment:
         self.policy = policy if policy is not None else FilteringPolicy()
         self.loss = loss if loss is not None else LossModel()
 
+    def deterministic_deliverable(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        worm: Optional[str] = None,
+        *,
+        target_class: Optional[np.ndarray] = None,
+        policy_ok: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """The RNG-free layers: routability ∧ NAT ∧ policy.
+
+        This is :meth:`deliverable` minus the loss draw — a pure
+        function of the batch, so the sharded engine can resolve it
+        per shard while the driver keeps every RNG draw global.  The
+        layer composition and buffer reuse are exactly the prefix of
+        :meth:`deliverable`'s, so ANDing a loss mask afterwards is
+        bit-identical to the one-shot composition.
+        """
+        sources = np.asarray(sources, dtype=np.uint32)
+        targets = np.asarray(targets, dtype=np.uint32)
+        if target_class is None:
+            # One compiled-LPM pass classifies every target; the
+            # routable check and the NAT layer both read from it.
+            target_class = classify(targets)
+        ok = target_class != ADDR_UNROUTABLE
+        np.logical_and(
+            ok,
+            self.nat.deliverable(
+                sources, targets, target_private=target_class == ADDR_PRIVATE
+            ),
+            out=ok,
+        )
+        if policy_ok is None:
+            policy_ok = self.policy.deliverable(sources, targets, worm)
+        np.logical_and(ok, policy_ok, out=ok)
+        return ok
+
     def deliverable(
         self,
         sources: np.ndarray,
@@ -70,23 +107,13 @@ class NetworkEnvironment:
         enforces this).  Layer composition, and in particular the
         loss model's RNG consumption, is identical either way.
         """
-        sources = np.asarray(sources, dtype=np.uint32)
-        targets = np.asarray(targets, dtype=np.uint32)
-        if target_class is None:
-            # One compiled-LPM pass classifies every target; the
-            # routable check and the NAT layer both read from it.
-            target_class = classify(targets)
-        ok = target_class != ADDR_UNROUTABLE
-        np.logical_and(
-            ok,
-            self.nat.deliverable(
-                sources, targets, target_private=target_class == ADDR_PRIVATE
-            ),
-            out=ok,
+        ok = self.deterministic_deliverable(
+            sources,
+            targets,
+            worm,
+            target_class=target_class,
+            policy_ok=policy_ok,
         )
-        if policy_ok is None:
-            policy_ok = self.policy.deliverable(sources, targets, worm)
-        np.logical_and(ok, policy_ok, out=ok)
         np.logical_and(ok, self.loss.deliverable(targets, rng), out=ok)
         return ok
 

@@ -51,6 +51,18 @@ class LossModel:
         self.base_rate = base_rate
         self.region_losses = list(region_losses)
 
+    @property
+    def is_active(self) -> bool:
+        """Whether :meth:`deliverable` can ever drop a probe.
+
+        When False the survive mask is all-True and *no RNG is
+        consumed*, so callers (e.g. the sharded driver) may skip
+        routing the mask without changing any random stream.
+        """
+        return self.base_rate > 0 or any(
+            regional.loss_rate > 0 for regional in self.region_losses
+        )
+
     def deliverable(
         self, targets: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:

@@ -10,21 +10,17 @@ consume.
 """
 
 from repro.experiments.registry import (
-    EXPERIMENTS,
     REGISTRY,
     Experiment,
     ExperimentRun,
     experiment_ids,
     get,
-    run_experiment,
 )
 
 __all__ = [
-    "EXPERIMENTS",
     "REGISTRY",
     "Experiment",
     "ExperimentRun",
     "experiment_ids",
     "get",
-    "run_experiment",
 ]

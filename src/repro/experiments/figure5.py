@@ -42,7 +42,8 @@ from repro.sensors.deployment import (
 )
 from repro.sensors.detection import AlertTimeline
 from repro.runtime import Trial, TrialRunner, as_seed_sequence
-from repro.sim.engine import EpidemicSimulator, SimulationConfig, SimulationResult
+from repro.sim.engine import SimulationResult
+from repro.sim.spec import SimulationSpec, simulate
 from repro.worms.codered2 import CodeRedIIWorm
 from repro.worms.hitlist import HitListCodeRedIIWorm, build_greedy_hitlist
 
@@ -116,16 +117,19 @@ def _hitlist_trial(
     seed_count: int,
     max_time: float,
     seed: "np.random.SeedSequence | int",
+    shards: Optional[int] = None,
 ) -> HitlistRun:
     """One hit-list size's outbreak and detection outcome.
 
     Module-level so the trial runner can ship it to pool workers; the
     RNG builds from the seed material here, on whichever process runs
     the trial, so serial and parallel campaigns match bitwise.
+    ``shards`` selects the sharded engine (identical results — the
+    exchange contract), so internet-scale populations can split their
+    per-tick work.
     """
     rng = np.random.default_rng(seed)
     hitlist, coverage = build_greedy_hitlist(base_population, num_prefixes)
-    population = HostPopulation(base_population)
     worm = HitListCodeRedIIWorm(hitlist)
     # One /24 sensor in every vulnerable /16 (the 5(b) deployment).
     vulnerable_16s = [
@@ -136,20 +140,24 @@ def _hitlist_trial(
         place_one_per_block(vulnerable_16s, rng),
         alert_threshold=ALERT_THRESHOLD,
     )
-    simulator = EpidemicSimulator(worm, population, sensor_grids=[grid])
-    config = SimulationConfig(
-        scan_rate=scan_rate,
-        max_time=max_time,
-        seed_count=seed_count,
-        stop_at_fraction=min(0.97 * coverage, 1.0),
-    )
     # Seed inside the hit-list so the outbreak can actually start.
     seeds = rng.choice(
         base_population[hitlist.contains_array(base_population)],
         size=seed_count,
         replace=False,
     )
-    result = simulator.run(config, rng, seed_addrs=seeds)
+    spec = SimulationSpec(
+        worm=worm,
+        population=HostPopulation(base_population),
+        sensor_grids=(grid,),
+        scan_rate=scan_rate,
+        max_time=max_time,
+        seed_count=seed_count,
+        stop_at_fraction=min(0.97 * coverage, 1.0),
+        shards=shards,
+        seed_addrs=seeds,
+    )
+    result = simulate(spec, rng)
 
     timeline = AlertTimeline.from_alert_times(
         grid.alert_times(), horizon=result.times[-1]
@@ -173,12 +181,16 @@ def run_infection(
     max_time: float = 2_000.0,
     seed: "int | np.random.SeedSequence" = 2005,
     workers: int = 1,
+    shards: Optional[int] = None,
 ) -> Figure5ABResult:
     """Figure 5(a) and (b) in one pass: infect and observe.
 
     Each hit-list size is an independent simulation under its own
     ``SeedSequence`` child, so the per-size runs fan out over
     ``workers`` processes with results identical to the serial loop.
+    ``shards`` additionally splits each simulation's address space
+    across that many shard engines — numerically a no-op (the sharded
+    engine is bitwise-equal to the serial reference).
     """
     spec = as_population_spec(population_spec)
     population_seq, *size_seqs = as_seed_sequence(seed).spawn(
@@ -196,6 +208,7 @@ def run_infection(
                 scan_rate=scan_rate,
                 seed_count=seed_count,
                 max_time=max_time,
+                shards=shards,
             ),
             seed=size_seq,
             label=f"hitlist[{num_prefixes}]",
@@ -238,6 +251,7 @@ def run_detection(
     max_time: float = 2_000.0,
     seed: "int | np.random.SeedSequence" = 2005,
     workers: int = 1,
+    shards: Optional[int] = None,
 ) -> Figure5ABResult:
     """Figure 5(b) — same simulation, detection view."""
     return run_infection(
@@ -248,6 +262,7 @@ def run_detection(
         max_time=max_time,
         seed=seed,
         workers=workers,
+        shards=shards,
     )
 
 
@@ -317,6 +332,7 @@ def run_nat_detection(
     stop_at_fraction: float = 0.5,
     seed: int = 2006,
     stratify_nat_seeds: bool = False,
+    shards: Optional[int] = None,
 ) -> Figure5CResult:
     """Figure 5(c): one outbreak, three sensor deployments.
 
@@ -360,18 +376,6 @@ def run_nat_detection(
     )
 
     worm = CodeRedIIWorm()
-    simulator = EpidemicSimulator(
-        worm,
-        population,
-        environment=environment,
-        sensor_grids=[grid_random, grid_top20, grid_192],
-    )
-    config = SimulationConfig(
-        scan_rate=scan_rate,
-        max_time=max_time,
-        seed_count=seed_count,
-        stop_at_fraction=stop_at_fraction,
-    )
     seed_addrs = None
     if stratify_nat_seeds and nat.num_hosts:
         from repro.net.special import is_private
@@ -390,7 +394,19 @@ def run_nat_detection(
                 ),
             ]
         )
-    result = simulator.run(config, rng, seed_addrs=seed_addrs)
+    sim_spec = SimulationSpec(
+        worm=worm,
+        population=population,
+        environment=environment,
+        sensor_grids=(grid_random, grid_top20, grid_192),
+        scan_rate=scan_rate,
+        max_time=max_time,
+        seed_count=seed_count,
+        stop_at_fraction=stop_at_fraction,
+        shards=shards,
+        seed_addrs=seed_addrs,
+    )
+    result = simulate(sim_spec, rng)
 
     t20 = result.time_to_fraction(0.20)
     horizon = float(result.times[-1])

@@ -9,9 +9,6 @@ trial-count knob.  The record is simultaneously:
   :class:`~repro.runtime.runner.TrialRunner` (each Monte-Carlo trial
   is one ``Experiment`` invocation under a spawned child seed), and
 * the identity under which results cache on disk.
-
-The legacy string-dispatch API (``EXPERIMENTS`` + ``get_runner`` +
-``run_experiment``) survives as a thin deprecation shim.
 """
 
 from __future__ import annotations
@@ -19,7 +16,6 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import inspect
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
@@ -428,39 +424,3 @@ def get(experiment_id: str) -> Experiment:
 def experiment_ids() -> list[str]:
     """Registered ids, sorted."""
     return sorted(REGISTRY)
-
-
-# -- legacy string-dispatch shim ------------------------------------
-
-#: Experiment id → module path (legacy mapping; prefer :data:`REGISTRY`).
-EXPERIMENTS: Mapping[str, str] = {
-    experiment_id: experiment.module
-    for experiment_id, experiment in REGISTRY.items()
-}
-
-
-def get_runner(experiment_id: str) -> tuple[Runner, Formatter]:
-    """Deprecated: use ``registry.get(id).resolve()``."""
-    warnings.warn(
-        "get_runner() is deprecated; use "
-        "repro.experiments.registry.get(id).resolve()",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return get(experiment_id).resolve()
-
-
-def run_experiment(experiment_id: str, **kwargs: Any) -> tuple[Any, str]:
-    """Deprecated: use ``registry.get(id).run(...)``.
-
-    Kept bit-compatible with the historical behavior: one trial, the
-    caller's kwargs passed straight through, ``(result, text)`` back.
-    """
-    warnings.warn(
-        "run_experiment() is deprecated; use "
-        "repro.experiments.registry.get(id).run(**kwargs)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    campaign = get(experiment_id).run(trials=1, workers=1, **kwargs)
-    return campaign.result, campaign.formatted()

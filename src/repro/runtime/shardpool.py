@@ -1,0 +1,141 @@
+"""Process-pool execution of shard engines.
+
+The sharded simulator's pool mode keeps each shard's engine resident
+in a dedicated worker process across the whole run: shard state
+(population slice, sensor clones, verdict tables) is built once from
+the pickled :class:`~repro.sim.spec.SimulationSpec` and then receives
+one routed probe batch per tick.  ``ProcessPoolExecutor`` does not pin
+tasks to workers, so pinning is by construction — every pool here has
+exactly one worker, and a shard always submits to the same pool
+(shards may share a pool when there are more shards than ``workers``;
+a single-worker pool executes its queue FIFO, so per-shard ordering
+is preserved).
+
+Failure philosophy matches :class:`~repro.runtime.runner.TrialRunner`:
+the pool is an optimization, never a semantic.  Any pool-layer error
+surfaces to the driver, which discards the pools and re-runs the
+outbreak in-process from the original seed material — bitwise the
+same result, just slower.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.sim.shard import ShardEngine
+    from repro.sim.spec import SimulationSpec
+
+#: One tick's routed work for one shard: ``(now, sources, targets,
+#: source_policy_indices, loss_ok, immunize)`` — the last three are
+#: ``None`` when the run has no policy kernel / active loss / pending
+#: patches.
+TickPayload = tuple[
+    float,
+    np.ndarray,
+    np.ndarray,
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+    Optional[np.ndarray],
+]
+
+#: A shard's tick reply: fresh infections (sorted-unique within the
+#: shard interval) and the delivered-probe count.
+TickReply = tuple[np.ndarray, int]
+
+#: End-of-run sensor state: the worker's sensor and grid clones.
+SensorState = tuple[list[object], list[object]]
+
+#: Engines resident in *this worker process*, keyed by shard id.
+_ENGINES: dict[int, "ShardEngine"] = {}
+
+
+def _build_engine(
+    spec: "SimulationSpec", shard_id: int, seed_addrs: np.ndarray
+) -> int:
+    """Worker-side: construct and seed one shard engine."""
+    from repro.sim.shard import ShardEngine
+
+    engine = ShardEngine(spec, shard_id)
+    engine.seed(seed_addrs)
+    _ENGINES[shard_id] = engine
+    return shard_id
+
+
+def _run_tick(shard_id: int, payload: TickPayload) -> TickReply:
+    """Worker-side: apply one routed batch to a resident engine."""
+    now, sources, targets, source_indices, loss_ok, immunize = payload
+    engine = _ENGINES[shard_id]
+    if immunize is not None:
+        engine.immunize(immunize)
+    return engine.process(now, sources, targets, source_indices, loss_ok)
+
+
+def _collect_sensors(shard_id: int) -> SensorState:
+    """Worker-side: hand the shard's sensor clones back for merging."""
+    engine = _ENGINES[shard_id]
+    return list(engine.sensors), list(engine.grids)
+
+
+class ShardPool:
+    """Dedicated single-worker pools hosting resident shard engines."""
+
+    def __init__(
+        self, spec: "SimulationSpec", num_shards: int, workers: int
+    ):
+        self._spec = spec
+        self._num_shards = num_shards
+        pool_count = max(1, min(workers, num_shards))
+        self._pools = [
+            ProcessPoolExecutor(max_workers=1) for _ in range(pool_count)
+        ]
+
+    def _pool_for(self, shard_id: int) -> ProcessPoolExecutor:
+        return self._pools[shard_id % len(self._pools)]
+
+    def seed(self, per_shard_seeds: list[np.ndarray]) -> None:
+        """Build every shard engine remotely and apply its seed set."""
+        futures: list[Future[int]] = [
+            self._pool_for(shard_id).submit(
+                _build_engine, self._spec, shard_id, seed_addrs
+            )
+            for shard_id, seed_addrs in enumerate(per_shard_seeds)
+        ]
+        for future in futures:
+            future.result()
+
+    def tick(self, payloads: list[TickPayload]) -> list[TickReply]:
+        """One tick's routed batches out, per-shard replies back.
+
+        Replies are collected in shard order, so the driver's merge is
+        deterministic regardless of worker completion order.
+        """
+        futures: list[Future[TickReply]] = [
+            self._pool_for(shard_id).submit(_run_tick, shard_id, payload)
+            for shard_id, payload in enumerate(payloads)
+        ]
+        return [future.result() for future in futures]
+
+    def collect_sensors(self) -> list[SensorState]:
+        """Every shard's sensor clones, in shard order."""
+        futures: list[Future[SensorState]] = [
+            self._pool_for(shard_id).submit(_collect_sensors, shard_id)
+            for shard_id in range(self._num_shards)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Tear the worker processes down (broken pools included).
+
+        ``wait=True`` so every executor's management thread has fully
+        exited before the interpreter can reach the concurrent.futures
+        atexit hook — a non-waiting shutdown races that hook against
+        the wakeup-pipe close and spews ``Exception ignored`` noise at
+        exit.  Pools are idle (every tick future already resolved) or
+        broken here, so the join is prompt either way.
+        """
+        for pool in self._pools:
+            pool.shutdown(wait=True, cancel_futures=True)

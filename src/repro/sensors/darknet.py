@@ -134,6 +134,34 @@ class DarknetSensor:
             return 0
         return len(np.unique(pairs & np.uint64(0xFFFFFFFF)))
 
+    def absorb(self, other: "DarknetSensor") -> None:
+        """Fold another sensor's observations into this one.
+
+        The sharded engine's merge step: pool workers run clones of
+        this sensor, each ingesting a disjoint slice of the probe
+        stream (shard boundaries are /24-aligned, so no /24 bin is
+        split), and the driver absorbs their state back.  Counts add
+        and pair chunks concatenate — the same commutative aggregates
+        ``ingest`` maintains, so the merged state equals one sensor
+        having seen every probe.
+        """
+        if (
+            other.block.first != self.block.first
+            or other.block.last != self.block.last
+        ):
+            raise ValueError(
+                f"cannot absorb sensor on {other.block} into {self.block}"
+            )
+        self._probe_counts += other._probe_counts
+        if other._pair_chunks:
+            self._pair_chunks.extend(other._pair_chunks)
+            self._pending_pairs += sum(
+                len(chunk) for chunk in other._pair_chunks
+            )
+            self._unique_pairs = None
+            if self._pending_pairs >= PAIR_COMPACT_THRESHOLD:
+                self._compact_pairs()
+
     def reset(self) -> None:
         """Clear all recorded observations."""
         self._probe_counts[:] = 0

@@ -109,6 +109,27 @@ class SensorGrid:
             alerted &= times <= at_time
         return float(alerted.mean())
 
+    def absorb(self, other: "SensorGrid") -> None:
+        """Fold another grid's observations into this one.
+
+        The sharded engine's merge step: each pool worker's clone
+        observed a disjoint subset of this grid's /24 sensors (shard
+        boundaries are /24-aligned, so a sensor's probes all land in
+        one shard), making the merge exact — counts add, and each
+        sensor's alert time comes from whichever grid saw it cross
+        the threshold.
+        """
+        if not np.array_equal(other._prefixes, self._prefixes):
+            raise ValueError("cannot absorb a grid with different sensors")
+        if other.alert_threshold != self.alert_threshold:
+            raise ValueError("cannot absorb a grid with a different threshold")
+        self._payload_counts += other._payload_counts
+        theirs = other._alert_times
+        take = ~np.isnan(theirs) & (
+            np.isnan(self._alert_times) | (theirs < self._alert_times)
+        )
+        self._alert_times[take] = theirs[take]
+
     def reset(self) -> None:
         """Clear counts and alerts."""
         self._payload_counts[:] = 0

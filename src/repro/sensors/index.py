@@ -21,7 +21,7 @@ layer, so the whole sensor substrate costs one pass per tick.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -61,7 +61,17 @@ class SensorIndex:
         self,
         sensors: Sequence[DarknetSensor] = (),
         grids: Sequence[SensorGrid] = (),
+        within: Optional[tuple[int, int]] = None,
     ):
+        """Build the merged table; ``within`` clips it to one shard.
+
+        ``within`` is a half-open address interval ``[lo, hi)``:
+        monitored intervals are intersected with it (and dropped when
+        the intersection is empty), so a shard's index sees exactly
+        the probes the exchange routes to it.  Shard boundaries are
+        /24-aligned, so clipping never splits a grid /24 or a darknet
+        /24 bin — per-shard sensor observations stay mergeable.
+        """
         self._owners: list[_Owner] = list(sensors) + list(grids)
         intervals: list[tuple[int, int, int]] = []
         for owner_id, sensor in enumerate(sensors):
@@ -71,6 +81,13 @@ class SensorIndex:
             for start, end in _grid_intervals(grid):
                 intervals.append((start, end, grid_base + offset))
         self._grid_base = grid_base
+        if within is not None:
+            lo, hi = within
+            intervals = [
+                (max(start, lo), min(end, hi - 1), owner_id)
+                for start, end, owner_id in intervals
+                if max(start, lo) <= min(end, hi - 1)
+            ]
 
         # Greedy layering: intervals sorted by start go into the first
         # layer whose last interval ends before they begin, so each

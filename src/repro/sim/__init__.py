@@ -3,6 +3,13 @@
 ``engine``
     The vectorized time-stepped epidemic simulator used for every
     outbreak experiment in the paper's Section 5.
+``spec``
+    :class:`SimulationSpec` — the single picklable description of one
+    outbreak (population + worm + environment + sensors + shard plan
+    + tick budget) and :func:`simulate`, the one entry point over it.
+``shard``
+    The sharded address-space engine: K per-interval engines behind a
+    deterministic exchange, bitwise-identical to the serial reference.
 ``epidemic``
     The classic analytic SI ("simple epidemic") model, used to
     validate the simulator and as the uniform-propagation baseline the
@@ -22,16 +29,24 @@ from repro.sim.engine import (
 )
 from repro.sim.epidemic import si_curve, si_time_to_fraction
 from repro.sim.events import Event, EventKernel
+from repro.sim.shard import ShardEngine, ShardPlan, ShardedSimulator
+from repro.sim.spec import SimulationSpec, run_spec_trial, simulate
 
 __all__ = [
     "EpidemicSimulator",
     "Event",
     "EventKernel",
     "QuorumTriggeredContainment",
+    "ShardEngine",
+    "ShardPlan",
+    "ShardedSimulator",
     "SimulationConfig",
     "SimulationResult",
+    "SimulationSpec",
     "TickArena",
     "run_simulation_trial",
+    "run_spec_trial",
     "si_curve",
     "si_time_to_fraction",
+    "simulate",
 ]

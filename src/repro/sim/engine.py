@@ -289,19 +289,19 @@ class _FusedVerdict:
             self._host_policy_count = count
         return buf[:count]
 
-    def verdict(
+    def deterministic(
         self,
         flat_sources: np.ndarray,
         flat_targets: np.ndarray,
-        rng: np.random.Generator,
         source_indices: Optional[np.ndarray] = None,
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Deliverability mask plus the merged slot per probe.
+        """Pre-loss deliverability mask plus the merged slot per probe.
 
-        Bit-identical to ``environment.deliverable`` on the same batch
-        (the environment still composes NAT and loss, so RNG
-        consumption is unchanged); the returned slots feed
-        :meth:`dispatch` so sensors reuse the same locate.
+        Resolves every RNG-free layer (routability, NAT, policy) —
+        bit-identical to ``environment.deterministic_deliverable`` on
+        the same batch.  The sharded engine calls this per shard while
+        the driver keeps the loss draw global; the serial path gets
+        the loss ANDed back in by :meth:`verdict`.
         """
         merged = self._merged
         slots = merged.locate(flat_targets)
@@ -315,11 +315,6 @@ class _FusedVerdict:
                 ok = det[source_indices, slots]
             else:
                 ok = det[slots]
-            np.logical_and(
-                ok,
-                self.environment.loss.deliverable(flat_targets, rng),
-                out=ok,
-            )
             return ok, slots
         target_class = merged.values(0)[slots]
         policy_ok = None
@@ -330,13 +325,37 @@ class _FusedVerdict:
             policy_ok = self._kernel.deliverable_from_indices(
                 source_indices, target_indices
             )
-        ok = self.environment.deliverable(
+        ok = self.environment.deterministic_deliverable(
             flat_sources,
             flat_targets,
-            rng,
             worm=self.worm_name,
             target_class=target_class,
             policy_ok=policy_ok,
+        )
+        return ok, slots
+
+    def verdict(
+        self,
+        flat_sources: np.ndarray,
+        flat_targets: np.ndarray,
+        rng: np.random.Generator,
+        source_indices: Optional[np.ndarray] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Deliverability mask plus the merged slot per probe.
+
+        Bit-identical to ``environment.deliverable`` on the same batch
+        (:meth:`deterministic` composes the RNG-free layers, then the
+        loss draw is ANDed in last, so RNG consumption is unchanged);
+        the returned slots feed :meth:`dispatch` so sensors reuse the
+        same locate.
+        """
+        ok, slots = self.deterministic(
+            flat_sources, flat_targets, source_indices
+        )
+        np.logical_and(
+            ok,
+            self.environment.loss.deliverable(flat_targets, rng),
+            out=ok,
         )
         return ok, slots
 

@@ -33,6 +33,6 @@ class TestContainmentExtension:
         assert "hotspots defeat containment? True" in text
 
     def test_registered(self):
-        from repro.experiments.registry import EXPERIMENTS
+        from repro.experiments.registry import REGISTRY
 
-        assert "containment" in EXPERIMENTS
+        assert "containment" in REGISTRY

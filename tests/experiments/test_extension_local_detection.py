@@ -40,6 +40,6 @@ class TestLocalDetection:
         assert "local wins? True" in text
 
     def test_registered(self):
-        from repro.experiments.registry import EXPERIMENTS
+        from repro.experiments.registry import REGISTRY
 
-        assert "local-detection" in EXPERIMENTS
+        assert "local-detection" in REGISTRY

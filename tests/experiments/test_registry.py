@@ -1,15 +1,9 @@
-"""Tests for the declarative experiment registry and its legacy shim."""
+"""Tests for the declarative experiment registry."""
 
 import pytest
 
 from repro.experiments import registry
-from repro.experiments.registry import (
-    EXPERIMENTS,
-    REGISTRY,
-    Experiment,
-    get_runner,
-    run_experiment,
-)
+from repro.experiments.registry import REGISTRY, Experiment
 
 PAPER_IDS = {
     "table1",
@@ -87,31 +81,16 @@ class TestCampaigns:
             registry.get("table1").run(trials=2, seed="not-an-int")
 
 
-class TestLegacyShim:
-    def test_experiments_mapping_matches_registry(self):
-        assert set(EXPERIMENTS) == set(REGISTRY)
-        assert EXPERIMENTS["figure5b"] == "repro.experiments.figure5"
+class TestLegacyShimRemoved:
+    """The PR 1 string-dispatch shims completed their one-release life."""
 
-    def test_get_runner_warns_but_resolves(self):
-        with pytest.warns(DeprecationWarning):
-            run, formatter = get_runner("table1")
-        assert callable(run)
-        assert callable(formatter)
+    def test_legacy_names_are_gone(self):
+        for name in ("EXPERIMENTS", "get_runner", "run_experiment"):
+            assert not hasattr(registry, name)
 
-    def test_get_runner_unknown_raises(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(KeyError):
-                get_runner("figure99")
-
-    def test_runners_resolve_for_every_id(self):
-        for experiment_id in EXPERIMENTS:
-            with pytest.warns(DeprecationWarning):
-                run, formatter = get_runner(experiment_id)
+    def test_modern_path_covers_every_id(self):
+        # What get_runner() used to do, via the supported API.
+        for experiment_id in registry.experiment_ids():
+            run, formatter = registry.get(experiment_id).resolve()
             assert callable(run)
             assert callable(formatter)
-
-    def test_run_experiment_returns_text(self):
-        with pytest.warns(DeprecationWarning):
-            result, text = run_experiment("table1", seed=3)
-        assert result.rows
-        assert isinstance(text, str) and text

@@ -1,0 +1,209 @@
+"""Tests for the ``SimulationSpec`` construction-and-run API."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.env.environment import NetworkEnvironment
+from repro.net.kernels import kernel_override
+from repro.population.model import HostPopulation
+from repro.sim.engine import (
+    EpidemicSimulator,
+    SimulationConfig,
+    run_simulation_trial,
+)
+from repro.sim.shard import ShardPlan
+from repro.sim.spec import SimulationSpec, run_spec_trial, simulate
+from repro.worms.uniform import UniformScanWorm
+
+
+def host_addrs(seed=0, size=500):
+    rng = np.random.default_rng(seed)
+    return np.unique(
+        rng.integers(1 << 24, 224 << 24, size=size, dtype=np.uint64).astype(
+            np.uint32
+        )
+    )
+
+
+def small_spec(**overrides):
+    kwargs = dict(
+        worm=UniformScanWorm(),
+        population=HostPopulation(host_addrs()),
+        scan_rate=10.0,
+        max_time=5.0,
+        seed_count=20,
+    )
+    kwargs.update(overrides)
+    return SimulationSpec(**kwargs)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        spec = small_spec()
+        assert isinstance(spec.environment, NetworkEnvironment)
+        assert spec.sensors == ()
+        assert spec.sensor_grids == ()
+        assert spec.shards is None
+        assert spec.shard_plan is None
+
+    def test_population_coerced_from_array(self):
+        spec = small_spec(population=host_addrs())
+        assert isinstance(spec.population, HostPopulation)
+
+    def test_seed_addrs_coerced(self):
+        spec = small_spec(seed_addrs=[1 << 24, 2 << 24])
+        assert spec.seed_addrs.dtype == np.uint32
+
+    def test_num_ticks(self):
+        spec = small_spec(max_time=10.0, tick_seconds=3.0)
+        assert spec.num_ticks == 4
+
+    def test_with_replaces_fields(self):
+        spec = small_spec()
+        changed = spec.with_(scan_rate=3.0, shards=2)
+        assert changed.scan_rate == 3.0  # bitwise — replace() copies verbatim
+        assert changed.shard_plan.num_shards == 2
+        assert spec.scan_rate == 10.0  # bitwise — original untouched
+
+    def test_config_round_trip(self):
+        config = SimulationConfig(
+            scan_rate=7.0,
+            tick_seconds=2.0,
+            max_time=60.0,
+            seed_count=4,
+            stop_at_fraction=0.5,
+            patch_rate=0.001,
+        )
+        spec = SimulationSpec.from_config(
+            config,
+            worm=UniformScanWorm(),
+            population=HostPopulation(host_addrs()),
+        )
+        assert spec.config == config
+
+    def test_from_config_rejects_duplicate_knobs(self):
+        with pytest.raises(ValueError, match="SimulationSpec.scan_rate"):
+            SimulationSpec.from_config(
+                SimulationConfig(),
+                worm=UniformScanWorm(),
+                population=HostPopulation(host_addrs()),
+                scan_rate=3.0,
+            )
+
+    def test_shard_plan_normalization(self):
+        assert small_spec(shards=4).shard_plan.num_shards == 4
+        plan = ShardPlan.even(2)
+        assert small_spec(shards=plan).shard_plan is plan
+
+    def test_describe(self):
+        summary = small_spec(shards=8).describe()
+        assert summary["worm"] == UniformScanWorm().name
+        assert summary["num_shards"] == 8
+
+    def test_spec_pickles(self):
+        spec = small_spec(shards=4)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert np.array_equal(
+            clone.population.addresses(), spec.population.addresses()
+        )
+        assert clone.shard_plan == spec.shard_plan
+
+
+class TestValidationNamesTheField:
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            (dict(worm="not a worm"), r"SimulationSpec\.worm"),
+            (
+                dict(population="not a population"),
+                r"SimulationSpec\.population",
+            ),
+            (
+                dict(environment="not an env"),
+                r"SimulationSpec\.environment",
+            ),
+            (dict(topology=17), r"SimulationSpec\.topology"),
+            (
+                dict(sensors=("not a sensor",)),
+                r"SimulationSpec\.sensors\[0\]",
+            ),
+            (
+                dict(sensor_grids=("not a grid",)),
+                r"SimulationSpec\.sensor_grids\[0\]",
+            ),
+            (dict(containment=3.5), r"SimulationSpec\.containment"),
+            (
+                dict(trace_recorder=3.5),
+                r"SimulationSpec\.trace_recorder",
+            ),
+            (dict(shards="four"), r"SimulationSpec\.shards"),
+        ],
+    )
+    def test_type_errors(self, overrides, match):
+        with pytest.raises(TypeError, match=match):
+            small_spec(**overrides)
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            (dict(scan_rate=0.0), r"SimulationSpec\.scan_rate"),
+            (dict(tick_seconds=-1.0), r"SimulationSpec\.tick_seconds"),
+            (dict(max_time=0.0), r"SimulationSpec\.max_time"),
+            (dict(seed_count=0), r"SimulationSpec\.seed_count"),
+            (
+                dict(stop_at_fraction=1.5),
+                r"SimulationSpec\.stop_at_fraction",
+            ),
+            (dict(patch_rate=1.0), r"SimulationSpec\.patch_rate"),
+            (
+                dict(seed_addrs=[[1, 2], [3, 4]]),
+                r"SimulationSpec\.seed_addrs",
+            ),
+        ],
+    )
+    def test_value_errors(self, overrides, match):
+        with pytest.raises(ValueError, match=match):
+            small_spec(**overrides)
+
+
+class TestSimulate:
+    def test_matches_legacy_entry_point(self):
+        seed = 31
+        spec = small_spec()
+        spec_result = simulate(spec, seed)
+        simulator = EpidemicSimulator(
+            UniformScanWorm(), HostPopulation(host_addrs())
+        )
+        legacy_result = run_simulation_trial(simulator, spec.config, seed)
+        assert spec_result == legacy_result
+
+    def test_accepts_live_generator(self):
+        spec_a = small_spec()
+        spec_b = small_spec()
+        result_a = simulate(spec_a, np.random.default_rng(5))
+        result_b = simulate(spec_b, 5)
+        assert result_a == result_b
+
+    def test_build_simulator_carries_components(self):
+        spec = small_spec()
+        simulator = spec.build_simulator()
+        assert simulator.worm is spec.worm
+        assert simulator.population is spec.population
+
+    def test_run_spec_trial_is_picklable(self):
+        # TrialRunner pickles (func, spec, seed); the round trip must
+        # reproduce the in-process result bitwise.
+        spec = small_spec(shards=2)
+        func, payload = pickle.loads(
+            pickle.dumps((run_spec_trial, (small_spec(shards=2), 37)))
+        )
+        assert func(*payload) == run_spec_trial(spec, 37)
+
+    def test_sharded_spec_under_kernel_override_uses_reference(self):
+        spec = small_spec(shards=4)
+        reference = small_spec()
+        with kernel_override(False):
+            gated = simulate(spec, 41)
+        assert gated == simulate(reference, 41)

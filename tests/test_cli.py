@@ -102,6 +102,37 @@ class TestParser:
         assert args.resume is False
         assert args.journal_dir is None
 
+    def test_shards_flag_parses(self):
+        args = build_parser().parse_args(["figure5b", "--shards", "4"])
+        assert args.shards == 4
+        assert build_parser().parse_args(["figure5b"]).shards is None
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["figure5b", "--shards", "0"],
+            ["figure5b", "--shards", "-2"],
+            ["figure5b", "--shards", "many"],
+        ],
+    )
+    def test_rejects_bad_shard_counts(self, argv):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+
+    def test_shards_conflicts_with_set_override(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["figure5b", "--shards", "2", "--set", "shards=4"]
+            )
+        assert "--shards conflicts" in capsys.readouterr().err
+
+    def test_shards_rejected_for_shardless_experiment(self, capsys):
+        # table1 takes no `shards` keyword; the registry binding turns
+        # that into the standard unknown-override error.
+        with pytest.raises(SystemExit):
+            main(["table1", "--shards", "2"])
+        assert "invalid arguments" in capsys.readouterr().err
+
 
 class TestRun:
     def test_runs_table1(self, capsys):
