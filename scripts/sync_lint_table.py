@@ -1,0 +1,89 @@
+"""Keep the DESIGN.md checker reference table in sync.
+
+The table between the ``<!-- lint-checks:begin/end -->`` markers in
+DESIGN.md §4.6 is generated from the checker registry (the same
+output as ``hotspots lint --list-checks --markdown``).
+
+Usage::
+
+    python scripts/sync_lint_table.py --check   # CI: fail if stale
+    python scripts/sync_lint_table.py --write   # regenerate in place
+
+Exit status: 0 when current (or after a successful write), 1 when
+``--check`` finds the committed table stale, 2 on marker errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.lint.cli import list_checks_markdown  # noqa: E402
+
+BEGIN = "<!-- lint-checks:begin -->"
+END = "<!-- lint-checks:end -->"
+_BLOCK = re.compile(
+    re.escape(BEGIN) + r".*?" + re.escape(END), flags=re.DOTALL
+)
+
+
+def render_block() -> str:
+    return f"{BEGIN}\n{list_checks_markdown()}\n{END}"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if the committed table is stale",
+    )
+    mode.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate the table in place",
+    )
+    parser.add_argument(
+        "--design",
+        type=Path,
+        default=REPO_ROOT / "DESIGN.md",
+        help="path to DESIGN.md (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    text = args.design.read_text(encoding="utf-8")
+    if BEGIN not in text or END not in text:
+        print(
+            f"sync_lint_table: markers {BEGIN!r}/{END!r} not found in "
+            f"{args.design}",
+            file=sys.stderr,
+        )
+        return 2
+
+    updated = _BLOCK.sub(lambda _match: render_block(), text, count=1)
+    if args.write:
+        if updated != text:
+            args.design.write_text(updated, encoding="utf-8")
+            print(f"sync_lint_table: updated {args.design}")
+        else:
+            print("sync_lint_table: already current")
+        return 0
+    if updated != text:
+        print(
+            "sync_lint_table: DESIGN.md checker table is stale; run "
+            "`python scripts/sync_lint_table.py --write`",
+            file=sys.stderr,
+        )
+        return 1
+    print("sync_lint_table: table is current")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,364 @@
+"""Import-resolved call graph with receiver-type inference.
+
+Edges come from four resolution strategies, tried in order:
+
+1. **Direct names** — ``simulate(spec, rng)`` resolves through the
+   module's :class:`~repro.analysis.lint.framework.ImportResolver`
+   to a project function or class (a class call is its constructor).
+2. **Typed receivers** — ``self.verdict.dispatch(...)`` follows the
+   inferred type of the receiver: parameter annotations, ``self`` →
+   owner class, locals bound to constructor calls, instance
+   attribute types from the symbol table, property return types, and
+   the return annotations of already-resolved calls.
+3. **Class-hierarchy fallback** — when the receiver's type is
+   unknown, a method call resolves to *every* project method with
+   that name.  This over-approximates on purpose: a missed edge
+   would let tainted flow escape the analysis, a spurious edge at
+   worst widens a reachability set.
+4. Anything else is **external/unknown** and is left to the taint
+   layer's conservative call rule.
+
+While building edges the pass also records what the checkers anchor
+on: ``.submit(...)`` pool-boundary sites and functions whose bodies
+branch on ``kernels_enabled()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.flow.symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+)
+
+#: Method names too generic for the class-hierarchy fallback — wiring
+#: every ``.get``/``.append`` to every project method of that name
+#: would connect the whole graph through dict/list idioms.
+_CHA_STOPLIST = {
+    "get",
+    "append",
+    "extend",
+    "add",
+    "pop",
+    "items",
+    "keys",
+    "values",
+    "copy",
+    "update",
+    "close",
+    "join",
+    "sort",
+    "split",
+    "strip",
+    "format",
+    "read",
+    "write",
+    "result",
+    "submit",
+}
+
+
+@dataclass(frozen=True)
+class CallResolution:
+    """What one call expression resolves to."""
+
+    #: Project functions this call may invoke (empty when external).
+    targets: tuple[str, ...] = ()
+    #: The external dotted name, when the callee is import-resolved
+    #: but not defined in the project (``numpy.random.default_rng``).
+    external: Optional[str] = None
+    #: The project class the call's *result* is an instance of, when
+    #: inferable (constructor calls, annotated returns).
+    result_class: Optional[str] = None
+    #: True when targets came from the name-based fallback.
+    via_cha: bool = False
+
+
+@dataclass
+class SubmitSite:
+    """One ``pool.submit(fn, *args)`` pool-boundary crossing."""
+
+    caller: str
+    relpath: str
+    node: ast.Call
+    #: Resolved qualname of the payload callable, if a project one.
+    payload: Optional[str]
+    #: The payload expression as written (for diagnostics).
+    payload_node: Optional[ast.expr]
+
+
+@dataclass
+class CallGraph:
+    """Call edges plus the site inventories the checkers consume."""
+
+    table: SymbolTable
+    #: Caller qualname → callee qualnames (project functions only).
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: Callee qualname → caller qualnames.
+    reverse: dict[str, set[str]] = field(default_factory=dict)
+    #: Per-function: call node → resolution (node identity keyed;
+    #: the ASTs live for the lifetime of the context).
+    resolutions: dict[str, dict[int, CallResolution]] = field(
+        default_factory=dict
+    )
+    #: Every ``.submit(...)`` crossing found in the project.
+    submit_sites: list[SubmitSite] = field(default_factory=list)
+    #: Functions whose body calls ``kernels_enabled()`` (the gated
+    #: fast paths RP104 audits); the defining module is excluded.
+    gated_functions: set[str] = field(default_factory=set)
+
+    def resolution_for(
+        self, function: str, call: ast.Call
+    ) -> Optional[CallResolution]:
+        return self.resolutions.get(function, {}).get(id(call))
+
+    def reachable_from(self, roots: set[str]) -> set[str]:
+        """Transitive closure of ``roots`` over call edges."""
+        seen = set(roots)
+        queue = list(roots)
+        while queue:
+            current = queue.pop()
+            for callee in self.edges.get(current, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+        return seen
+
+    def reaching(self, targets: set[str]) -> set[str]:
+        """Every function from which some target is reachable."""
+        seen = set(targets)
+        queue = list(targets)
+        while queue:
+            current = queue.pop()
+            for caller in self.reverse.get(current, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    queue.append(caller)
+        return seen
+
+
+#: Dotted names that flip kernel gating — calls to these mark a
+#: function as hosting a gated fast path.
+_GATE_NAMES = {"repro.net.kernels.kernels_enabled", "kernels_enabled"}
+_GATE_MODULE = "repro.net.kernels"
+
+
+def build_callgraph(table: SymbolTable) -> CallGraph:
+    """Resolve every call site in every project function."""
+    graph = CallGraph(table=table)
+    for info in table.functions.values():
+        _FunctionResolver(graph, info).run()
+    return graph
+
+
+class _FunctionResolver:
+    """Resolve one function's call sites against the symbol table."""
+
+    def __init__(self, graph: CallGraph, info: FunctionInfo):
+        self.graph = graph
+        self.table = graph.table
+        self.info = info
+        self.module: ModuleInfo = graph.table.modules[info.module]
+        #: Local name → project class qualname.
+        self.env: dict[str, str] = {}
+
+    def run(self) -> None:
+        self._seed_env()
+        self.graph.resolutions.setdefault(self.info.qualname, {})
+        # Two passes so a local typed late in the body still types a
+        # receiver used in an earlier loop iteration.
+        for _ in range(2):
+            for node in ast.walk(self.info.node):
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    self._bind_assign(node.targets[0], node.value)
+                elif isinstance(node, ast.AnnAssign) and isinstance(
+                    node.target, ast.Name
+                ):
+                    resolved = self.table.resolve_annotation(
+                        node.annotation, self.module
+                    )
+                    if resolved is not None:
+                        self.env[node.target.id] = resolved
+            for node in ast.walk(self.info.node):
+                if isinstance(node, ast.Call):
+                    self._resolve_call(node)
+
+    # -- environment ---------------------------------------------------
+
+    def _seed_env(self) -> None:
+        args = self.info.node.args
+        all_params = [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+        ]
+        if (
+            self.info.owner_class is not None
+            and not self.info.is_staticmethod
+            and all_params
+        ):
+            self.env[all_params[0].arg] = self.info.owner_class
+            all_params = all_params[1:]
+        for param in all_params:
+            if param.annotation is not None:
+                resolved = self.table.resolve_annotation(
+                    param.annotation, self.module
+                )
+                if resolved is not None:
+                    self.env[param.arg] = resolved
+
+    def _bind_assign(self, target: ast.expr, value: ast.expr) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        inferred = self._infer_type(value)
+        if inferred is not None:
+            self.env[target.id] = inferred
+
+    # -- type inference ------------------------------------------------
+
+    def _infer_type(self, expr: ast.expr) -> Optional[str]:
+        """The project class an expression evaluates to, if known."""
+        if isinstance(expr, ast.Name):
+            return self.env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            receiver = self._infer_type(expr.value)
+            if receiver is not None:
+                return self.table.attr_class(receiver, expr.attr)
+            # Module attribute: ``spec_mod.SimulationSpec`` — handled
+            # at call resolution via the import resolver instead.
+            return None
+        if isinstance(expr, ast.Call):
+            resolution = self._resolve_call(expr)
+            return resolution.result_class
+        if isinstance(expr, ast.Await):
+            return self._infer_type(expr.value)
+        return None
+
+    # -- call resolution -----------------------------------------------
+
+    def _resolve_call(self, call: ast.Call) -> CallResolution:
+        cache = self.graph.resolutions[self.info.qualname]
+        cached = cache.get(id(call))
+        if cached is not None and cached.targets:
+            return cached
+        resolution = self._resolve_callee(call.func)
+        cache[id(call)] = resolution
+        for target in resolution.targets:
+            self._add_edge(target)
+        self._note_gate(resolution)
+        self._note_submit(call, resolution)
+        return resolution
+
+    def _resolve_callee(self, func: ast.expr) -> CallResolution:
+        dotted = self.table.dotted_name(func, self.module)
+        if dotted is not None:
+            function = self.table.resolve_function(dotted)
+            if function is not None:
+                return CallResolution(
+                    targets=(function.qualname,),
+                    result_class=self._return_class(function),
+                )
+            cls = self.table.resolve_class(dotted)
+            if cls is not None:
+                return self._constructor_resolution(cls)
+            return CallResolution(external=dotted)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_method(func)
+        if isinstance(func, ast.Name):
+            # A local bound to a class object would need value
+            # tracking we don't do; leave unknown.
+            return CallResolution()
+        return CallResolution()
+
+    def _resolve_method(self, func: ast.Attribute) -> CallResolution:
+        receiver_class = self._infer_type(func.value)
+        if receiver_class is not None:
+            method = self.table.method_in_class(receiver_class, func.attr)
+            if method is not None:
+                return CallResolution(
+                    targets=(method.qualname,),
+                    result_class=self._return_class(method),
+                )
+            # Typed receiver without such a method: constructor-typed
+            # attribute calling an inherited/external method — treat
+            # as unknown rather than fanning out by name.
+            return CallResolution()
+        if func.attr in _CHA_STOPLIST:
+            return CallResolution()
+        candidates = tuple(
+            qualname
+            for qualname in self.table.methods_by_name.get(func.attr, ())
+            if self.table.functions[qualname].owner_class is not None
+        )
+        if candidates:
+            return CallResolution(targets=candidates, via_cha=True)
+        return CallResolution()
+
+    def _constructor_resolution(self, cls: ClassInfo) -> CallResolution:
+        init = self.table.method_in_class(cls.qualname, "__init__")
+        targets = (init.qualname,) if init is not None else ()
+        return CallResolution(targets=targets, result_class=cls.qualname)
+
+    def _return_class(self, function: FunctionInfo) -> Optional[str]:
+        if function.node.returns is None:
+            return None
+        module = self.table.modules.get(function.module)
+        if module is None:
+            return None
+        return self.table.resolve_annotation(function.node.returns, module)
+
+    # -- side inventories ----------------------------------------------
+
+    def _add_edge(self, callee: str) -> None:
+        caller = self.info.qualname
+        self.graph.edges.setdefault(caller, set()).add(callee)
+        self.graph.reverse.setdefault(callee, set()).add(caller)
+
+    def _note_gate(self, resolution: CallResolution) -> None:
+        if self.info.module == _GATE_MODULE:
+            return
+        gate_hit = resolution.external in _GATE_NAMES or any(
+            target in _GATE_NAMES for target in resolution.targets
+        )
+        if gate_hit:
+            self.graph.gated_functions.add(self.info.qualname)
+
+    def _note_submit(
+        self, call: ast.Call, resolution: CallResolution
+    ) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in (
+            "submit",
+            "apply_async",
+        ):
+            return
+        if resolution.targets:
+            # ``.submit`` resolved to a *project* method — that's an
+            # ordinary call, not a pool boundary.
+            return
+        payload_node = call.args[0] if call.args else None
+        payload: Optional[str] = None
+        if payload_node is not None:
+            dotted = self.table.dotted_name(payload_node, self.module)
+            function = self.table.resolve_function(dotted)
+            if function is None and isinstance(payload_node, ast.Name):
+                # A function defined in the submitting scope itself
+                # (``def inner(): ...; pool.submit(inner)``).
+                local = f"{self.info.qualname}.{payload_node.id}"
+                function = self.table.functions.get(local)
+            if function is not None:
+                payload = function.qualname
+        self.graph.submit_sites.append(
+            SubmitSite(
+                caller=self.info.qualname,
+                relpath=self.info.relpath,
+                node=call,
+                payload=payload,
+                payload_node=payload_node,
+            )
+        )

@@ -1,0 +1,130 @@
+"""The shared analysis context project checkers receive.
+
+Building the flow machinery — symbol table, call graph, taint
+fixpoint — costs one full parse + two walks of the project, so the
+result is cached per root and invalidated by a stat signature
+(relative path, ``mtime_ns``, size) over every file in scope.  A
+test session that runs ``hotspots lint`` a dozen times builds the
+context once; touching any analyzed file rebuilds it.
+
+:func:`build_context` accepts the (tree, source) pairs
+:func:`~repro.analysis.lint.framework.run_lint` already parsed so
+in-scope files are never parsed twice in one run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.analysis.flow.callgraph import CallGraph, build_callgraph
+from repro.analysis.flow.symbols import SymbolTable
+from repro.analysis.flow.taint import TaintIndex, analyze_taint
+from repro.analysis.lint.config import LintConfig
+
+#: (relpath, mtime_ns, size) per file — cheap change detection.
+_Signature = tuple[tuple[str, int, int], ...]
+
+_CACHE: dict[str, tuple[_Signature, "ProjectContext"]] = {}
+
+
+@dataclass
+class ProjectContext:
+    """Everything the RP1xx checkers need, built once per project."""
+
+    root: Path
+    config: LintConfig
+    table: SymbolTable
+    graph: CallGraph
+    taint: TaintIndex
+
+    def source_lines(self, relpath: str) -> tuple[str, ...]:
+        """The analyzed source of one module, split into lines."""
+        module = self.table.modules_by_relpath.get(relpath)
+        if module is None:
+            return ()
+        return module.source_lines
+
+
+def _scope_files(root: Path, config: LintConfig) -> list[tuple[str, Path]]:
+    """Every in-scope Python file, as (relpath, path), sorted."""
+    files: dict[str, Path] = {}
+    for entry in config.paths:
+        base = root / entry
+        if base.is_file() and base.suffix == ".py":
+            candidates = [base]
+        elif base.is_dir():
+            candidates = sorted(base.rglob("*.py"))
+        else:
+            continue
+        for path in candidates:
+            try:
+                relpath = path.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                continue
+            if config.is_excluded(relpath):
+                continue
+            files.setdefault(relpath, path)
+    return sorted(files.items())
+
+
+def _signature_for(files: list[tuple[str, Path]]) -> _Signature:
+    entries: list[tuple[str, int, int]] = []
+    for relpath, path in files:
+        try:
+            stat = path.stat()
+        except OSError:
+            entries.append((relpath, -1, -1))
+            continue
+        entries.append((relpath, stat.st_mtime_ns, stat.st_size))
+    return tuple(entries)
+
+
+def build_context(
+    root: Path,
+    config: LintConfig,
+    parsed: Optional[Mapping[str, tuple[ast.Module, str]]] = None,
+) -> ProjectContext:
+    """The (possibly cached) flow context for a project root.
+
+    ``parsed`` maps relpaths to already-parsed ``(tree, source)``
+    pairs from the lint driver's file pass; files in scope but not in
+    the mapping are parsed here.  Files that fail to parse are simply
+    absent from the context — the driver reports RP000 for them.
+    """
+    root = root.resolve()
+    files = _scope_files(root, config)
+    signature = _signature_for(files)
+    cache_key = str(root)
+    cached = _CACHE.get(cache_key)
+    if cached is not None and cached[0] == signature:
+        return cached[1]
+
+    table = SymbolTable()
+    for relpath, path in files:
+        pair = parsed.get(relpath) if parsed is not None else None
+        if pair is not None:
+            tree, source = pair
+        else:
+            try:
+                source = path.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(path))
+            except (OSError, SyntaxError):
+                continue
+        table.add_module(relpath, tree, source)
+    table.finalize()
+
+    graph = build_callgraph(table)
+    taint = analyze_taint(table, graph)
+    context = ProjectContext(
+        root=root, config=config, table=table, graph=graph, taint=taint
+    )
+    _CACHE[cache_key] = (signature, context)
+    return context
+
+
+def clear_cache() -> None:
+    """Drop every cached context (test isolation hook)."""
+    _CACHE.clear()

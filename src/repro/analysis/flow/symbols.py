@@ -1,0 +1,547 @@
+"""The project symbol table behind the flow analysis.
+
+One :class:`ModuleInfo` per parsed file (the AST is parsed once and
+shared with the lint framework's parse pass), indexed into a
+:class:`SymbolTable` of classes and functions by *qualified name*
+(``repro.sim.shard.ShardEngine.process``).  On top of the raw
+definitions the table records what the dataflow layers need:
+
+* per-class **instance attribute types** (``self.verdict =
+  _FusedVerdict(...)`` types ``verdict`` as that class; dataclass
+  field annotations count too), so call resolution can follow
+  ``self.verdict.dispatch`` to the right method;
+* **property return types**, so ``spec.shard_plan`` resolves through
+  the property's annotation;
+* **nesting** (functions inside functions, classes inside functions)
+  — the picklability facts RP103 verifies.
+
+Resolution is conservative: anything the table cannot name stays
+``None`` and the downstream analysis treats it as unknown.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.analysis.lint.framework import ImportResolver
+
+#: Names that wrap a type without changing the class we care about.
+_TRANSPARENT_WRAPPERS = {
+    "typing.Optional",
+    "typing.Union",
+    "typing.Annotated",
+    "typing.Final",
+    "typing.ClassVar",
+    "Optional",
+    "Union",
+    "Annotated",
+    "Final",
+    "ClassVar",
+}
+
+
+def module_name_for(relpath: str) -> str:
+    """The dotted module name a project-relative path denotes.
+
+    ``src/`` is the import root (``src/repro/sim/shard.py`` →
+    ``repro.sim.shard``); everything else keeps its path spelling
+    (``tests/sim/test_sharded.py`` → ``tests.sim.test_sharded``).
+    """
+    parts = relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    qualname: str
+    module: str
+    name: str
+    relpath: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: Qualified name of the owning class (``None`` for module-level).
+    owner_class: Optional[str] = None
+    #: True when defined inside another function's body (unpicklable).
+    nested: bool = False
+    #: Resolved decorator names (``property``, ``classmethod``, ...).
+    decorators: tuple[str, ...] = ()
+
+    @property
+    def is_property(self) -> bool:
+        return any(
+            dec in ("property", "functools.cached_property", "cached_property")
+            for dec in self.decorators
+        )
+
+    @property
+    def is_staticmethod(self) -> bool:
+        return "staticmethod" in self.decorators
+
+    @property
+    def is_classmethod(self) -> bool:
+        return "classmethod" in self.decorators
+
+
+@dataclass
+class ClassInfo:
+    """One class definition plus the attribute facts flow needs."""
+
+    qualname: str
+    module: str
+    name: str
+    relpath: str
+    node: ast.ClassDef
+    #: True when defined inside a function body (unpicklable).
+    nested_in_function: bool = False
+    #: Base-class names, resolved to dotted names where possible.
+    bases: tuple[str, ...] = ()
+    #: Method name → function qualname.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: Instance attribute → annotation AST (class-body ``x: T`` and
+    #: ``self.x: T`` / ``self.x = C(...)`` sites record here).
+    attr_annotations: dict[str, ast.expr] = field(default_factory=dict)
+    #: Instance attribute → class qualname inferred from
+    #: ``self.x = ClassName(...)`` constructor assignments.
+    attr_constructed: dict[str, str] = field(default_factory=dict)
+    #: Class-body line of each annotated field (RP103 anchoring).
+    field_lines: dict[str, int] = field(default_factory=dict)
+    #: True when decorated with ``@dataclass`` (any spelling).
+    is_dataclass: bool = False
+    #: True when ``@dataclass(frozen=True)``.
+    frozen: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed file: AST, imports, and its local definitions."""
+
+    name: str
+    relpath: str
+    tree: ast.Module
+    source_lines: tuple[str, ...]
+    resolver: ImportResolver
+    #: Function qualname → info (methods included).
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Class qualname → info (module-level and nested).
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+
+class SymbolTable:
+    """Every module, class, and function in the analyzed project."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.modules_by_relpath: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: Simple class name → qualnames (for name-based fallbacks).
+        self.classes_by_name: dict[str, list[str]] = {}
+        #: Method name → function qualnames (class-hierarchy fallback).
+        self.methods_by_name: dict[str, list[str]] = {}
+        #: Methods awaiting the post-index ``self.x = ...`` scan.
+        self._pending_self_scans: list[
+            tuple[ClassInfo, ast.FunctionDef | ast.AsyncFunctionDef, ModuleInfo]
+        ] = []
+
+    # -- construction --------------------------------------------------
+
+    def add_module(self, relpath: str, tree: ast.Module, source: str) -> None:
+        """Index one parsed file into the table."""
+        name = module_name_for(relpath)
+        info = ModuleInfo(
+            name=name,
+            relpath=relpath,
+            tree=tree,
+            source_lines=tuple(source.splitlines()),
+            resolver=ImportResolver.for_tree(tree),
+        )
+        self.modules[name] = info
+        self.modules_by_relpath[relpath] = info
+        _Indexer(self, info).visit(tree)
+
+    def finalize(self) -> None:
+        """Resolve cross-module facts once every module is indexed.
+
+        ``self.x = OtherModuleClass(...)`` can only type the
+        attribute after the constructor's module is in the table, so
+        the store scan is deferred to here.
+        """
+        for cls, node, module in self._pending_self_scans:
+            self._record_self_assignments(cls, node, module)
+        self._pending_self_scans.clear()
+
+    def _record_self_assignments(
+        self,
+        cls: ClassInfo,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        module: ModuleInfo,
+    ) -> None:
+        """Harvest ``self.x = ...`` attribute types from a method."""
+        if not node.args.args:
+            return
+        self_name = node.args.args[0].arg
+        param_annotations = {
+            param.arg: param.annotation
+            for param in [
+                *node.args.posonlyargs,
+                *node.args.args,
+                *node.args.kwonlyargs,
+            ]
+            if param.annotation is not None
+        }
+        for statement in ast.walk(node):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            if isinstance(statement, ast.Assign) and len(
+                statement.targets
+            ) == 1:
+                target, value = statement.targets[0], statement.value
+            elif isinstance(statement, ast.AnnAssign):
+                target = statement.target
+                if isinstance(target, ast.Attribute):
+                    cls.attr_annotations.setdefault(
+                        target.attr, statement.annotation
+                    )
+                value = statement.value
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != self_name
+            ):
+                continue
+            if value is not None:
+                inferred = self._class_of_value(
+                    value, param_annotations, module
+                )
+                if inferred is not None:
+                    cls.attr_constructed.setdefault(target.attr, inferred)
+
+    def _class_of_value(
+        self,
+        value: ast.expr,
+        param_annotations: dict[str, ast.expr],
+        module: ModuleInfo,
+    ) -> Optional[str]:
+        """The class a ``self.x = <value>`` store holds, if inferable.
+
+        Covers constructor calls, parameter names typed by their
+        annotation, and the ``x if x is not None else Default()``
+        idiom (either branch resolving wins; a mixed-type conditional
+        would be a design smell this analysis does not chase).
+        """
+        if isinstance(value, ast.Call):
+            dotted = self._dotted_for(value.func, module)
+            if dotted is not None and dotted in self.classes:
+                return dotted
+            return None
+        if isinstance(value, ast.Name):
+            annotation = param_annotations.get(value.id)
+            if annotation is not None:
+                return self.resolve_annotation(annotation, module)
+            return None
+        if isinstance(value, ast.IfExp):
+            return self._class_of_value(
+                value.body, param_annotations, module
+            ) or self._class_of_value(value.orelse, param_annotations, module)
+        return None
+
+    # -- lookup --------------------------------------------------------
+
+    def resolve_class(self, dotted: Optional[str]) -> Optional[ClassInfo]:
+        """The project class a dotted name denotes, if any."""
+        if dotted is None:
+            return None
+        return self.classes.get(dotted)
+
+    def resolve_function(self, dotted: Optional[str]) -> Optional[FunctionInfo]:
+        """The project function a dotted name denotes, if any."""
+        if dotted is None:
+            return None
+        info = self.functions.get(dotted)
+        if info is not None:
+            return info
+        # ``repro.sim.spec.simulate`` imported via ``repro.sim`` re-export:
+        # fall back to matching by module-of-definition + name.
+        head, _, tail = dotted.rpartition(".")
+        for candidate in self.functions.values():
+            if candidate.owner_class is None and candidate.name == tail:
+                if candidate.module == head or head.startswith(
+                    candidate.module
+                ):
+                    return candidate
+        return None
+
+    def method_in_class(
+        self, class_qualname: str, method: str
+    ) -> Optional[FunctionInfo]:
+        """Look a method up in a class, chasing project base classes."""
+        seen: set[str] = set()
+        queue = [class_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            qualname = cls.methods.get(method)
+            if qualname is not None:
+                return self.functions.get(qualname)
+            queue.extend(cls.bases)
+        return None
+
+    def attr_class(
+        self, class_qualname: str, attr: str
+    ) -> Optional[str]:
+        """The class an instance attribute holds, if inferable."""
+        seen: set[str] = set()
+        queue = [class_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            cls = self.classes.get(current)
+            if cls is None:
+                continue
+            constructed = cls.attr_constructed.get(attr)
+            if constructed is not None:
+                return constructed
+            annotation = cls.attr_annotations.get(attr)
+            if annotation is not None:
+                module = self.modules.get(cls.module)
+                if module is not None:
+                    resolved = self.resolve_annotation(annotation, module)
+                    if resolved is not None:
+                        return resolved
+            # A property is an attribute read with a return annotation.
+            prop = self.method_in_class(current, attr)
+            if prop is not None and prop.is_property:
+                returns = prop.node.returns
+                if returns is not None:
+                    module = self.modules.get(prop.module)
+                    if module is not None:
+                        return self.resolve_annotation(returns, module)
+                return None
+            queue.extend(cls.bases)
+        return None
+
+    # -- annotation resolution -----------------------------------------
+
+    def resolve_annotation(
+        self, annotation: ast.expr, module: ModuleInfo
+    ) -> Optional[str]:
+        """The project-class qualname an annotation denotes, if one.
+
+        Unwraps ``Optional``/``Union``/``X | None``/string forward
+        references; containers (``tuple[X, ...]``, ``list[X]``) are
+        not a class and resolve to ``None``.
+        """
+        for candidate in self.annotation_classes(annotation, module):
+            return candidate
+        return None
+
+    def annotation_classes(
+        self, annotation: ast.expr, module: ModuleInfo
+    ) -> Iterator[str]:
+        """Every project-class qualname mentioned by an annotation.
+
+        Unlike :meth:`resolve_annotation` this *does* walk into
+        container subscripts — RP103's transitive field graph needs
+        ``tuple[DarknetSensor, ...]`` to surface ``DarknetSensor``.
+        """
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            try:
+                parsed = ast.parse(annotation.value, mode="eval").body
+            except SyntaxError:
+                return
+            yield from self.annotation_classes(parsed, module)
+            return
+        if isinstance(annotation, ast.Name) or isinstance(
+            annotation, ast.Attribute
+        ):
+            dotted = self._dotted_for(annotation, module)
+            if dotted is not None and dotted in self.classes:
+                yield dotted
+            return
+        if isinstance(annotation, ast.Subscript):
+            yield from self.annotation_classes(annotation.value, module)
+            inner = annotation.slice
+            elements = (
+                inner.elts if isinstance(inner, ast.Tuple) else (inner,)
+            )
+            for element in elements:
+                yield from self.annotation_classes(element, module)
+            return
+        if isinstance(annotation, ast.BinOp) and isinstance(
+            annotation.op, ast.BitOr
+        ):
+            yield from self.annotation_classes(annotation.left, module)
+            yield from self.annotation_classes(annotation.right, module)
+            return
+
+    def _dotted_for(
+        self, node: ast.expr, module: ModuleInfo
+    ) -> Optional[str]:
+        """A Name/Attribute's dotted name: import-resolved or local."""
+        dotted = module.resolver.resolve(node)
+        if dotted is not None:
+            if dotted in _TRANSPARENT_WRAPPERS:
+                return None
+            return dotted
+        if isinstance(node, ast.Name):
+            if node.id in _TRANSPARENT_WRAPPERS:
+                return None
+            local = f"{module.name}.{node.id}"
+            if local in self.classes or local in self.functions:
+                return local
+        return None
+
+    def dotted_name(
+        self, node: ast.expr, module: ModuleInfo
+    ) -> Optional[str]:
+        """Public wrapper: the dotted name an expression denotes."""
+        return self._dotted_for(node, module)
+
+
+class _Indexer(ast.NodeVisitor):
+    """Walk one module, registering definitions into the table."""
+
+    def __init__(self, table: SymbolTable, module: ModuleInfo):
+        self.table = table
+        self.module = module
+        #: Stack of (kind, name) scopes: kind is "class" or "function".
+        self.scope: list[tuple[str, str]] = []
+
+    # -- scope helpers -------------------------------------------------
+
+    def _qualname(self, name: str) -> str:
+        parts = [self.module.name, *(entry[1] for entry in self.scope), name]
+        return ".".join(parts)
+
+    def _in_function(self) -> bool:
+        return any(kind == "function" for kind, _ in self.scope)
+
+    def _enclosing_class(self) -> Optional[str]:
+        if self.scope and self.scope[-1][0] == "class":
+            parts = [
+                self.module.name,
+                *(entry[1] for entry in self.scope),
+            ]
+            return ".".join(parts)
+        return None
+
+    def _decorator_names(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.ClassDef
+    ) -> tuple[str, ...]:
+        names: list[str] = []
+        for decorator in node.decorator_list:
+            target = decorator
+            if isinstance(target, ast.Call):
+                target = target.func
+            dotted = self.module.resolver.resolve(target)
+            if dotted is None and isinstance(target, ast.Name):
+                dotted = target.id
+            if dotted is None and isinstance(target, ast.Attribute):
+                dotted = target.attr
+            if dotted is not None:
+                names.append(dotted)
+        return tuple(names)
+
+    # -- definitions ---------------------------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        qualname = self._qualname(node.name)
+        decorators = self._decorator_names(node)
+        is_dataclass = any(
+            dec in ("dataclass", "dataclasses.dataclass")
+            for dec in decorators
+        )
+        frozen = False
+        if is_dataclass:
+            for decorator in node.decorator_list:
+                if isinstance(decorator, ast.Call):
+                    for keyword in decorator.keywords:
+                        if (
+                            keyword.arg == "frozen"
+                            and isinstance(keyword.value, ast.Constant)
+                            and keyword.value.value is True
+                        ):
+                            frozen = True
+        bases: list[str] = []
+        for base in node.bases:
+            dotted = self.table._dotted_for(base, self.module)
+            if dotted is not None:
+                bases.append(dotted)
+        info = ClassInfo(
+            qualname=qualname,
+            module=self.module.name,
+            name=node.name,
+            relpath=self.module.relpath,
+            node=node,
+            nested_in_function=self._in_function(),
+            bases=tuple(bases),
+            is_dataclass=is_dataclass,
+            frozen=frozen,
+        )
+        # Class-body annotated fields (dataclass fields included).
+        for statement in node.body:
+            if isinstance(statement, ast.AnnAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                info.attr_annotations[statement.target.id] = (
+                    statement.annotation
+                )
+                info.field_lines[statement.target.id] = statement.lineno
+        self.module.classes[qualname] = info
+        self.table.classes[qualname] = info
+        self.table.classes_by_name.setdefault(node.name, []).append(qualname)
+        self.scope.append(("class", node.name))
+        self.generic_visit(node)
+        self.scope.pop()
+
+    def _visit_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        qualname = self._qualname(node.name)
+        owner = self._enclosing_class()
+        info = FunctionInfo(
+            qualname=qualname,
+            module=self.module.name,
+            name=node.name,
+            relpath=self.module.relpath,
+            node=node,
+            owner_class=owner,
+            nested=self._in_function(),
+            decorators=self._decorator_names(node),
+        )
+        self.module.functions[qualname] = info
+        self.table.functions[qualname] = info
+        if owner is not None:
+            cls = self.table.classes[owner]
+            # First definition wins (a @property and its @x.setter
+            # share a name; the getter carries the annotation).
+            cls.methods.setdefault(node.name, qualname)
+            if not info.is_staticmethod:
+                self.table._pending_self_scans.append(
+                    (cls, node, self.module)
+                )
+        self.table.methods_by_name.setdefault(node.name, []).append(qualname)
+        self.scope.append(("function", node.name))
+        self.generic_visit(node)
+        self.scope.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function

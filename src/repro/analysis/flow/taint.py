@@ -1,0 +1,706 @@
+"""Taint-style dataflow over the project call graph.
+
+Three taint kinds flow through the lattice:
+
+* ``rng`` — a live ``numpy.random.Generator`` (or legacy
+  ``RandomState``) stream.  *Drawn values are not tainted*: the
+  exchange contract ships arrays of consumed draws into shards all
+  the time; it is the stateful stream whose consumption order
+  matters.
+* ``clock`` — wall-clock reads (``time.time``, ``datetime.now``).
+* ``entropy`` — OS entropy (``os.urandom``, ``uuid.uuid4``,
+  ``secrets``).
+
+Taint enters at generator factories, clock/entropy sources, and
+parameters that are RNG by name (``rng``/``generator``) or
+annotation (``np.random.Generator``).  It propagates through
+assignments, tuple unpacking, attribute loads, subscripts,
+containers, comprehension targets, ``copy.deepcopy``/``copy.copy``,
+and — conservatively — through any *unresolved* call that receives a
+tainted argument.  Resolved project calls return untainted values
+unless their return annotation names a ``Generator``; this is the
+one deliberate hole, and it is closed in practice by the annotation
+rule plus class-attribute taint (a method storing ``self.rng = rng``
+taints that attribute for every method of the class, found by
+iterating the per-class store/load rounds to a fixpoint).
+
+The per-function summaries feed a worklist fixpoint computing
+``uses_rng``: the set of functions that consume a generator directly
+or pass one into a consumer, with a witness chain for diagnostics.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.flow.callgraph import CallGraph, CallResolution
+from repro.analysis.flow.symbols import FunctionInfo, ModuleInfo, SymbolTable
+
+RNG = "rng"
+CLOCK = "clock"
+ENTROPY = "entropy"
+
+#: Join precedence: a value that is possibly-RNG is the worst case.
+_KIND_RANK = {RNG: 3, ENTROPY: 2, CLOCK: 1}
+
+_RNG_FACTORIES = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+}
+_CLOCK_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+_ENTROPY_SOURCES = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid4",
+    "uuid.uuid1",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.token_urlsafe",
+    "secrets.randbits",
+    "secrets.randbelow",
+    "random.SystemRandom",
+}
+#: Calls that return their (first) argument's taint unchanged.
+_PASSTHROUGH = {"copy.deepcopy", "copy.copy"}
+#: Builtins that wrap a container without consuming its elements.
+_PASSTHROUGH_BUILTINS = {
+    "list",
+    "tuple",
+    "sorted",
+    "reversed",
+    "iter",
+    "next",
+    "enumerate",
+    "zip",
+}
+_RNG_PARAM_NAMES = {"rng", "generator", "bit_generator"}
+#: Generator methods whose *result* is again a live stream.
+_STREAM_RESULTS = {"spawn"}
+
+#: Iteration sources with data-dependent order (RP102 regions).
+_UNORDERED_CALLS = {
+    "os.listdir": "os.listdir()",
+    "os.scandir": "os.scandir()",
+    "glob.glob": "glob.glob()",
+    "glob.iglob": "glob.iglob()",
+}
+_UNORDERED_METHOD_NAMES = {
+    "iterdir": ".iterdir()",
+    "glob": ".glob()",
+    "rglob": ".rglob()",
+}
+
+
+def _annotation_mentions_generator(annotation: Optional[ast.expr]) -> bool:
+    if annotation is None:
+        return False
+    try:
+        text = ast.unparse(annotation)
+    except Exception:  # pragma: no cover - unparse is total on parsed ASTs
+        return False
+    return "Generator" in text or "RandomState" in text
+
+
+def _join(*kinds: Optional[str]) -> Optional[str]:
+    best: Optional[str] = None
+    for kind in kinds:
+        if kind is None:
+            continue
+        if best is None or _KIND_RANK[kind] > _KIND_RANK[best]:
+            best = kind
+    return best
+
+
+@dataclass(frozen=True)
+class ConsumptionSite:
+    """One direct draw from a tainted stream/clock/entropy source."""
+
+    line: int
+    col: int
+    kind: str
+    detail: str
+    #: Innermost-to-outermost RP102 region tags active at the site
+    #: (``"except block"``, ``"iteration over os.listdir()"`` ...).
+    regions: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class TaintedCallSite:
+    """One call that passes a tainted value onward."""
+
+    line: int
+    col: int
+    #: Resolved project callees (empty for external/unknown).
+    targets: tuple[str, ...]
+    external: Optional[str]
+    via_cha: bool
+    #: Worst taint kind among the tainted arguments.
+    kind: str
+    detail: str
+    regions: tuple[str, ...]
+
+
+@dataclass
+class FunctionTaint:
+    """The per-function summary the fixpoint and checkers consume."""
+
+    qualname: str
+    relpath: str
+    sites: list[ConsumptionSite] = field(default_factory=list)
+    call_sites: list[TaintedCallSite] = field(default_factory=list)
+    #: ``self.attr = <tainted>`` stores: attr name → kind.
+    attr_stores: dict[str, str] = field(default_factory=dict)
+    #: True when a parameter arrives already tainted as RNG.
+    rng_params: tuple[str, ...] = ()
+
+
+@dataclass
+class TaintIndex:
+    """Project-wide taint results."""
+
+    functions: dict[str, FunctionTaint]
+    #: Functions that consume a generator, directly or transitively
+    #: through a tainted argument they pass on.
+    uses_rng: set[str]
+    #: Function → one-line witness of *why* it is in ``uses_rng``.
+    witness: dict[str, str]
+    #: (class qualname, attr) → kind for tainted instance attributes.
+    class_attr_taint: dict[tuple[str, str], str]
+
+
+def analyze_taint(table: SymbolTable, graph: CallGraph) -> TaintIndex:
+    """Run per-function analysis + fixpoints over the whole project."""
+    class_attr_taint: dict[tuple[str, str], str] = {}
+    # Annotation-declared generator attributes taint immediately.
+    for cls in table.classes.values():
+        for attr, annotation in cls.attr_annotations.items():
+            if _annotation_mentions_generator(annotation):
+                class_attr_taint[(cls.qualname, attr)] = RNG
+
+    functions: dict[str, FunctionTaint] = {}
+    # Store→load rounds: a method storing ``self.rng = rng`` taints
+    # the attribute for sibling methods analyzed in the next round.
+    # Each round can only add (class, attr) pairs, so this converges;
+    # four rounds covers store chains deeper than any sane code.
+    for _ in range(4):
+        functions = {}
+        before = len(class_attr_taint)
+        for info in table.functions.values():
+            summary = _analyze_function(info, table, graph, class_attr_taint)
+            functions[info.qualname] = summary
+            if info.owner_class is not None:
+                for attr, kind in summary.attr_stores.items():
+                    key = (info.owner_class, attr)
+                    existing = class_attr_taint.get(key)
+                    class_attr_taint[key] = _join(existing, kind) or kind
+        if len(class_attr_taint) == before:
+            break
+
+    uses_rng: set[str] = set()
+    witness: dict[str, str] = {}
+    for qualname, summary in functions.items():
+        for site in summary.sites:
+            if site.kind == RNG:
+                uses_rng.add(qualname)
+                witness.setdefault(
+                    qualname, f"{site.detail} at line {site.line}"
+                )
+                break
+    # Worklist: F joins when it passes an RNG value into a consumer.
+    changed = True
+    while changed:
+        changed = False
+        for qualname, summary in functions.items():
+            if qualname in uses_rng:
+                continue
+            for call in summary.call_sites:
+                if call.kind != RNG:
+                    continue
+                consumer = next(
+                    (t for t in call.targets if t in uses_rng), None
+                )
+                if consumer is not None:
+                    uses_rng.add(qualname)
+                    witness[qualname] = (
+                        f"passes a generator to {consumer} at line "
+                        f"{call.line} ({witness.get(consumer, 'consumes rng')})"
+                    )
+                    changed = True
+                    break
+    return TaintIndex(
+        functions=functions,
+        uses_rng=uses_rng,
+        witness=witness,
+        class_attr_taint=class_attr_taint,
+    )
+
+
+def _analyze_function(
+    info: FunctionInfo,
+    table: SymbolTable,
+    graph: CallGraph,
+    class_attr_taint: dict[tuple[str, str], str],
+) -> FunctionTaint:
+    module = table.modules[info.module]
+    walker = _TaintWalker(info, module, table, graph, class_attr_taint)
+    return walker.run()
+
+
+class _TaintWalker:
+    """One function's statement walk with a region stack."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        module: ModuleInfo,
+        table: SymbolTable,
+        graph: CallGraph,
+        class_attr_taint: dict[tuple[str, str], str],
+    ):
+        self.info = info
+        self.module = module
+        self.table = table
+        self.graph = graph
+        self.class_attr_taint = class_attr_taint
+        self.taint: dict[str, str] = {}
+        self.regions: list[str] = []
+        self.summary = FunctionTaint(
+            qualname=info.qualname, relpath=info.relpath
+        )
+        self._seen_sites: set[tuple[int, int, str]] = set()
+        self._seen_calls: set[tuple[int, int]] = set()
+        self.self_name: Optional[str] = None
+
+    # -- entry ---------------------------------------------------------
+
+    def run(self) -> FunctionTaint:
+        self._seed_params()
+        # Two passes: a loop body may consume a stream bound later in
+        # the same loop's first textual iteration.
+        for _ in range(2):
+            self._walk_body(self.info.node.body)
+        return self.summary
+
+    def _seed_params(self) -> None:
+        args = self.info.node.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if (
+            self.info.owner_class is not None
+            and not self.info.is_staticmethod
+            and params
+        ):
+            self.self_name = params[0].arg
+            params = params[1:]
+        rng_params = []
+        for param in params:
+            if param.arg in _RNG_PARAM_NAMES or _annotation_mentions_generator(
+                param.annotation
+            ):
+                self.taint[param.arg] = RNG
+                rng_params.append(param.arg)
+        self.summary.rng_params = tuple(rng_params)
+
+    # -- statements ----------------------------------------------------
+
+    def _walk_body(self, body: list[ast.stmt]) -> None:
+        for statement in body:
+            self._walk_stmt(statement)
+
+    def _walk_stmt(self, statement: ast.stmt) -> None:
+        if isinstance(statement, ast.Assign):
+            kind = self._eval(statement.value)
+            for target in statement.targets:
+                self._bind(target, kind, statement.value)
+        elif isinstance(statement, ast.AnnAssign):
+            kind = (
+                self._eval(statement.value)
+                if statement.value is not None
+                else None
+            )
+            if _annotation_mentions_generator(statement.annotation):
+                kind = _join(kind, RNG)
+            self._bind(statement.target, kind, statement.value)
+        elif isinstance(statement, ast.AugAssign):
+            self._eval(statement.value)
+        elif isinstance(statement, (ast.Expr, ast.Return)):
+            value = statement.value
+            if value is not None:
+                self._eval(value)
+        elif isinstance(statement, ast.For):
+            self._walk_for(statement)
+        elif isinstance(statement, ast.AsyncFor):
+            kind = self._eval(statement.iter)
+            self._bind(statement.target, kind, None)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+        elif isinstance(statement, ast.While):
+            self._eval(statement.test)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+        elif isinstance(statement, ast.If):
+            self._eval(statement.test)
+            self._walk_body(statement.body)
+            self._walk_body(statement.orelse)
+        elif isinstance(statement, ast.Try):
+            self._walk_body(statement.body)
+            for handler in statement.handlers:
+                self.regions.append("except block")
+                self._walk_body(handler.body)
+                self.regions.pop()
+            self._walk_body(statement.orelse)
+            if statement.finalbody:
+                self.regions.append("finally block")
+                self._walk_body(statement.finalbody)
+                self.regions.pop()
+        elif isinstance(statement, (ast.With, ast.AsyncWith)):
+            for item in statement.items:
+                kind = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, kind, None)
+            self._walk_body(statement.body)
+        elif isinstance(
+            statement, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            # Closure: the nested body sees the enclosing bindings.
+            self._walk_body(statement.body)
+        elif isinstance(statement, ast.ClassDef):
+            pass
+        elif isinstance(statement, (ast.Assert, ast.Raise, ast.Delete)):
+            for child in ast.iter_child_nodes(statement):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(statement, ast.Match):
+            self._eval(statement.subject)
+            for case in statement.cases:
+                self._walk_body(case.body)
+
+    def _walk_for(self, statement: ast.For) -> None:
+        iter_kind = self._eval(statement.iter)
+        self._bind(statement.target, iter_kind, None)
+        tag = self._unordered_tag(statement.iter)
+        if tag is not None:
+            self.regions.append(tag)
+        self._walk_body(statement.body)
+        if tag is not None:
+            self.regions.pop()
+        self._walk_body(statement.orelse)
+
+    def _unordered_tag(self, iter_expr: ast.expr) -> Optional[str]:
+        """A region tag when iteration order is data-dependent."""
+        if isinstance(iter_expr, (ast.Set, ast.SetComp)):
+            return "iteration over a set"
+        if isinstance(iter_expr, ast.Call):
+            func = iter_expr.func
+            dotted = self.table.dotted_name(func, self.module)
+            if dotted is None and isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return "iteration over a set"
+                if func.id == "sorted":
+                    return None
+            if dotted == "sorted":
+                return None
+            if dotted in _UNORDERED_CALLS:
+                return f"iteration over {_UNORDERED_CALLS[dotted]}"
+            if (
+                dotted is None
+                and isinstance(func, ast.Attribute)
+                and func.attr in _UNORDERED_METHOD_NAMES
+            ):
+                return (
+                    "iteration over "
+                    f"{_UNORDERED_METHOD_NAMES[func.attr]} results"
+                )
+        return None
+
+    # -- binding -------------------------------------------------------
+
+    def _bind(
+        self,
+        target: ast.expr,
+        kind: Optional[str],
+        value: Optional[ast.expr],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            if kind is not None:
+                self.taint[target.id] = kind
+            else:
+                self.taint.pop(target.id, None)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                inner = element.value if isinstance(
+                    element, ast.Starred
+                ) else element
+                self._bind(inner, kind, None)
+        elif isinstance(target, ast.Attribute):
+            if (
+                kind is not None
+                and self.self_name is not None
+                and isinstance(target.value, ast.Name)
+                and target.value.id == self.self_name
+            ):
+                existing = self.summary.attr_stores.get(target.attr)
+                self.summary.attr_stores[target.attr] = (
+                    _join(existing, kind) or kind
+                )
+        elif isinstance(target, ast.Subscript):
+            self._eval(target.value)
+
+    # -- expressions ---------------------------------------------------
+
+    def _eval(self, expr: ast.expr) -> Optional[str]:
+        """The taint kind an expression evaluates to, recording sites."""
+        if isinstance(expr, ast.Name):
+            return self.taint.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            return self._eval_attribute(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.Subscript):
+            base = self._eval(expr.value)
+            self._eval(expr.slice)
+            return base
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            return _join(*(self._eval(element) for element in expr.elts))
+        if isinstance(expr, ast.Dict):
+            kinds = [
+                self._eval(value) for value in expr.values if value is not None
+            ]
+            for key in expr.keys:
+                if key is not None:
+                    self._eval(key)
+            return _join(*kinds)
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return _join(self._eval(expr.body), self._eval(expr.orelse))
+        if isinstance(expr, ast.BoolOp):
+            return _join(*(self._eval(value) for value in expr.values))
+        if isinstance(expr, ast.NamedExpr):
+            kind = self._eval(expr.value)
+            self._bind(expr.target, kind, expr.value)
+            return kind
+        if isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            return self._eval_comprehension(expr)
+        if isinstance(expr, (ast.BinOp, ast.UnaryOp, ast.Compare)):
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return None
+        if isinstance(expr, ast.Lambda):
+            return None
+        if isinstance(expr, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(expr):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+            return None
+        return None
+
+    def _eval_attribute(self, expr: ast.Attribute) -> Optional[str]:
+        base = self._eval(expr.value)
+        if base is not None:
+            # Attribute loads on tainted values stay tainted
+            # (``pair.rng``, ``holder.stream``).
+            return base
+        if (
+            self.self_name is not None
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == self.self_name
+            and self.info.owner_class is not None
+        ):
+            return self._class_attr_kind(self.info.owner_class, expr.attr)
+        return None
+
+    def _class_attr_kind(
+        self, class_qualname: str, attr: str
+    ) -> Optional[str]:
+        seen: set[str] = set()
+        queue = [class_qualname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            kind = self.class_attr_taint.get((current, attr))
+            if kind is not None:
+                return kind
+            cls = self.table.classes.get(current)
+            if cls is not None:
+                queue.extend(cls.bases)
+        return None
+
+    def _eval_comprehension(self, expr: ast.expr) -> Optional[str]:
+        assert isinstance(
+            expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        )
+        saved: dict[str, Optional[str]] = {}
+        for comp in expr.generators:
+            iter_kind = self._eval(comp.iter)
+            for name in _target_names(comp.target):
+                saved.setdefault(name, self.taint.get(name))
+                if iter_kind is not None:
+                    self.taint[name] = iter_kind
+                else:
+                    self.taint.pop(name, None)
+            for condition in comp.ifs:
+                self._eval(condition)
+        if isinstance(expr, ast.DictComp):
+            self._eval(expr.key)
+            result = self._eval(expr.value)
+        else:
+            result = self._eval(expr.elt)
+        for name, kind in saved.items():
+            if kind is None:
+                self.taint.pop(name, None)
+            else:
+                self.taint[name] = kind
+        return result
+
+    def _eval_call(self, call: ast.Call) -> Optional[str]:
+        resolution = self.graph.resolution_for(self.info.qualname, call)
+        if resolution is None:
+            resolution = CallResolution()
+        func = call.func
+        result: Optional[str] = None
+        consumed_receiver = False
+
+        if isinstance(func, ast.Attribute):
+            receiver_kind = self._eval(func.value)
+            if receiver_kind == RNG:
+                consumed_receiver = True
+                self._record_site(
+                    call,
+                    RNG,
+                    f"draws from a tainted generator via .{func.attr}()",
+                )
+                if func.attr in _STREAM_RESULTS:
+                    result = RNG
+        elif not isinstance(func, ast.Name):
+            self._eval(func)
+
+        external = resolution.external
+        if external is None and not resolution.targets:
+            external = self.table.dotted_name(func, self.module)
+
+        if external in _RNG_FACTORIES:
+            result = RNG
+        elif external in _CLOCK_SOURCES:
+            self._record_site(call, CLOCK, f"reads wall clock {external}()")
+            result = CLOCK
+        elif external in _ENTROPY_SOURCES:
+            self._record_site(
+                call, ENTROPY, f"reads OS entropy via {external}()"
+            )
+            result = ENTROPY
+
+        arg_kinds: list[Optional[str]] = []
+        for arg in call.args:
+            target = arg.value if isinstance(arg, ast.Starred) else arg
+            arg_kinds.append(self._eval(target))
+        for keyword in call.keywords:
+            arg_kinds.append(self._eval(keyword.value))
+        passed = _join(*arg_kinds)
+
+        if external in _PASSTHROUGH:
+            return _join(result, arg_kinds[0] if arg_kinds else None)
+        if (
+            isinstance(func, ast.Name)
+            and func.id in _PASSTHROUGH_BUILTINS
+            and not resolution.targets
+        ):
+            return _join(result, passed)
+
+        if passed is not None:
+            self._record_call(call, resolution, external, passed)
+            if not resolution.targets and external not in _RNG_FACTORIES:
+                # Unknown callee holding a tainted argument: assume
+                # the result is tainted too.
+                result = _join(result, passed)
+        if resolution.targets and result is None and not consumed_receiver:
+            # Project call: result is clean unless annotated as a
+            # generator source.
+            for target in resolution.targets:
+                target_info = self.table.functions.get(target)
+                if target_info is not None and _annotation_mentions_generator(
+                    target_info.node.returns
+                ):
+                    result = RNG
+                    break
+        return result
+
+    # -- recording -----------------------------------------------------
+
+    def _record_site(self, node: ast.expr, kind: str, detail: str) -> None:
+        key = (node.lineno, node.col_offset, kind)
+        if key in self._seen_sites:
+            return
+        self._seen_sites.add(key)
+        self.summary.sites.append(
+            ConsumptionSite(
+                line=node.lineno,
+                col=node.col_offset,
+                kind=kind,
+                detail=detail,
+                regions=tuple(reversed(self.regions)),
+            )
+        )
+
+    def _record_call(
+        self,
+        call: ast.Call,
+        resolution: CallResolution,
+        external: Optional[str],
+        kind: str,
+    ) -> None:
+        key = (call.lineno, call.col_offset)
+        if key in self._seen_calls:
+            return
+        self._seen_calls.add(key)
+        try:
+            spelled = ast.unparse(call.func)
+        except Exception:  # pragma: no cover
+            spelled = "<call>"
+        self.summary.call_sites.append(
+            TaintedCallSite(
+                line=call.lineno,
+                col=call.col_offset,
+                targets=resolution.targets,
+                external=external,
+                via_cha=resolution.via_cha,
+                kind=kind,
+                detail=f"passes a tainted value into {spelled}(...)",
+                regions=tuple(reversed(self.regions)),
+            )
+        )
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            inner = element.value if isinstance(element, ast.Starred) else element
+            names.extend(_target_names(inner))
+        return names
+    return []

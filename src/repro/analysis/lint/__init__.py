@@ -22,25 +22,55 @@ RP007     no bare ``except:``/``except BaseException:`` and no
           handlers that silently ``pass`` inside ``src/repro``
 ========  ==========================================================
 
+The cross-module flow checkers RP101–RP104 (shard purity, RNG
+ordering, pool picklability, kernel-gate coverage) live in
+:mod:`repro.analysis.flow` and register here through
+:mod:`repro.analysis.lint.checkers`.
+
 Suppression: inline ``# noqa: RPxxx`` on the flagged line(s), or a
 path-glob baseline under ``[tool.hotspots-lint]`` in
 ``pyproject.toml`` (see :mod:`repro.analysis.lint.config`).
+
+Exports resolve lazily (PEP 562): :mod:`repro.analysis.flow` imports
+:mod:`~repro.analysis.lint.framework` for its base classes while
+:mod:`~repro.analysis.lint.checkers` imports the flow checkers back,
+so an eager ``__init__`` would close an import cycle whenever a flow
+module is imported first.
 """
 
-from repro.analysis.lint.checkers import (
-    CHECKER_CLASSES,
-    all_checkers,
-    checkers_for_codes,
-)
-from repro.analysis.lint.config import LintConfig, load_config
-from repro.analysis.lint.diagnostics import Diagnostic, render_json, render_text
-from repro.analysis.lint.framework import (
-    Checker,
-    ImportResolver,
-    LintReport,
-    ProjectChecker,
-    run_lint,
-)
+from typing import Any
+
+_EXPORTS = {
+    "CHECKER_CLASSES": "repro.analysis.lint.checkers",
+    "all_checkers": "repro.analysis.lint.checkers",
+    "checkers_for_codes": "repro.analysis.lint.checkers",
+    "LintConfig": "repro.analysis.lint.config",
+    "load_config": "repro.analysis.lint.config",
+    "Diagnostic": "repro.analysis.lint.diagnostics",
+    "render_json": "repro.analysis.lint.diagnostics",
+    "render_text": "repro.analysis.lint.diagnostics",
+    "Checker": "repro.analysis.lint.framework",
+    "ImportResolver": "repro.analysis.lint.framework",
+    "LintReport": "repro.analysis.lint.framework",
+    "ProjectChecker": "repro.analysis.lint.framework",
+    "run_lint": "repro.analysis.lint.framework",
+}
+
+
+def __getattr__(name: str) -> Any:
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)
+
 
 __all__ = [
     "CHECKER_CLASSES",

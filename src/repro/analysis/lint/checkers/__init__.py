@@ -8,6 +8,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.analysis.flow.checkers import (
+    KernelGateCoverageChecker,
+    PoolBoundaryPicklabilityChecker,
+    RngOrderingChecker,
+    ShardPurityChecker,
+)
 from repro.analysis.lint.checkers.dispatch import PicklableDispatchChecker
 from repro.analysis.lint.checkers.excepts import SilentExceptChecker
 from repro.analysis.lint.checkers.floats import FloatEqualityChecker
@@ -21,7 +27,9 @@ from repro.analysis.lint.checkers.rng import (
 )
 from repro.analysis.lint.framework import Checker
 
-#: Checker classes in error-code order.
+#: Checker classes in error-code order.  RP00x are per-file rules;
+#: RP10x are the cross-module determinism-flow rules from
+#: :mod:`repro.analysis.flow`.
 CHECKER_CLASSES: tuple[type[Checker], ...] = (
     GlobalRandomChecker,
     UnseededRngChecker,
@@ -30,6 +38,10 @@ CHECKER_CLASSES: tuple[type[Checker], ...] = (
     FloatEqualityChecker,
     RegistryConsistencyChecker,
     SilentExceptChecker,
+    ShardPurityChecker,
+    RngOrderingChecker,
+    PoolBoundaryPicklabilityChecker,
+    KernelGateCoverageChecker,
 )
 
 
@@ -61,9 +73,13 @@ __all__ = [
     "checkers_for_codes",
     "FloatEqualityChecker",
     "GlobalRandomChecker",
+    "KernelGateCoverageChecker",
     "NondeterminismChecker",
     "PicklableDispatchChecker",
+    "PoolBoundaryPicklabilityChecker",
     "RegistryConsistencyChecker",
+    "RngOrderingChecker",
+    "ShardPurityChecker",
     "SilentExceptChecker",
     "UnseededRngChecker",
 ]

@@ -6,17 +6,24 @@ Usage::
     hotspots lint src/repro/sim         # lint a subtree
     hotspots lint path/to/file.py       # lint one file (all checkers)
     hotspots lint --format json         # machine-readable output
-    hotspots lint --select RP001,RP005  # a subset of checkers
+    hotspots lint --sarif out.sarif     # also write a SARIF 2.1.0 log
+    hotspots lint --changed [REF]       # only files changed vs. REF
+    hotspots lint --select RP001,RP101  # a subset of checkers
+    hotspots lint --explain RP102       # one checker, in detail
     hotspots lint --list-checks         # codes and rationales
+    hotspots lint --list-checks --markdown   # the DESIGN.md table
 
 Exit status: 0 when clean, 1 when any diagnostic survives
-suppression, 2 on usage errors.
+suppression, 2 on usage errors.  ``--sarif`` adds an output file but
+changes neither the stdout format nor the exit-code contract.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import inspect
+import subprocess
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -27,7 +34,11 @@ from repro.analysis.lint.checkers import (
     checkers_for_codes,
 )
 from repro.analysis.lint.config import load_config
-from repro.analysis.lint.diagnostics import render_json, render_text
+from repro.analysis.lint.diagnostics import (
+    render_json,
+    render_sarif,
+    render_text,
+)
 from repro.analysis.lint.framework import run_lint
 
 
@@ -35,7 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hotspots lint",
         description="Determinism & reproducibility lint for the "
-        "hotspots reproduction (codes RP001-RP006).",
+        "hotspots reproduction (per-file rules RP001-RP007, "
+        "cross-module flow rules RP101-RP104).",
     )
     parser.add_argument(
         "paths",
@@ -57,15 +69,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="report format (default: text)",
     )
     parser.add_argument(
+        "--sarif",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 log to PATH "
+        "(stdout format and exit code are unchanged)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help="lint only files changed relative to git REF (default "
+        "HEAD) plus untracked files; falls back to a full run "
+        "outside a git repository",
+    )
+    parser.add_argument(
         "--select",
+        "--only",
+        dest="select",
         default=None,
         metavar="CODES",
         help="comma-separated checker codes to run (default: all)",
     )
     parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="CODE",
+        help="print one checker's full documentation and exit",
+    )
+    parser.add_argument(
         "--list-checks",
         action="store_true",
         help="list checker codes with rationales and exit",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="with --list-checks: emit the markdown reference table "
+        "(code, name, rationale, scope, fixable)",
     )
     parser.add_argument(
         "--registry-module",
@@ -78,13 +122,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--tests-path",
         default=None,
         metavar="DIR",
-        help="test tree RP006 scans for experiment-id references "
+        help="test tree scanned by RP006 and RP104 "
         "(default from config)",
     )
     parser.add_argument(
         "--no-project-checks",
         action="store_true",
-        help="skip project-level checkers (RP006)",
+        help="skip project-level checkers (RP006, RP101-RP104)",
     )
     return parser
 
@@ -97,13 +141,88 @@ def _list_checks() -> str:
     return "\n".join(lines)
 
 
+def list_checks_markdown() -> str:
+    """The checker reference table DESIGN.md embeds (generated)."""
+    rows = [
+        "| Code | Name | Rationale | Scope | Fixable |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for checker_class in CHECKER_CLASSES:
+        scope = ", ".join(f"`{prefix}`" for prefix in checker_class.scope)
+        fixable = "yes" if checker_class.fixable else "no"
+        rows.append(
+            f"| {checker_class.code} | {checker_class.name} | "
+            f"{checker_class.rationale} | {scope} | {fixable} |"
+        )
+    return "\n".join(rows)
+
+
+def _explain(code: str) -> Optional[str]:
+    normalized = code.strip().upper()
+    for checker_class in CHECKER_CLASSES:
+        if checker_class.code != normalized:
+            continue
+        lines = [
+            f"{checker_class.code}  {checker_class.name}",
+            f"  scope:    {', '.join(checker_class.scope)}",
+            f"  fixable:  {'yes' if checker_class.fixable else 'no'}",
+            f"  rationale: {checker_class.rationale}",
+        ]
+        doc = inspect.getdoc(checker_class)
+        if doc:
+            lines.append("")
+            lines.extend(f"  {line}".rstrip() for line in doc.splitlines())
+        return "\n".join(lines)
+    return None
+
+
+def _changed_files(root: Path, ref: str) -> Optional[list[Path]]:
+    """Python files changed vs. ``ref`` plus untracked ones.
+
+    ``None`` signals "not a usable git checkout" — the caller falls
+    back to a full run rather than failing.
+    """
+    def _git(*args: str) -> list[str]:
+        completed = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return [line for line in completed.stdout.splitlines() if line]
+
+    try:
+        names = set(_git("diff", "--name-only", ref, "--"))
+        names.update(_git("ls-files", "--others", "--exclude-standard"))
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    files = []
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = root / name
+        if path.is_file():
+            files.append(path)
+    return files
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if args.list_checks:
-        print(_list_checks())
+    if args.explain is not None:
+        text = _explain(args.explain)
+        if text is None:
+            known = ", ".join(c.code for c in CHECKER_CLASSES)
+            parser.error(f"unknown checker code {args.explain!r}; known: {known}")
+        print(text)
         return 0
+
+    if args.list_checks:
+        print(list_checks_markdown() if args.markdown else _list_checks())
+        return 0
+    if args.markdown:
+        parser.error("--markdown requires --list-checks")
 
     root = (args.root or Path.cwd()).resolve()
     config = load_config(root)
@@ -127,13 +246,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     elif args.registry_module is not None:
         run_project = True
 
+    paths: Optional[list[Path]] = list(args.paths) or None
+    scoped_files = False
+    if args.changed is not None:
+        if paths is not None:
+            parser.error("--changed and explicit paths are exclusive")
+        changed = _changed_files(root, args.changed)
+        if changed is None:
+            print(
+                "hotspots lint: not a git checkout; --changed falls "
+                "back to a full run",
+                file=sys.stderr,
+            )
+        else:
+            paths = changed
+            scoped_files = True
+
     report = run_lint(
         root,
-        paths=list(args.paths) or None,
+        paths=paths,
         config=config,
         checkers=checkers,
         run_project_checks=run_project,
+        scoped_files=scoped_files,
     )
+    if args.sarif is not None:
+        rules = {
+            checker.code: (checker.name, checker.rationale)
+            for checker in checkers
+        }
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(
+            render_sarif(report.diagnostics, rules) + "\n", encoding="utf-8"
+        )
     if args.format == "json":
         print(render_json(report.diagnostics, report.files_checked))
     else:

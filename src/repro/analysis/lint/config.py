@@ -31,7 +31,10 @@ from typing import Any, Mapping, Optional, Sequence
 DEFAULT_PATHS: tuple[str, ...] = ("src", "tests", "benchmarks", "scripts")
 
 #: Path fragments never linted: checker fixtures *are* violations.
-DEFAULT_EXCLUDE: tuple[str, ...] = ("tests/analysis/lint_fixtures",)
+DEFAULT_EXCLUDE: tuple[str, ...] = (
+    "tests/analysis/lint_fixtures",
+    "tests/analysis/flow_fixtures",
+)
 
 #: Files allowed to call ``np.random.default_rng()`` without a seed
 #: (interactive entrypoints where fresh entropy is the point).

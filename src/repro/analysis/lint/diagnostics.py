@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import asdict, dataclass, field
-from typing import Sequence
+from typing import Mapping, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True, order=True)
@@ -74,3 +74,72 @@ def render_json(
         },
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(
+    diagnostics: Sequence[Diagnostic],
+    rules: Optional[Mapping[str, Tuple[str, str]]] = None,
+) -> str:
+    """A SARIF 2.1.0 log for code-scanning upload.
+
+    ``rules`` maps a checker code to ``(name, rationale)`` so the
+    rule metadata renders in the alert UI; codes appearing only in
+    diagnostics still get a bare rule entry.
+    """
+    rules = dict(rules or {})
+    for diagnostic in diagnostics:
+        rules.setdefault(diagnostic.code, (diagnostic.code, ""))
+    rule_entries = [
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": name},
+            "fullDescription": {"text": rationale or name},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code, (name, rationale) in sorted(rules.items())
+    ]
+    results = [
+        {
+            "ruleId": diagnostic.code,
+            "level": "error",
+            "message": {"text": diagnostic.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": diagnostic.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(diagnostic.line, 1),
+                            "startColumn": diagnostic.col + 1,
+                            "endLine": max(
+                                diagnostic.end_line, diagnostic.line, 1
+                            ),
+                        },
+                    }
+                }
+            ],
+        }
+        for diagnostic in diagnostics
+    ]
+    log = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "hotspots-lint",
+                        "informationUri": (
+                            "https://github.com/hotspots-repro"
+                        ),
+                        "rules": rule_entries,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -49,6 +49,9 @@ class Checker:
     rationale: str = ""
     #: Project-relative path prefixes the rule applies to by default.
     scope: tuple[str, ...] = ("src/repro",)
+    #: True when the finding has a mechanical fix (shown in the
+    #: generated checker reference table).
+    fixable: bool = False
 
     def applies_to(self, relpath: str) -> bool:
         """True when ``relpath`` falls inside this rule's scope."""
@@ -88,7 +91,16 @@ class ProjectChecker(Checker):
 
     Used for consistency rules (RP006) that need to import modules
     and cross-reference directories rather than visit one AST.
+
+    Checkers that set ``needs_context = True`` (the RP1xx flow rules)
+    receive a shared :class:`~repro.analysis.flow.context.
+    ProjectContext` — symbol table, call graph, taint fixpoint — as a
+    third ``check_project`` argument; the driver builds it at most
+    once per run, reusing the file pass's parsed ASTs.
     """
+
+    #: True when ``check_project`` takes a ``ProjectContext``.
+    needs_context: bool = False
 
     def check_file(
         self,
@@ -223,6 +235,7 @@ def run_lint(
     config: Optional[LintConfig] = None,
     checkers: Optional[Sequence[Checker]] = None,
     run_project_checks: Optional[bool] = None,
+    scoped_files: bool = False,
 ) -> LintReport:
     """Lint a project and return the surviving diagnostics.
 
@@ -231,6 +244,11 @@ def run_lint(
     on them regardless of its scope (so a fixture or an out-of-tree
     file can be linted directly), and project-level checkers are
     skipped unless ``run_project_checks`` forces them on.
+
+    ``scoped_files=True`` flips that convention for explicit files:
+    normal scope and exclusion rules apply, as if each file had been
+    reached by the configured walk.  ``--changed`` uses this so a
+    git-diff-derived file list behaves like a faster full run.
     """
     if config is None:
         from repro.analysis.lint.config import load_config
@@ -244,14 +262,19 @@ def run_lint(
     explicit = paths is not None
     if paths is None:
         paths = [root / entry for entry in config.paths]
-    explicit_files = explicit and all(path.is_file() for path in paths)
+    explicit_files = (
+        explicit and not scoped_files and all(path.is_file() for path in paths)
+    )
     # Files the caller named directly are always linted, even inside
-    # an excluded directory (the fixture corpus lints itself this way).
-    named_files = {
-        path.resolve() for path in paths if explicit and path.is_file()
-    }
+    # an excluded directory (the fixture corpus lints itself this way)
+    # — unless the caller asked for scoped semantics.
+    named_files = (
+        set()
+        if scoped_files
+        else {path.resolve() for path in paths if explicit and path.is_file()}
+    )
     if run_project_checks is None:
-        run_project_checks = not explicit_files
+        run_project_checks = not explicit_files and not scoped_files
 
     file_checkers = [
         checker
@@ -264,6 +287,7 @@ def run_lint(
 
     diagnostics: list[Diagnostic] = []
     files_checked = 0
+    parsed: dict[str, tuple[ast.Module, str]] = {}
     for path in _iter_python_files(root, paths, config):
         relpath = _relative_posix(path, root)
         if config.is_excluded(relpath) and path.resolve() not in named_files:
@@ -290,6 +314,7 @@ def run_lint(
                 )
             )
             continue
+        parsed[relpath] = (tree, source)
         source_lines = source.splitlines()
         for checker in applicable:
             for diagnostic in checker.check_file(
@@ -302,8 +327,25 @@ def run_lint(
                 diagnostics.append(diagnostic)
 
     if run_project_checks:
+        context = None
+        if any(
+            getattr(checker, "needs_context", False)
+            for checker in project_checkers
+        ):
+            from repro.analysis.flow.context import build_context
+
+            context = build_context(root, config, parsed)
         for checker in project_checkers:
-            for diagnostic in checker.check_project(root, config):
+            if getattr(checker, "needs_context", False):
+                # The flow checkers widen check_project with a third
+                # context parameter; the base signature stays 2-arg so
+                # RP006-style checkers remain untouched.
+                found = checker.check_project(
+                    root, config, context  # type: ignore[call-arg]
+                )
+            else:
+                found = checker.check_project(root, config)
+            for diagnostic in found:
                 if config.is_suppressed(diagnostic.path, diagnostic.code):
                     continue
                 diagnostics.append(diagnostic)

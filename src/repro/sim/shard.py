@@ -404,7 +404,7 @@ class ShardedSimulator:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                return self._run(backup, pooled=False)
+                return self._run(backup, pooled=False)  # noqa: RP102 -- pre-consumption rng copy; the serial re-run is bitwise-identical to what the pooled run would have produced
         return self._run(rng, pooled=False)
 
     # -- the driver loop ---------------------------------------------

@@ -1,0 +1,9 @@
+"""Keep pytest out of the fixture corpora.
+
+``flow_fixtures/rp104`` contains ``test_*.py`` files on purpose — the
+RP104 checker needs real-looking equivalence tests to analyze — but
+they import fixture-only modules (``repro.fast``) that do not exist on
+the installed path, so collecting them would fail.
+"""
+
+collect_ignore_glob = ["flow_fixtures/*", "lint_fixtures/*"]

@@ -1,0 +1,11 @@
+"""RP101 fixture driver: hands a live generator into shard code."""
+
+import numpy as np
+
+from repro.sim.shard import ShardEngine
+
+
+def run_outbreak(spec: object, rng: np.random.Generator) -> np.ndarray:
+    engine = ShardEngine(spec, 0, rng)  # violation: generator crosses in
+    seeds = rng.choice(1024, size=4)  # clean: driver-owned draw
+    return engine.tick(np.asarray(seeds, dtype=np.uint32))

@@ -1,0 +1,8 @@
+"""Cross-module helper the fixture ShardEngine drags into shard scope."""
+
+import numpy as np
+
+
+def jitter(targets: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Draws — fine in the driver, a violation once shard-reachable."""
+    return targets + rng.integers(0, 2, size=targets.shape)

@@ -1,0 +1,34 @@
+"""RP101 fixture: a ShardEngine that violates shard purity.
+
+Violations: a draw on a stored generator (``self.rng``), a draw
+inside a shard-reachable helper (cross-module), and a bare-noqa
+suppression that must name a reason.  ``deterministic`` is the clean
+per-target pattern; ``blessed`` shows a reasoned suppression.
+"""
+
+import numpy as np
+
+from repro.sim.helper import jitter
+
+
+class ShardEngine:
+    def __init__(self, spec: object, shard_id: int, rng: np.random.Generator):
+        self.spec = spec
+        self.shard_id = shard_id
+        self.rng = rng
+
+    def tick(self, targets: np.ndarray) -> np.ndarray:
+        noise = self.rng.random(len(targets))  # violation: shard draw
+        return targets[noise > 0.5]
+
+    def helped(self, targets: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return jitter(targets, rng)  # violation anchors inside jitter
+
+    def deterministic(self, targets: np.ndarray) -> np.ndarray:
+        return targets[targets % 2 == 0]  # clean: pure function of inputs
+
+    def blessed(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, 4))  # noqa: RP101 -- fixture: driver-owned rng, consumed pre-exchange
+
+    def unexplained(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, 4))  # noqa: RP101

@@ -1,0 +1,71 @@
+"""RP102 fixture: RNG consumption under data-dependent order.
+
+Violations: a draw inside a set-literal loop, inside an
+``os.listdir`` loop, inside a ``finally`` block, a recovery-path
+call into a consumer, and a bare-noqa suppression.  The sorted-
+listdir loop, dict iteration, and normal-path draws stay clean.
+"""
+
+import os
+
+import numpy as np
+
+
+def draw_under_set(rng: np.random.Generator) -> list:
+    out = []
+    for _block in {8, 16, 24}:
+        out.append(rng.random())  # violation: set iteration order
+    return out
+
+
+def draw_under_listdir(rng: np.random.Generator, root: str) -> list:
+    sizes = []
+    for _name in os.listdir(root):
+        sizes.append(rng.random())  # violation: directory order
+    return sizes
+
+
+def draw_sorted_listdir(rng: np.random.Generator, root: str) -> list:
+    sizes = []
+    for _name in sorted(os.listdir(root)):
+        sizes.append(rng.random())  # clean: order is pinned
+    return sizes
+
+
+def draw_over_dict(rng: np.random.Generator, table: dict) -> list:
+    out = []
+    for _key in table:
+        out.append(rng.random())  # clean: dicts are insertion-ordered
+    return out
+
+
+def _replay(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def recover(rng: np.random.Generator) -> float:
+    try:
+        return float(rng.random())  # clean: the serial path
+    except ValueError:
+        return _replay(rng)  # violation: recovery-path consumption
+
+
+def finally_draw(rng: np.random.Generator) -> float:
+    try:
+        return float(rng.random())  # clean: the serial path
+    finally:
+        rng.random()  # violation: finally always re-draws
+
+
+def blessed_recover(rng: np.random.Generator) -> float:
+    try:
+        return float(rng.random())
+    except ValueError:
+        return float(rng.random())  # noqa: RP102 -- fixture: pre-consumption copy; re-run is bitwise-identical
+
+
+def unexplained_recover(rng: np.random.Generator) -> float:
+    try:
+        return float(rng.random())
+    except ValueError:
+        return float(rng.random())  # noqa: RP102

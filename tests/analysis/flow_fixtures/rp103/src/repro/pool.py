@@ -1,0 +1,58 @@
+"""RP103 fixture: unpicklable objects crossing a pool boundary.
+
+Violations: a lambda payload, a nested-function payload, a lambda
+submit argument, a lambda field default in the shipped spec class,
+and a bare-noqa suppression.  ``run_jobs`` is the clean pattern:
+module-level worker, plain dataclass argument.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    size: int
+    transform: object = field(default_factory=lambda: abs)  # violation
+
+
+def work(spec: JobSpec) -> int:
+    return spec.size
+
+
+def work_with_hook(value: int, hook: object) -> int:
+    return value
+
+
+def run_jobs(specs: list) -> list:
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        futures = [pool.submit(work, spec) for spec in specs]  # clean
+        return [future.result() for future in futures]
+
+
+def run_lambda(values: int) -> int:
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(lambda v: v * 2, values).result()  # violation
+
+
+def run_nested(value: int) -> int:
+    def inner(v: int) -> int:
+        return v + 1
+
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(inner, value).result()  # violation: closure
+
+
+def run_lambda_arg(value: int) -> int:
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(work_with_hook, value, lambda v: v).result()  # violation
+
+
+def blessed(value: int) -> int:
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(work_with_hook, value, lambda v: v).result()  # noqa: RP103 -- fixture: test-only path, always runs in-process
+
+
+def unexplained(value: int) -> int:
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        return pool.submit(work_with_hook, value, lambda v: v).result()  # noqa: RP103

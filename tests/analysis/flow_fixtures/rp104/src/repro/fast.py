@@ -1,0 +1,35 @@
+"""RP104 fixture: gated fast paths with and without test coverage.
+
+``covered_sum`` is reached from a ``kernel_override`` test;
+``uncovered_scale`` is only reached from a test that never forces
+the reference path; ``blessed_shift``/``unexplained_shift`` exercise
+the reasoned-noqa policy.
+"""
+
+import numpy as np
+
+from repro.net.kernels import kernels_enabled
+
+
+def covered_sum(values: np.ndarray) -> float:
+    if kernels_enabled():
+        return float(np.sum(values))
+    return float(sum(float(v) for v in values))
+
+
+def uncovered_scale(values: np.ndarray) -> np.ndarray:  # violation
+    if kernels_enabled():
+        return values * 2
+    return np.array([v * 2 for v in values])
+
+
+def blessed_shift(values: np.ndarray) -> np.ndarray:  # noqa: RP104 -- fixture: equivalence enforced by an external harness
+    if kernels_enabled():
+        return values + 1
+    return np.array([v + 1 for v in values])
+
+
+def unexplained_shift(values: np.ndarray) -> np.ndarray:  # noqa: RP104
+    if kernels_enabled():
+        return values - 1
+    return np.array([v - 1 for v in values])

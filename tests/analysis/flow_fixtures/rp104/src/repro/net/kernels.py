@@ -1,0 +1,21 @@
+"""Gate stub mirroring ``repro.net.kernels`` for the RP104 fixture."""
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_ENABLED = True
+
+
+def kernels_enabled() -> bool:
+    return _ENABLED
+
+
+@contextmanager
+def kernel_override(enabled: bool) -> Iterator[None]:
+    global _ENABLED
+    prior = _ENABLED
+    _ENABLED = enabled
+    try:
+        yield
+    finally:
+        _ENABLED = prior

@@ -1,0 +1,13 @@
+"""Fixture equivalence test: covers ``covered_sum`` via kernel_override."""
+
+import numpy as np
+
+from repro.fast import covered_sum
+from repro.net.kernels import kernel_override
+
+
+def test_covered_sum_matches_reference():
+    values = np.arange(4)
+    with kernel_override(False):
+        reference = covered_sum(values)
+    assert covered_sum(values) == reference

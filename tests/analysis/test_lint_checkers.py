@@ -310,7 +310,9 @@ class TestCheckerRegistry:
         codes = [checker_class.code for checker_class in CHECKER_CLASSES]
         assert codes == sorted(codes)
         assert len(set(codes)) == len(codes)
-        assert codes == [f"RP00{n}" for n in range(1, 8)]
+        assert codes == [f"RP00{n}" for n in range(1, 8)] + [
+            f"RP10{n}" for n in range(1, 5)
+        ]
 
     def test_every_checker_has_a_rationale(self):
         for checker_class in CHECKER_CLASSES:

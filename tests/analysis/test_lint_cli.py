@@ -79,8 +79,10 @@ class TestCliSurface:
     def test_list_checks_names_every_code(self, capsys):
         exit_code, output = run_lint_cli(["--list-checks"], capsys)
         assert exit_code == 0
-        for number in range(1, 7):
+        for number in range(1, 8):
             assert f"RP00{number}" in output
+        for number in range(1, 5):
+            assert f"RP10{number}" in output
 
     def test_unknown_select_code_is_a_usage_error(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
@@ -114,3 +116,91 @@ class TestCliSurface:
             if line.count(":") >= 3
         ]
         assert locations == sorted(locations)
+
+    def test_only_is_an_alias_for_select(self, capsys):
+        exit_code, output = run_lint_cli(
+            ["--root", ROOT, "--only", "RP001", FIXTURES / "rp001.py"],
+            capsys,
+        )
+        assert exit_code == 1
+        assert "RP001" in output
+
+    def test_explain_prints_checker_documentation(self, capsys):
+        exit_code, output = run_lint_cli(["--explain", "RP101"], capsys)
+        assert exit_code == 0
+        assert "RP101" in output
+        assert "shard" in output.lower()
+        assert "rationale" in output
+
+    def test_explain_unknown_code_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--explain", "RP999"])
+        assert excinfo.value.code == 2
+
+    def test_list_checks_markdown_emits_the_reference_table(self, capsys):
+        exit_code, output = run_lint_cli(
+            ["--list-checks", "--markdown"], capsys
+        )
+        assert exit_code == 0
+        assert output.splitlines()[0].startswith("| Code | Name |")
+        assert "| RP104 |" in output
+
+    def test_markdown_without_list_checks_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(["--markdown"])
+        assert excinfo.value.code == 2
+
+
+class TestSarifOutput:
+    def test_sarif_log_is_written_alongside_text_output(self, capsys, tmp_path):
+        sarif_path = tmp_path / "out" / "lint.sarif"
+        exit_code, output = run_lint_cli(
+            [
+                "--root",
+                ROOT,
+                "--select",
+                "RP001",
+                "--sarif",
+                sarif_path,
+                FIXTURES / "rp001.py",
+            ],
+            capsys,
+        )
+        # The stdout format and exit code are unchanged by --sarif.
+        assert exit_code == 1
+        assert "RP001" in output
+        log = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "hotspots-lint"
+        assert any(rule["id"] == "RP001" for rule in run["tool"]["driver"]["rules"])
+        assert run["results"], "fixture violations must appear as results"
+        assert all(r["ruleId"] == "RP001" for r in run["results"])
+
+    def test_clean_run_writes_an_empty_sarif_log(self, capsys, tmp_path):
+        sarif_path = tmp_path / "lint.sarif"
+        exit_code, _ = run_lint_cli(
+            ["--root", ROOT, "--sarif", sarif_path], capsys
+        )
+        assert exit_code == 0
+        log = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert log["runs"][0]["results"] == []
+
+
+class TestChangedScope:
+    def test_changed_scope_lints_clean_at_head(self, capsys):
+        # The repo is a git checkout, so --changed scopes to the
+        # files modified relative to HEAD (possibly none) and must be
+        # as clean as the full run.
+        exit_code, output = run_lint_cli(
+            ["--root", ROOT, "--changed", "HEAD"], capsys
+        )
+        assert exit_code == 0
+        assert output.startswith("clean:")
+
+    def test_changed_conflicts_with_explicit_paths(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            lint_main(
+                ["--root", str(ROOT), "--changed", "HEAD", str(FIXTURES / "rp001.py")]
+            )
+        assert excinfo.value.code == 2
