@@ -32,12 +32,28 @@ class HostPopulation:
     ----------
     vulnerable_addrs:
         Unique addresses of all hosts running the vulnerable service.
+    presorted_unique:
+        Trusted fast path for callers that already hold a
+        sorted-unique uint32 array (the sharded engine slices the
+        global sorted address table): the array is aliased as-is — no
+        copy, no re-sort, no duplicate check.  The caller must never
+        mutate it afterwards.
     """
 
-    def __init__(self, vulnerable_addrs: np.ndarray):
-        addrs = np.unique(np.asarray(vulnerable_addrs, dtype=np.uint32))
-        if len(addrs) != len(vulnerable_addrs):
-            raise ValueError("vulnerable addresses must be unique")
+    def __init__(
+        self,
+        vulnerable_addrs: np.ndarray,
+        *,
+        presorted_unique: bool = False,
+    ):
+        if presorted_unique:
+            addrs = np.asarray(vulnerable_addrs, dtype=np.uint32)
+        else:
+            addrs = np.unique(
+                np.asarray(vulnerable_addrs, dtype=np.uint32)
+            )
+            if len(addrs) != len(vulnerable_addrs):
+                raise ValueError("vulnerable addresses must be unique")
         self._addrs = addrs
         self._status = np.full(len(addrs), HostStatus.VULNERABLE, dtype=np.int8)
         # Status transitions only ever go VULNERABLE -> INFECTED and

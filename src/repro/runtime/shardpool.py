@@ -11,21 +11,62 @@ exactly one worker, and a shard always submits to the same pool
 a single-worker pool executes its queue FIFO, so per-shard ordering
 is preserved).
 
+**Transports.**  The per-tick batches move one of two ways:
+
+* ``"shmem"`` (default): the driver stages each shard's arrays in
+  that shard's shared-memory *request* arena
+  (:mod:`repro.runtime.shmem`), the worker maps the segment and reads
+  them zero-copy, and the fresh-infection reply returns through a
+  *reply* arena.  Only a tiny control tuple — shard id, tick time,
+  epoch, segment names — crosses the executor's pickle pipe.
+* ``"pickle"``: arrays ride the executor pipe directly (the original
+  transport, and the automatic fallback where POSIX shared memory is
+  unavailable).
+
+Both transports are bitwise-identical by construction: the worker sees
+the same arrays either way.  :meth:`ShardPool.stats` reports how many
+bytes each path moved, so benchmarks can show the pipe traffic shrink.
+
 Failure philosophy matches :class:`~repro.runtime.runner.TrialRunner`:
-the pool is an optimization, never a semantic.  Any pool-layer error
-surfaces to the driver, which discards the pools and re-runs the
-outbreak in-process from the original seed material — bitwise the
-same result, just slower.
+the pool is an optimization, never a semantic.  Any pool-layer error —
+a dead worker, a truncated or stale shared-memory message
+(:class:`~repro.runtime.shmem.ShmProtocolError`), a segment that
+vanished mid-tick — surfaces to the driver, which discards the pools
+and re-runs the outbreak in-process from the original seed material —
+bitwise the same result, just slower.
+
+For fault-path tests, ``REPRO_SHARD_FAULT`` may hold a JSON object
+``{"kind": ..., "shard": int, "epoch": int}`` with kind ``"kill"``
+(worker hard-exits mid-tick), ``"garble-header"`` (the request
+header's magic is clobbered after writing), or ``"stale-epoch"`` (the
+control message carries the previous epoch, simulating a reader racing
+a segment resize).  The hook follows the
+:mod:`repro.runtime.faults` environment-variable idiom so it works
+under any process start method.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import pickle
 from concurrent.futures import Future, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from repro.runtime.shmem import (
+    ShmArena,
+    attach,
+    capacity_for,
+    read_frames,
+    shared_memory_available,
+    write_frames,
+)
+
 if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
+
     from repro.sim.shard import ShardEngine
     from repro.sim.spec import SimulationSpec
 
@@ -46,11 +87,49 @@ TickPayload = tuple[
 #: shard interval) and the delivered-probe count.
 TickReply = tuple[np.ndarray, int]
 
+#: The shmem transport's control message: ``(shard_id, now, epoch,
+#: request_name, reply_name)`` — the only per-tick pickle traffic.
+ShmControl = tuple[int, float, int, str, str]
+
 #: End-of-run sensor state: the worker's sensor and grid clones.
 SensorState = tuple[list[object], list[object]]
 
+#: Environment variable carrying an injected shard-transport fault.
+FAULT_ENV = "REPRO_SHARD_FAULT"
+
 #: Engines resident in *this worker process*, keyed by shard id.
 _ENGINES: dict[int, "ShardEngine"] = {}
+
+#: Worker-side attachment cache, keyed by ``(shard_id, role)``; an
+#: entry is replaced (and the old mapping closed) when the driver
+#: grows a segment under a new name.
+_SEGMENTS: dict[tuple[int, str], "SharedMemory"] = {}
+
+
+def _shard_fault() -> Optional[dict[str, object]]:
+    """The injected transport fault, if any (test hook)."""
+    raw = os.environ.get(FAULT_ENV)
+    if not raw:
+        return None
+    try:
+        fault = json.loads(raw)
+    except ValueError:  # pragma: no cover - malformed test config
+        return None
+    return fault if isinstance(fault, dict) else None
+
+
+def _fault_matches(
+    fault: Optional[dict[str, object]],
+    kind: str,
+    shard_id: int,
+    epoch: int,
+) -> bool:
+    return (
+        fault is not None
+        and fault.get("kind") == kind
+        and int(fault.get("shard", -1)) == shard_id
+        and int(fault.get("epoch", -1)) == epoch
+    )
 
 
 def _build_engine(
@@ -66,12 +145,65 @@ def _build_engine(
 
 
 def _run_tick(shard_id: int, payload: TickPayload) -> TickReply:
-    """Worker-side: apply one routed batch to a resident engine."""
+    """Worker-side: apply one pickled batch to a resident engine."""
     now, sources, targets, source_indices, loss_ok, immunize = payload
     engine = _ENGINES[shard_id]
     if immunize is not None:
         engine.immunize(immunize)
     return engine.process(now, sources, targets, source_indices, loss_ok)
+
+
+def _attached(shard_id: int, role: str, name: str) -> "SharedMemory":
+    """Worker-side: the mapped segment for a shard role, cache-fresh.
+
+    When the driver grew the segment (new name), the stale mapping is
+    closed — tolerating live loaned views, whose mapping simply
+    outlives the cache entry — and the new one attached.
+    """
+    key = (shard_id, role)
+    cached = _SEGMENTS.get(key)
+    if cached is not None and cached.name == name:
+        return cached
+    if cached is not None:
+        try:
+            cached.close()
+        except BufferError:  # noqa: RP007 — a live loaned view pins the old mapping; it outlives the cache entry harmlessly
+            pass
+    segment = attach(name)
+    _SEGMENTS[key] = segment
+    return segment
+
+
+def _run_tick_shm(
+    shard_id: int,
+    now: float,
+    epoch: int,
+    request_name: str,
+    reply_name: str,
+) -> int:
+    """Worker-side: one tick through the shared-memory transport.
+
+    Reads the routed batch zero-copy from the request segment, runs
+    the resident engine, writes the fresh-infection frame into the
+    (driver-pre-sized) reply segment, and returns only the delivered
+    count — the reply arrays never touch the pickle pipe.
+    """
+    if _fault_matches(_shard_fault(), "kill", shard_id, epoch):
+        os._exit(86)
+    request = _attached(shard_id, "request", request_name)
+    sources, targets, source_indices, loss_ok, immunize = read_frames(
+        request.buf, epoch
+    )
+    assert sources is not None and targets is not None
+    engine = _ENGINES[shard_id]
+    if immunize is not None:
+        engine.immunize(immunize)
+    fresh, delivered = engine.process(
+        now, sources, targets, source_indices, loss_ok
+    )
+    reply = _attached(shard_id, "reply", reply_name)
+    write_frames(reply.buf, epoch, [fresh])
+    return delivered
 
 
 def _collect_sensors(shard_id: int) -> SensorState:
@@ -80,21 +212,73 @@ def _collect_sensors(shard_id: int) -> SensorState:
     return list(engine.sensors), list(engine.grids)
 
 
+def _payload_nbytes(payload: TickPayload) -> int:
+    """Array bytes one pickled payload would push through the pipe."""
+    return sum(
+        frame.nbytes
+        for frame in payload[1:]
+        if isinstance(frame, np.ndarray)
+    )
+
+
 class ShardPool:
-    """Dedicated single-worker pools hosting resident shard engines."""
+    """Dedicated single-worker pools hosting resident shard engines.
+
+    Parameters
+    ----------
+    spec, num_shards, workers:
+        As built by :class:`~repro.sim.shard.ShardedSimulator`.
+    transport:
+        ``"shmem"`` or ``"pickle"`` (see the module docstring).  The
+        shmem transport silently falls back to pickle where
+        ``multiprocessing.shared_memory`` is unavailable.
+    """
 
     def __init__(
-        self, spec: "SimulationSpec", num_shards: int, workers: int
+        self,
+        spec: "SimulationSpec",
+        num_shards: int,
+        workers: int,
+        transport: str = "shmem",
     ):
+        if transport not in ("shmem", "pickle"):
+            raise ValueError(
+                f"ShardPool.transport: expected 'shmem' or 'pickle', "
+                f"got {transport!r}"
+            )
+        if transport == "shmem" and not shared_memory_available():
+            transport = "pickle"  # pragma: no cover - platform gap
         self._spec = spec
         self._num_shards = num_shards
+        self._transport = transport
+        self._epoch = 0
+        self._ticks = 0
+        self._payload_bytes = 0
+        self._pipe_bytes = 0
+        self._arenas: dict[int, tuple[ShmArena, ShmArena]] = {}
+        self._closed = False
         pool_count = max(1, min(workers, num_shards))
         self._pools = [
             ProcessPoolExecutor(max_workers=1) for _ in range(pool_count)
         ]
 
+    @property
+    def transport(self) -> str:
+        """The transport actually in use (after any fallback)."""
+        return self._transport
+
     def _pool_for(self, shard_id: int) -> ProcessPoolExecutor:
         return self._pools[shard_id % len(self._pools)]
+
+    def _shard_arenas(self, shard_id: int) -> tuple[ShmArena, ShmArena]:
+        pair = self._arenas.get(shard_id)
+        if pair is None:
+            pair = (
+                ShmArena(f"q{shard_id}"),
+                ShmArena(f"r{shard_id}"),
+            )
+            self._arenas[shard_id] = pair
+        return pair
 
     def seed(self, per_shard_seeds: list[np.ndarray]) -> None:
         """Build every shard engine remotely and apply its seed set."""
@@ -113,11 +297,77 @@ class ShardPool:
         Replies are collected in shard order, so the driver's merge is
         deterministic regardless of worker completion order.
         """
-        futures: list[Future[TickReply]] = [
-            self._pool_for(shard_id).submit(_run_tick, shard_id, payload)
-            for shard_id, payload in enumerate(payloads)
-        ]
-        return [future.result() for future in futures]
+        self._ticks += 1
+        if self._transport == "shmem":
+            return self._tick_shmem(payloads)
+        futures: list[Future[TickReply]] = []
+        for shard_id, payload in enumerate(payloads):
+            self._payload_bytes += _payload_nbytes(payload)
+            futures.append(
+                self._pool_for(shard_id).submit(
+                    _run_tick, shard_id, payload
+                )
+            )
+        replies = [future.result() for future in futures]
+        for fresh, _ in replies:
+            self._payload_bytes += fresh.nbytes
+        # Arrays ride the pipe in pickle mode, so pipe ≈ payload.
+        self._pipe_bytes = self._payload_bytes
+        return replies
+
+    def _tick_shmem(
+        self, payloads: list[TickPayload]
+    ) -> list[TickReply]:
+        self._epoch += 1
+        epoch = self._epoch
+        fault = _shard_fault()
+        futures: list[Future[int]] = []
+        for shard_id, payload in enumerate(payloads):
+            now, sources, targets, source_indices, loss_ok, immunize = (
+                payload
+            )
+            request, reply = self._shard_arenas(shard_id)
+            frames = [sources, targets, source_indices, loss_ok, immunize]
+            # The reply's single frame can never exceed the tick's
+            # target count, so the driver pre-sizes it here — workers
+            # never own (and so never grow) a segment.
+            reply.ensure(capacity_for([(len(targets), np.uint32)]))
+            request.write(epoch, frames)
+            self._payload_bytes += _payload_nbytes(payload)
+            send_epoch = epoch
+            if _fault_matches(fault, "garble-header", shard_id, epoch):
+                self._garble_request_header(request)
+            elif _fault_matches(fault, "stale-epoch", shard_id, epoch):
+                send_epoch = epoch - 1
+            control: ShmControl = (
+                shard_id,
+                now,
+                send_epoch,
+                request.name,
+                reply.name,
+            )
+            self._pipe_bytes += len(pickle.dumps(control))
+            futures.append(
+                self._pool_for(shard_id).submit(_run_tick_shm, *control)
+            )
+        replies: list[TickReply] = []
+        for shard_id, future in enumerate(futures):
+            delivered = future.result()
+            reply = self._arenas[shard_id][1]
+            (fresh,) = reply.read(epoch)
+            assert fresh is not None
+            self._payload_bytes += fresh.nbytes
+            replies.append((fresh, delivered))
+        return replies
+
+    @staticmethod
+    def _garble_request_header(request: ShmArena) -> None:
+        """Test hook: clobber the just-written message's magic."""
+        segment = attach(request.name)
+        try:
+            segment.buf[0] = 0xFF
+        finally:
+            segment.close()
 
     def collect_sensors(self) -> list[SensorState]:
         """Every shard's sensor clones, in shard order."""
@@ -127,15 +377,53 @@ class ShardPool:
         ]
         return [future.result() for future in futures]
 
-    def close(self) -> None:
-        """Tear the worker processes down (broken pools included).
+    def stats(self) -> dict[str, int | str]:
+        """Transport byte counters for benchmarks and tests.
 
-        ``wait=True`` so every executor's management thread has fully
-        exited before the interpreter can reach the concurrent.futures
-        atexit hook — a non-waiting shutdown races that hook against
-        the wakeup-pipe close and spews ``Exception ignored`` noise at
-        exit.  Pools are idle (every tick future already resolved) or
-        broken here, so the join is prompt either way.
+        ``payload_bytes`` is the array volume moved per run in either
+        transport; ``pipe_bytes`` is what actually crossed the
+        executor's pickle pipe — the whole payload in pickle mode,
+        only the control tuples in shmem mode.
         """
+        return {
+            "transport": self._transport,
+            "ticks": self._ticks,
+            "payload_bytes": self._payload_bytes,
+            "pipe_bytes": self._pipe_bytes,
+        }
+
+    def close(self) -> None:
+        """Tear down workers and unlink shared-memory segments.
+
+        Idempotent; runs from the driver's ``finally``, the
+        pool-failure path, context-manager exit, and ``__del__`` —
+        whichever comes first.  ``wait=True`` so every executor's
+        management thread has fully exited before the interpreter can
+        reach the concurrent.futures atexit hook — a non-waiting
+        shutdown races that hook against the wakeup-pipe close and
+        spews ``Exception ignored`` noise at exit.  Pools are idle
+        (every tick future already resolved) or broken here, so the
+        join is prompt either way.  Arenas are unlinked *after* the
+        workers exit so no worker can attach a name mid-unlink.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for pool in self._pools:
             pool.shutdown(wait=True, cancel_futures=True)
+        for request, reply in self._arenas.values():
+            request.close()
+            reply.close()
+        self._arenas.clear()
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:  # noqa: RP007 — interpreter-teardown close; nothing left to tell
+            pass

@@ -302,6 +302,7 @@ def simulate(
     rng: SeedLike,
     *,
     shard_workers: int = 1,
+    shard_transport: str = "shmem",
 ) -> SimulationResult:
     """Run one outbreak described by a spec.
 
@@ -310,7 +311,10 @@ def simulate(
     bitwise-identical to the serial reference; under
     ``kernel_override(False)`` the same spec takes the serial
     reference path, like every compiled kernel.  ``shard_workers > 1``
-    fans shards out over worker processes (results unchanged).
+    fans shards out over worker processes (results unchanged);
+    ``shard_transport`` picks how pooled batches move — shared-memory
+    arenas (``"shmem"``, default) or the executor pickle pipe
+    (``"pickle"``) — with no effect on results.
     """
     generator = (
         rng
@@ -319,7 +323,9 @@ def simulate(
     )
     plan = spec.shard_plan
     if plan is not None and kernels_enabled():
-        return ShardedSimulator(spec, workers=shard_workers).run(generator)
+        return ShardedSimulator(
+            spec, workers=shard_workers, transport=shard_transport
+        ).run(generator)
     return spec.build_simulator().run(
         spec.config, generator, seed_addrs=spec.seed_addrs
     )

@@ -361,15 +361,44 @@ class TestShardedValidation:
 
 
 class TestShardPool:
-    def test_pool_run_equals_unsharded(self):
+    @pytest.mark.parametrize("transport", ["shmem", "pickle"])
+    def test_pool_run_equals_unsharded(self, transport):
         reference = figure_spec(seed=23, num_hosts=1500, max_time=10.0)
         pooled = figure_spec(
             seed=23, num_hosts=1500, max_time=10.0, shards=4
         )
         reference_result = simulate(reference, 23)
-        pooled_result = simulate(pooled, 23, shard_workers=2)
+        pooled_result = simulate(
+            pooled, 23, shard_workers=2, shard_transport=transport
+        )
         assert pooled_result == reference_result
         assert_sensor_state_equal(reference, pooled)
+
+    def test_shmem_transport_shrinks_pipe_traffic(self):
+        stats = {}
+        for transport in ("shmem", "pickle"):
+            simulator = ShardedSimulator(
+                figure_spec(seed=31, num_hosts=1500, max_time=10.0, shards=2),
+                workers=2,
+                transport=transport,
+            )
+            simulator.run(np.random.default_rng(31))
+            stats[transport] = simulator.transport_stats
+        # Both transports move the same array volume...
+        assert (
+            stats["shmem"]["payload_bytes"]
+            == stats["pickle"]["payload_bytes"]
+            > 0
+        )
+        # ...but shmem ships only tiny control tuples down the pipe.
+        assert stats["pickle"]["pipe_bytes"] == stats["pickle"]["payload_bytes"]
+        assert stats["shmem"]["pipe_bytes"] < stats["shmem"]["payload_bytes"] / 100
+
+    def test_invalid_transport_rejected(self):
+        with pytest.raises(ValueError, match="transport"):
+            ShardedSimulator(
+                figure_spec(shards=2), workers=2, transport="carrier-pigeon"
+            )
 
     def test_pool_failure_degrades_to_serial(self, monkeypatch):
         import repro.runtime.shardpool as shardpool
@@ -386,3 +415,42 @@ class TestShardPool:
             pooled_result = simulate(pooled, 29, shard_workers=2)
         assert pooled_result == simulate(reference, 29)
         assert_sensor_state_equal(reference, pooled)
+
+
+class TestShmTransportFaults:
+    """Injected shm-transport faults must degrade to the serial re-run.
+
+    Each fault fires via ``REPRO_SHARD_FAULT`` (the env-JSON idiom of
+    :mod:`repro.runtime.faults`, so it reaches workers under any start
+    method): a worker hard-killed mid-tick, a garbled request header,
+    and a stale epoch — the reader's view of a segment-resize race.
+    All three must produce the serial result bitwise, and leak no
+    ``/dev/shm`` segments.
+    """
+
+    @pytest.mark.parametrize(
+        "kind", ["kill", "garble-header", "stale-epoch"]
+    )
+    def test_fault_degrades_to_serial_bitwise(self, kind, monkeypatch):
+        import glob
+        import json
+
+        from repro.runtime.shardpool import FAULT_ENV
+
+        segments_before = set(glob.glob("/dev/shm/rs*"))
+        monkeypatch.setenv(
+            FAULT_ENV,
+            json.dumps({"kind": kind, "shard": 1, "epoch": 3}),
+        )
+        reference = figure_spec(seed=37, num_hosts=1500, max_time=10.0)
+        pooled = figure_spec(
+            seed=37, num_hosts=1500, max_time=10.0, shards=2
+        )
+        with pytest.warns(RuntimeWarning, match="re-running"):
+            pooled_result = simulate(
+                pooled, 37, shard_workers=2, shard_transport="shmem"
+            )
+        monkeypatch.delenv(FAULT_ENV)
+        assert pooled_result == simulate(reference, 37)
+        assert_sensor_state_equal(reference, pooled)
+        assert set(glob.glob("/dev/shm/rs*")) == segments_before
