@@ -1,6 +1,7 @@
-"""Chaos smoke test: a real CLI campaign survives an injected worker kill.
+"""Chaos smoke test: a real CLI campaign survives injected worker faults.
 
-Runs ``hotspots figure5b`` twice over a small synthetic population:
+Scenario 1 (trial-level) runs ``hotspots figure5b`` twice over a
+small synthetic population:
 
 1. clean and serial — the ground truth;
 2. parallel with ``--retries 2`` and a ``$REPRO_FAULT_PLAN`` that
@@ -8,8 +9,16 @@ Runs ``hotspots figure5b`` twice over a small synthetic population:
    trial 2 raise), so the run exercises pool replacement *and*
    deterministic retry.
 
-The chaotic run must exit 0, report the recovery on stderr, and print
-stdout byte-identical to the clean run — the repo's determinism
+Scenario 2 (shard-level) runs the same experiment with the address
+space sharded over a supervised worker pool and ``--checkpoint-every``
+on, then hard-kills one shard worker mid-run via
+``$REPRO_MIDRUN_FAULT``.  The supervisor must respawn just that
+worker and replay from the last checkpoint — *not* fall back to the
+serial re-run — and the output must still be byte-identical to the
+clean serial run.
+
+Every chaotic run must exit 0, report its recovery on stderr, and
+print stdout byte-identical to the clean run — the repo's determinism
 guarantee, end to end through the real CLI.  Exit status: 0 on pass,
 1 on any divergence (suitable for CI).
 
@@ -18,9 +27,12 @@ guarantee, end to end through the real CLI.  Exit status: 0 on pass,
 
 import argparse
 import difflib
+import json
 import os
+import shutil
 import subprocess
 import sys
+import tempfile
 
 #: Small enough for CI, large enough that hotspot structure (and thus
 #: the figure's starvation effect) survives: 20k hosts over 300 /16s.
@@ -47,11 +59,22 @@ BASE_ARGS = [
 ]
 
 
-def run_cli(extra_args, fault_plan=None):
+#: The shard-supervision scenario runs one trial of one hit-list size
+#: only (CI time; the trailing --trials wins over BASE_ARGS), kills
+#: shard 0's worker at tick 30, and checkpoints every 20 ticks — so
+#: recovery must restore the tick-19 snapshot and replay.
+SHARD_ARGS = ["--set", "hitlist_sizes=(100,)", "--trials", "1"]
+SHARD_KILL_FAULT = json.dumps({"kind": "kill-worker", "tick": 30, "shard": 0})
+
+
+def run_cli(extra_args, fault_plan=None, midrun_fault=None):
     env = dict(os.environ)
     env.pop("REPRO_FAULT_PLAN", None)
+    env.pop("REPRO_MIDRUN_FAULT", None)
     if fault_plan is not None:
         env["REPRO_FAULT_PLAN"] = fault_plan
+    if midrun_fault is not None:
+        env["REPRO_MIDRUN_FAULT"] = midrun_fault
     return subprocess.run(
         BASE_ARGS + extra_args,
         env=env,
@@ -109,6 +132,82 @@ def main() -> int:
     print(
         "[chaos-smoke] PASS: worker killed, trial raised, campaign "
         "recovered, output identical to the clean serial run"
+    )
+
+    print("[chaos-smoke] clean serial run (shard scenario) ...", flush=True)
+    shard_clean = run_cli(["--workers", "1"] + SHARD_ARGS)
+    if shard_clean.returncode != 0:
+        print("[chaos-smoke] FAIL: shard-scenario clean run exited nonzero")
+        print(shard_clean.stderr)
+        return 1
+
+    print(
+        "[chaos-smoke] supervised shard-pool run "
+        "(kill shard worker at tick 30) ...",
+        flush=True,
+    )
+    checkpoint_dir = tempfile.mkdtemp(prefix="chaos-ckpt-")
+    try:
+        shard_chaos = run_cli(
+            SHARD_ARGS
+            + [
+                "--shards",
+                "2",
+                "--set",
+                "shard_workers=2",
+                "--checkpoint-every",
+                "20",
+                "--checkpoint-dir",
+                checkpoint_dir,
+            ],
+            midrun_fault=SHARD_KILL_FAULT,
+        )
+    finally:
+        shutil.rmtree(checkpoint_dir, ignore_errors=True)
+    if args.verbose:
+        print(shard_chaos.stderr)
+
+    if shard_chaos.returncode != 0:
+        print("[chaos-smoke] FAIL: shard-kill run exited nonzero")
+        print(shard_chaos.stderr)
+        failed = True
+    if shard_chaos.stdout != shard_clean.stdout:
+        print(
+            "[chaos-smoke] FAIL: shard-kill output diverged from clean run"
+        )
+        sys.stdout.writelines(
+            difflib.unified_diff(
+                shard_clean.stdout.splitlines(keepends=True),
+                shard_chaos.stdout.splitlines(keepends=True),
+                fromfile="clean",
+                tofile="shard-chaos",
+            )
+        )
+        failed = True
+    if "worker-respawn" not in shard_chaos.stderr:
+        # The kill must have fired *and* been recovered through the
+        # supervisor (visible in the RunReport's recovery events).
+        print(
+            "[chaos-smoke] FAIL: no worker-respawn reported — fault "
+            "never fired, or recovery took another path?"
+        )
+        print(shard_chaos.stderr)
+        failed = True
+    if "serial-rerun" in shard_chaos.stderr:
+        # A checkpointed pool must recover by respawn + replay; the
+        # whole-run serial fallback means supervision failed.
+        print(
+            "[chaos-smoke] FAIL: supervised pool degraded to the "
+            "serial re-run"
+        )
+        print(shard_chaos.stderr)
+        failed = True
+    if failed:
+        return 1
+    print(
+        "[chaos-smoke] PASS: shard worker killed mid-run, supervisor "
+        "respawned it from the checkpoint, output identical to the "
+        "clean serial run"
     )
     return 0
 

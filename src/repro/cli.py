@@ -24,6 +24,16 @@ bitwise-identical to a clean serial run::
     hotspots figure5b --trials 8 --workers 4 --retries 2 --timeout 900
     hotspots figure5b --trials 8 --workers 4 --resume   # after a crash
 
+Mid-run checkpointing (experiments that accept the keywords, e.g.
+figure5a/figure5b): ``--checkpoint-every N`` snapshots simulation
+state every N ticks into ``--checkpoint-dir``, and
+``--restore-from DIR`` resumes a simulation from the latest snapshot
+there — the continued run is bitwise-identical to one that never
+stopped::
+
+    hotspots figure5b --checkpoint-every 200 --checkpoint-dir ckpt/
+    hotspots figure5b --checkpoint-every 200 --restore-from ckpt/
+
 ``hotspots lint`` runs the determinism & reproducibility checkers
 (:mod:`repro.analysis.lint`) instead of an experiment::
 
@@ -152,6 +162,30 @@ def build_parser() -> argparse.ArgumentParser:
         "bitwise-identical to an unsharded run",
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=_positive_int,
+        default=None,
+        metavar="TICKS",
+        help="snapshot mid-run simulation state every TICKS ticks "
+        "(experiments that accept a `checkpoint_every` keyword only); "
+        "pairs with --checkpoint-dir / --restore-from and never "
+        "changes results",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory receiving mid-run checkpoints "
+        "(requires --checkpoint-every)",
+    )
+    parser.add_argument(
+        "--restore-from",
+        default=None,
+        metavar="DIR",
+        help="resume the simulation from the latest checkpoint in DIR; "
+        "the continued run is bitwise-identical to an uninterrupted one",
+    )
+    parser.add_argument(
         "--trials",
         type=_positive_int,
         default=None,
@@ -270,6 +304,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "--shards conflicts with --set shards=...; pass one"
             )
         overrides["shards"] = args.shards
+    for flag, name in (
+        ("--checkpoint-every", "checkpoint_every"),
+        ("--checkpoint-dir", "checkpoint_dir"),
+        ("--restore-from", "restore_from"),
+    ):
+        value = getattr(args, name)
+        if value is None:
+            continue
+        if name in overrides:
+            parser.error(f"{flag} conflicts with --set {name}=...; pass one")
+        overrides[name] = value
+    if args.checkpoint_dir is not None and args.checkpoint_every is None:
+        parser.error("--checkpoint-dir requires --checkpoint-every")
     experiment = registry.get(args.experiment)
     workers = args.workers
     perf_context = nullcontext()
@@ -309,9 +356,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             + format_stages(report.perf_stages, report.perf_ticks),
             file=sys.stderr,
         )
-    if report is not None and not report.uneventful:
+    if report is not None and (
+        not report.uneventful or report.recovery_events
+    ):
         # Recoveries and failures are worth a stderr line even on
-        # success; silence only covers the boring case.
+        # success; silence only covers the boring case.  Checkpoint
+        # writes alone keep the run "uneventful" but still get their
+        # count printed so --checkpoint-every is visibly working.
         print(f"[runner] {report.describe()}", file=sys.stderr)
     if report is not None and not report.ok:
         return 1

@@ -20,6 +20,7 @@ detection.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence, Union
 
@@ -118,6 +119,10 @@ def _hitlist_trial(
     max_time: float,
     seed: "np.random.SeedSequence | int",
     shards: Optional[int] = None,
+    shard_workers: int = 1,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    restore_from: Optional[str] = None,
 ) -> HitlistRun:
     """One hit-list size's outbreak and detection outcome.
 
@@ -126,7 +131,13 @@ def _hitlist_trial(
     the trial, so serial and parallel campaigns match bitwise.
     ``shards`` selects the sharded engine (identical results — the
     exchange contract), so internet-scale populations can split their
-    per-tick work.
+    per-tick work, and ``shard_workers`` fans those shards out over a
+    process pool (supervised — respawn from the latest checkpoint —
+    when checkpointing is on).  ``checkpoint_every``/``checkpoint_dir``
+    snapshot
+    mid-run state (per hit-list size, in a ``hitlist-<N>`` subdir),
+    and ``restore_from`` resumes from the latest snapshot there —
+    again bitwise-identical to an uninterrupted run.
     """
     rng = np.random.default_rng(seed)
     hitlist, coverage = build_greedy_hitlist(base_population, num_prefixes)
@@ -156,8 +167,26 @@ def _hitlist_trial(
         stop_at_fraction=min(0.97 * coverage, 1.0),
         shards=shards,
         seed_addrs=seeds,
+        checkpoint_every=checkpoint_every,
     )
-    result = simulate(spec, rng)
+    # Each hit-list size is an independent simulation, so each gets
+    # its own checkpoint subdirectory.
+    subdir = f"hitlist-{num_prefixes}"
+    result = simulate(
+        spec,
+        rng,
+        shard_workers=shard_workers,
+        checkpoint_dir=(
+            os.path.join(checkpoint_dir, subdir)
+            if checkpoint_dir is not None
+            else None
+        ),
+        restore_from=(
+            os.path.join(restore_from, subdir)
+            if restore_from is not None
+            else None
+        ),
+    )
 
     timeline = AlertTimeline.from_alert_times(
         grid.alert_times(), horizon=result.times[-1]
@@ -182,6 +211,10 @@ def run_infection(
     seed: "int | np.random.SeedSequence" = 2005,
     workers: int = 1,
     shards: Optional[int] = None,
+    shard_workers: int = 1,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    restore_from: Optional[str] = None,
 ) -> Figure5ABResult:
     """Figure 5(a) and (b) in one pass: infect and observe.
 
@@ -191,6 +224,9 @@ def run_infection(
     ``shards`` additionally splits each simulation's address space
     across that many shard engines — numerically a no-op (the sharded
     engine is bitwise-equal to the serial reference).
+    ``checkpoint_every``/``checkpoint_dir``/``restore_from`` snapshot
+    and resume each per-size simulation mid-run (also a no-op on
+    results — see :mod:`repro.runtime.checkpoint`).
     """
     spec = as_population_spec(population_spec)
     population_seq, *size_seqs = as_seed_sequence(seed).spawn(
@@ -209,6 +245,10 @@ def run_infection(
                 seed_count=seed_count,
                 max_time=max_time,
                 shards=shards,
+                shard_workers=shard_workers,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+                restore_from=restore_from,
             ),
             seed=size_seq,
             label=f"hitlist[{num_prefixes}]",
@@ -252,6 +292,10 @@ def run_detection(
     seed: "int | np.random.SeedSequence" = 2005,
     workers: int = 1,
     shards: Optional[int] = None,
+    shard_workers: int = 1,
+    checkpoint_every: Optional[int] = None,
+    checkpoint_dir: Optional[str] = None,
+    restore_from: Optional[str] = None,
 ) -> Figure5ABResult:
     """Figure 5(b) — same simulation, detection view."""
     return run_infection(
@@ -263,6 +307,10 @@ def run_detection(
         seed=seed,
         workers=workers,
         shards=shards,
+        shard_workers=shard_workers,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir,
+        restore_from=restore_from,
     )
 
 

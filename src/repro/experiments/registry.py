@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional
 
 from repro.runtime.cache import ResultCache, stable_key
+from repro.runtime.checkpoint import recovery_collection
 from repro.runtime.journal import TrialJournal
 from repro.runtime.perf import active_timings
 from repro.runtime.report import RunReport
@@ -230,7 +231,15 @@ class Experiment:
                 for index, sequence in enumerate(trial_seeds)
             ]
 
-        report = runner.run_report(batch)
+        with recovery_collection() as recovery_log:
+            report = runner.run_report(batch)
+        if recovery_log.events:
+            # Checkpoint writes, restores, and shard-worker respawns
+            # during in-process trials ride back on the report, so
+            # the CLI can surface every recovery path it exercised.
+            report = dataclasses.replace(
+                report, recovery_events=tuple(recovery_log.events)
+            )
         timings = active_timings()
         if timings is not None and timings.seconds:
             # `--perf` ran the campaign under a stage-timing
@@ -287,8 +296,14 @@ class Experiment:
         effective.update(params)
         if drop_seed:
             effective.pop(self.seed_param, None)
-        # Worker count is an execution detail, never a result input.
+        # Worker count and checkpointing are execution details, never
+        # result inputs: a checkpointed (or restored) run is bitwise
+        # identical to a clean one, so it must share the cache key.
         effective.pop("workers", None)
+        effective.pop("shard_workers", None)
+        effective.pop("checkpoint_every", None)
+        effective.pop("checkpoint_dir", None)
+        effective.pop("restore_from", None)
         return effective
 
 

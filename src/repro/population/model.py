@@ -205,3 +205,30 @@ class HostPopulation:
         self._status[:] = HostStatus.VULNERABLE
         self._num_infected = 0
         self._num_immune = 0
+
+    # -- checkpoint support -------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Copy of the mutable state (the address table is immutable).
+
+        Part of the :mod:`repro.runtime.checkpoint` contract: a
+        restore from this snapshot continues bitwise-identically.
+        """
+        return {
+            "status": self._status.copy(),
+            "num_infected": int(self._num_infected),
+            "num_immune": int(self._num_immune),
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Overwrite the mutable state from a snapshot (full replace)."""
+        status = np.asarray(snapshot["status"], dtype=np.int8)
+        if len(status) != len(self._addrs):
+            raise ValueError(
+                f"HostPopulation.state_restore: snapshot covers "
+                f"{len(status)} hosts, this population has "
+                f"{len(self._addrs)}"
+            )
+        self._status[:] = status
+        self._num_infected = int(snapshot["num_infected"])
+        self._num_immune = int(snapshot["num_immune"])

@@ -8,8 +8,13 @@ finished trial::
 
 written with a single ``write()`` of a newline-terminated record and
 flushed+fsynced, so a crash mid-record leaves at most one garbled
-*trailing* line (which :meth:`TrialJournal.load` tolerates and
-drops).  On ``--resume`` the runner skips every journaled-``ok``
+*trailing* line.  :meth:`TrialJournal.load` tolerates more than that
+contract strictly requires: *any* unparsable or keyless line — mid-
+file garbage from a disk hiccup or a concurrent writer, not just the
+trailing torn record — is skipped and counted in ``dropped_lines``
+rather than aborting the load, so one bad line never costs the
+campaign its whole checkpoint.  On ``--resume`` the runner skips
+every journaled-``ok``
 trial whose result the :class:`~repro.runtime.cache.ResultCache`
 still holds; everything else — unfinished, failed, or
 journaled-but-evicted — re-executes under its original seed, so the
@@ -87,7 +92,13 @@ class TrialJournal:
     # -- reading -----------------------------------------------------
 
     def load(self) -> None:
-        """(Re)read the file, tolerating a garbled trailing line."""
+        """(Re)read the file, skip-and-counting any garbled line.
+
+        Garbled means unparsable JSON or a record without a string
+        ``key`` — trailing (a crash mid-append) or mid-file (torn
+        storage); every such line increments ``dropped_lines`` and
+        every well-formed line after it still loads.
+        """
         self._entries = {}
         self.dropped_lines = 0
         try:
@@ -125,16 +136,28 @@ class TrialJournal:
 
     # -- writing -----------------------------------------------------
 
-    def record(self, key: str, *, status: str, attempts: int) -> None:
-        """Append one trial's final outcome (durable immediately).
+    def record(
+        self, key: str, *, status: str, attempts: int, **extra: object
+    ) -> None:
+        """Append one record's final outcome (durable immediately).
 
         Failed trials are recorded too — for post-mortems — but only
         ``status="ok"`` entries count as completed on resume.
+        ``extra`` fields ride along verbatim (the checkpoint index
+        records tick, file name, and spec hash this way); they may
+        not shadow the three required keys.
         """
+        reserved = {"key", "status", "attempts"} & set(extra)
+        if reserved:
+            raise ValueError(
+                f"TrialJournal.record: extra fields {sorted(reserved)} "
+                "would shadow required keys"
+            )
         entry: dict[str, object] = {
             "key": key,
             "status": status,
             "attempts": int(attempts),
+            **extra,
         }
         line = json.dumps(entry, sort_keys=True) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)

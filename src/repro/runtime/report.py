@@ -97,6 +97,14 @@ class RunReport:
     ``--perf``): cumulative engine-stage seconds
     (generate/filter/dispatch/infect) and tick count across every
     in-process trial.
+
+    ``recovery_events`` are the checkpoint/restore/supervision events
+    collected by :func:`repro.runtime.checkpoint.recovery_collection`
+    while the batch ran: one mapping per event with at least a
+    ``kind`` key (``"checkpoint"``, ``"restore"``,
+    ``"worker-respawn"``, ``"serial-rerun"``) plus kind-specific
+    detail — a respawn names the failing shard, its pool slot, the
+    failure reason, and how many buffered ticks were replayed.
     """
 
     outcomes: tuple[TrialOutcome, ...]
@@ -104,6 +112,7 @@ class RunReport:
     fallback_events: tuple[str, ...] = field(default_factory=tuple)
     perf_stages: Optional[Mapping[str, float]] = None
     perf_ticks: int = 0
+    recovery_events: tuple[Mapping[str, Any], ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         if len(self.outcomes) != len(self.results):
@@ -137,12 +146,35 @@ class RunReport:
         return tally
 
     @property
+    def recoveries(self) -> tuple[Mapping[str, Any], ...]:
+        """Recovery events beyond routine checkpoint writes.
+
+        Checkpoint captures are scheduled work, not recoveries; a
+        restore, worker respawn, or serial re-run means the batch
+        actually exercised a recovery path.
+        """
+        return tuple(
+            event
+            for event in self.recovery_events
+            if event.get("kind") != "checkpoint"
+        )
+
+    @property
     def uneventful(self) -> bool:
-        """True when nothing beyond plain ok/cached execution happened."""
+        """True when nothing beyond plain ok/cached execution happened.
+
+        Routine checkpoint writes don't count as events — they happen
+        on every checkpointed run — but restores, worker respawns,
+        and serial re-runs do.
+        """
         counts = self.counts()
-        return not self.fallback_events and all(
-            counts[status] == 0
-            for status in ("resumed", "retried", "failed", "timed-out")
+        return (
+            not self.fallback_events
+            and not self.recoveries
+            and all(
+                counts[status] == 0
+                for status in ("resumed", "retried", "failed", "timed-out")
+            )
         )
 
     # -- rendering / raising ----------------------------------------
@@ -158,16 +190,31 @@ class RunReport:
         text = f"{len(self.outcomes)} trials: {', '.join(parts) or 'none'}"
         if self.fallback_events:
             text += f"; {len(self.fallback_events)} fallback event(s)"
+        checkpoints = len(self.recovery_events) - len(self.recoveries)
+        if checkpoints:
+            text += f"; {checkpoints} checkpoint(s)"
+        if self.recoveries:
+            text += f"; {len(self.recoveries)} recovery event(s)"
         return text
 
     def describe(self) -> str:
-        """The multi-line report: summary, failures, fallbacks."""
+        """The multi-line report: summary, failures, fallbacks, recoveries."""
         lines = [self.summary()]
         for outcome in self.outcomes:
             if not outcome.succeeded or outcome.status == "retried":
                 lines.append(f"  {outcome.describe()}")
         for event in self.fallback_events:
             lines.append(f"  fallback: {event}")
+        for recovery in self.recoveries:
+            detail = ", ".join(
+                f"{key}={value}"
+                for key, value in recovery.items()
+                if key != "kind"
+            )
+            lines.append(
+                f"  recovery: {recovery.get('kind', '<unknown>')}"
+                + (f" ({detail})" if detail else "")
+            )
         return "\n".join(lines)
 
     def raise_on_failure(self) -> None:

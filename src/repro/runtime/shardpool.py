@@ -27,13 +27,29 @@ Both transports are bitwise-identical by construction: the worker sees
 the same arrays either way.  :meth:`ShardPool.stats` reports how many
 bytes each path moved, so benchmarks can show the pipe traffic shrink.
 
-Failure philosophy matches :class:`~repro.runtime.runner.TrialRunner`:
-the pool is an optimization, never a semantic.  Any pool-layer error —
-a dead worker, a truncated or stale shared-memory message
+Failure philosophy: the pool is an optimization, never a semantic.
+Without supervision, any pool-layer error — a dead worker, a truncated
+or stale shared-memory message
 (:class:`~repro.runtime.shmem.ShmProtocolError`), a segment that
 vanished mid-tick — surfaces to the driver, which discards the pools
 and re-runs the outbreak in-process from the original seed material —
 bitwise the same result, just slower.
+
+**Supervision.**  With ``supervise=True`` (the driver enables it when
+the run is being checkpointed) the pool recovers *per slot* instead:
+it retains the per-shard seed sets, the per-shard engine snapshots
+from the most recent :meth:`ShardPool.snapshot` (taken at the
+checkpoint cadence), and a replay buffer of every tick payload issued
+since.  When a tick outcome fails — the worker died
+(``BrokenProcessPool``), garbled its reply, or missed the bounded
+``heartbeat`` — the pool terminates only the failed slot's executor,
+respawns it, rebuilds each of its shards (seed → snapshot restore →
+payload replay), and re-issues the current tick.  Replays are
+RNG-free by construction: payloads carry only pre-drawn arrays (the
+exchange determinism contract), so replaying them consumes no driver
+randomness and the recovered run is bitwise-identical.  The respawn
+budget (``MAX_RESPAWNS``) bounds pathological loops; exhausting it
+surfaces the failure, and the driver falls back to the serial re-run.
 
 For fault-path tests, ``REPRO_SHARD_FAULT`` may hold a JSON object
 ``{"kind": ..., "shard": int, "epoch": int}`` with kind ``"kill"``
@@ -42,7 +58,12 @@ header's magic is clobbered after writing), or ``"stale-epoch"`` (the
 control message carries the previous epoch, simulating a reader racing
 a segment resize).  The hook follows the
 :mod:`repro.runtime.faults` environment-variable idiom so it works
-under any process start method.
+under any process start method.  The mid-run faults of
+:mod:`repro.runtime.faults` (``REPRO_MIDRUN_FAULT``) additionally let
+a worker kill or hang itself when it receives the epoch belonging to
+a given tick — in an undisturbed run tick ``N`` (0-based) is carried
+by epoch ``N + 1``, and recovery replays use fresh epochs, so such a
+fault fires exactly once per run.
 """
 
 from __future__ import annotations
@@ -50,11 +71,15 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import TYPE_CHECKING, Optional
+from concurrent.futures import TimeoutError as _FutureTimeout
+from typing import TYPE_CHECKING, Any, Optional, Union
 
 import numpy as np
 
+from repro.runtime.checkpoint import record_recovery
+from repro.runtime.faults import midrun_fault_from_env
 from repro.runtime.shmem import (
     ShmArena,
     attach,
@@ -97,6 +122,10 @@ SensorState = tuple[list[object], list[object]]
 #: Environment variable carrying an injected shard-transport fault.
 FAULT_ENV = "REPRO_SHARD_FAULT"
 
+#: How many slot respawns one supervised pool will attempt before the
+#: failure surfaces to the driver (which then degrades to serial).
+MAX_RESPAWNS = 3
+
 #: Engines resident in *this worker process*, keyed by shard id.
 _ENGINES: dict[int, "ShardEngine"] = {}
 
@@ -132,6 +161,26 @@ def _fault_matches(
     )
 
 
+def _apply_midrun_fault(shard_id: int, epoch: int) -> None:
+    """Worker-side chaos hook: die or hang at a specific tick's epoch.
+
+    An undisturbed run carries tick ``N`` (0-based) on epoch ``N + 1``
+    in both transports; recovery replays re-issue work under *fresh*
+    epochs, so a fault keyed to a tick fires exactly once per run and
+    never re-fires during its own recovery.
+    """
+    fault = midrun_fault_from_env()
+    if fault is None or fault.tick is None:
+        return
+    if fault.kind not in ("kill-worker", "hang-worker"):
+        return
+    if not fault.matches_shard(shard_id) or epoch != fault.tick + 1:
+        return
+    if fault.kind == "kill-worker":
+        os._exit(86)
+    time.sleep(fault.seconds)
+
+
 def _build_engine(
     spec: "SimulationSpec", shard_id: int, seed_addrs: np.ndarray
 ) -> int:
@@ -144,8 +193,22 @@ def _build_engine(
     return shard_id
 
 
-def _run_tick(shard_id: int, payload: TickPayload) -> TickReply:
+def _snapshot_shard(shard_id: int) -> dict[str, Any]:
+    """Worker-side: copy a resident engine's state (sensors included)."""
+    return _ENGINES[shard_id].state_snapshot(include_sensors=True)
+
+
+def _restore_shard(shard_id: int, snapshot: dict[str, Any]) -> int:
+    """Worker-side: overwrite a resident engine's state."""
+    _ENGINES[shard_id].state_restore(snapshot)
+    return shard_id
+
+
+def _run_tick(
+    shard_id: int, payload: TickPayload, epoch: int = 0
+) -> TickReply:
     """Worker-side: apply one pickled batch to a resident engine."""
+    _apply_midrun_fault(shard_id, epoch)
     now, sources, targets, source_indices, loss_ok, immunize = payload
     engine = _ENGINES[shard_id]
     if immunize is not None:
@@ -190,6 +253,7 @@ def _run_tick_shm(
     """
     if _fault_matches(_shard_fault(), "kill", shard_id, epoch):
         os._exit(86)
+    _apply_midrun_fault(shard_id, epoch)
     request = _attached(shard_id, "request", request_name)
     sources, targets, source_indices, loss_ok, immunize = read_frames(
         request.buf, epoch
@@ -221,6 +285,58 @@ def _payload_nbytes(payload: TickPayload) -> int:
     )
 
 
+def _copy_payload(payload: TickPayload) -> TickPayload:
+    """A payload with owned arrays (the originals are arena loans)."""
+    now = payload[0]
+    frames = tuple(
+        None if frame is None else np.array(frame, copy=True)
+        for frame in payload[1:]
+    )
+    return (now,) + frames  # type: ignore[return-value]
+
+
+def _terminate_executor(pool: ProcessPoolExecutor) -> bool:
+    """Tear one slot's executor down even when its worker is hung.
+
+    The single-worker variant of
+    :meth:`repro.runtime.runner.TrialRunner._terminate_pool`:
+    terminate, non-waiting shutdown, bounded join, then kill — so a
+    worker stuck in an uninterruptible tick cannot hang recovery.
+    Returns ``True`` when every worker is reaped and the executor's
+    manager thread has exited; forking a replacement while the dead
+    pool's threads still run risks deadlocking the children, so a
+    ``False`` caller must not respawn (the driver degrades to the
+    fork-free serial re-run instead).
+    """
+    workers = getattr(pool, "_processes", None)
+    processes = list(workers.values()) if isinstance(workers, dict) else []
+    for process in processes:
+        try:
+            process.terminate()
+        except (OSError, ValueError):  # noqa: RP007 — already-dead worker
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    deadline = time.monotonic() + 10.0
+    for process in processes:
+        try:
+            process.join(
+                timeout=min(1.0, max(0.0, deadline - time.monotonic()))
+            )
+            if process.is_alive():  # SIGTERM masked or worker wedged
+                process.kill()
+                process.join(
+                    timeout=max(0.1, deadline - time.monotonic())
+                )
+        except (OSError, ValueError, AssertionError):  # noqa: RP007 — reaped elsewhere
+            pass
+    manager = getattr(pool, "_executor_manager_thread", None)
+    if manager is not None and manager.is_alive():
+        manager.join(timeout=max(0.1, deadline - time.monotonic()))
+        if manager.is_alive():
+            return False
+    return not any(process.is_alive() for process in processes)
+
+
 class ShardPool:
     """Dedicated single-worker pools hosting resident shard engines.
 
@@ -232,6 +348,14 @@ class ShardPool:
         ``"shmem"`` or ``"pickle"`` (see the module docstring).  The
         shmem transport silently falls back to pickle where
         ``multiprocessing.shared_memory`` is unavailable.
+    heartbeat:
+        Optional per-shard reply deadline in seconds; a worker that
+        misses it counts as failed (hung).  ``None`` waits forever.
+    supervise:
+        Retain seed sets, cadence snapshots, and replay buffers so a
+        failed slot can be respawned in place (see the module
+        docstring).  Off by default: without checkpointing there is
+        no cadence to bound the replay buffer.
     """
 
     def __init__(
@@ -240,23 +364,37 @@ class ShardPool:
         num_shards: int,
         workers: int,
         transport: str = "shmem",
+        heartbeat: Optional[float] = None,
+        supervise: bool = False,
     ):
         if transport not in ("shmem", "pickle"):
             raise ValueError(
                 f"ShardPool.transport: expected 'shmem' or 'pickle', "
                 f"got {transport!r}"
             )
+        if heartbeat is not None and heartbeat <= 0:
+            raise ValueError(
+                f"ShardPool.heartbeat must be positive, got {heartbeat}"
+            )
         if transport == "shmem" and not shared_memory_available():
             transport = "pickle"  # pragma: no cover - platform gap
         self._spec = spec
         self._num_shards = num_shards
         self._transport = transport
+        self._heartbeat = heartbeat
+        self._supervise = supervise
         self._epoch = 0
         self._ticks = 0
         self._payload_bytes = 0
         self._pipe_bytes = 0
         self._arenas: dict[int, tuple[ShmArena, ShmArena]] = {}
         self._closed = False
+        self._seeds: Optional[list[np.ndarray]] = None
+        self._snapshots: Optional[list[dict[str, Any]]] = None
+        self._replay: list[list[TickPayload]] = [
+            [] for _ in range(num_shards)
+        ]
+        self._respawns = 0
         pool_count = max(1, min(workers, num_shards))
         self._pools = [
             ProcessPoolExecutor(max_workers=1) for _ in range(pool_count)
@@ -290,75 +428,287 @@ class ShardPool:
         ]
         for future in futures:
             future.result()
+        if self._supervise:
+            self._seeds = [
+                np.array(seed_addrs, dtype=np.uint32, copy=True)
+                for seed_addrs in per_shard_seeds
+            ]
 
     def tick(self, payloads: list[TickPayload]) -> list[TickReply]:
         """One tick's routed batches out, per-shard replies back.
 
         Replies are collected in shard order, so the driver's merge is
-        deterministic regardless of worker completion order.
+        deterministic regardless of worker completion order.  The
+        epoch advances once per tick in *both* transports (tick ``N``
+        rides epoch ``N + 1``), so mid-run faults and replay
+        accounting share one clock.  Under supervision a failed shard
+        is recovered in place (see :meth:`_recover`); otherwise the
+        first failure raises and the driver degrades to serial.
         """
         self._ticks += 1
+        self._epoch += 1
+        outcomes = self._dispatch(payloads, self._epoch)
+        failures = [
+            index
+            for index, outcome in enumerate(outcomes)
+            if isinstance(outcome, BaseException)
+        ]
+        if failures:
+            first = outcomes[failures[0]]
+            assert isinstance(first, BaseException)
+            if not self._supervise or self._seeds is None:
+                raise first
+            self._recover(payloads, outcomes, failures)
+        if self._supervise:
+            for shard_id, payload in enumerate(payloads):
+                self._replay[shard_id].append(_copy_payload(payload))
+        replies: list[TickReply] = []
+        for outcome in outcomes:
+            assert not isinstance(outcome, BaseException)
+            replies.append(outcome)
+        return replies
+
+    def _dispatch(
+        self, payloads: list[TickPayload], epoch: int
+    ) -> list[Union[TickReply, BaseException]]:
+        """Issue one tick to every shard; failures become outcomes.
+
+        A failed shard yields its exception instead of a reply, so
+        one dead worker cannot mask the health of the others.
+        """
         if self._transport == "shmem":
-            return self._tick_shmem(payloads)
+            return self._dispatch_shmem(payloads, epoch)
         futures: list[Future[TickReply]] = []
         for shard_id, payload in enumerate(payloads):
             self._payload_bytes += _payload_nbytes(payload)
             futures.append(
                 self._pool_for(shard_id).submit(
-                    _run_tick, shard_id, payload
+                    _run_tick, shard_id, payload, epoch
                 )
             )
-        replies = [future.result() for future in futures]
-        for fresh, _ in replies:
-            self._payload_bytes += fresh.nbytes
+        outcomes: list[Union[TickReply, BaseException]] = []
+        for future in futures:
+            settled = self._settle(future)
+            if not isinstance(settled, BaseException):
+                self._payload_bytes += settled[0].nbytes
+            outcomes.append(settled)
         # Arrays ride the pipe in pickle mode, so pipe ≈ payload.
         self._pipe_bytes = self._payload_bytes
-        return replies
+        return outcomes
 
-    def _tick_shmem(
-        self, payloads: list[TickPayload]
-    ) -> list[TickReply]:
-        self._epoch += 1
-        epoch = self._epoch
+    def _dispatch_shmem(
+        self, payloads: list[TickPayload], epoch: int
+    ) -> list[Union[TickReply, BaseException]]:
         fault = _shard_fault()
         futures: list[Future[int]] = []
         for shard_id, payload in enumerate(payloads):
-            now, sources, targets, source_indices, loss_ok, immunize = (
-                payload
-            )
-            request, reply = self._shard_arenas(shard_id)
-            frames = [sources, targets, source_indices, loss_ok, immunize]
-            # The reply's single frame can never exceed the tick's
-            # target count, so the driver pre-sizes it here — workers
-            # never own (and so never grow) a segment.
-            reply.ensure(capacity_for([(len(targets), np.uint32)]))
-            request.write(epoch, frames)
-            self._payload_bytes += _payload_nbytes(payload)
-            send_epoch = epoch
-            if _fault_matches(fault, "garble-header", shard_id, epoch):
-                self._garble_request_header(request)
-            elif _fault_matches(fault, "stale-epoch", shard_id, epoch):
-                send_epoch = epoch - 1
-            control: ShmControl = (
-                shard_id,
-                now,
-                send_epoch,
-                request.name,
-                reply.name,
-            )
-            self._pipe_bytes += len(pickle.dumps(control))
+            control = self._stage_request(shard_id, payload, epoch, fault)
             futures.append(
                 self._pool_for(shard_id).submit(_run_tick_shm, *control)
             )
-        replies: list[TickReply] = []
+        outcomes: list[Union[TickReply, BaseException]] = []
         for shard_id, future in enumerate(futures):
-            delivered = future.result()
-            reply = self._arenas[shard_id][1]
-            (fresh,) = reply.read(epoch)
+            settled: Union[int, BaseException] = self._settle(future)
+            if isinstance(settled, BaseException):
+                outcomes.append(settled)
+                continue
+            try:
+                (fresh,) = self._arenas[shard_id][1].read(epoch)
+            except Exception as error:
+                outcomes.append(error)
+                continue
             assert fresh is not None
             self._payload_bytes += fresh.nbytes
-            replies.append((fresh, delivered))
-        return replies
+            outcomes.append((fresh, settled))
+        return outcomes
+
+    def _stage_request(
+        self,
+        shard_id: int,
+        payload: TickPayload,
+        epoch: int,
+        fault: Optional[dict[str, object]],
+    ) -> ShmControl:
+        """Write one shard's batch into its request arena."""
+        now, sources, targets, source_indices, loss_ok, immunize = payload
+        request, reply = self._shard_arenas(shard_id)
+        frames = [sources, targets, source_indices, loss_ok, immunize]
+        # The reply's single frame can never exceed the tick's
+        # target count, so the driver pre-sizes it here — workers
+        # never own (and so never grow) a segment.
+        reply.ensure(capacity_for([(len(targets), np.uint32)]))
+        request.write(epoch, frames)
+        self._payload_bytes += _payload_nbytes(payload)
+        send_epoch = epoch
+        if _fault_matches(fault, "garble-header", shard_id, epoch):
+            self._garble_request_header(request)
+        elif _fault_matches(fault, "stale-epoch", shard_id, epoch):
+            send_epoch = epoch - 1
+        control: ShmControl = (
+            shard_id,
+            now,
+            send_epoch,
+            request.name,
+            reply.name,
+        )
+        self._pipe_bytes += len(pickle.dumps(control))
+        return control
+
+    def _settle(self, future: "Future[Any]") -> Any:
+        """A future's result, or the exception that failed it.
+
+        With a heartbeat, a worker that gives no reply in time counts
+        as hung: the timeout becomes the failure outcome and recovery
+        replaces the (still wedged) worker rather than waiting on it.
+        """
+        try:
+            if self._heartbeat is not None:
+                return future.result(timeout=self._heartbeat)
+            return future.result()
+        except _FutureTimeout:
+            return TimeoutError(
+                f"shard worker gave no reply within the "
+                f"{self._heartbeat:g}s heartbeat"
+            )
+        except Exception as error:
+            return error
+
+    # -- supervision ---------------------------------------------------
+
+    def _recover(
+        self,
+        payloads: list[TickPayload],
+        outcomes: list[Union[TickReply, BaseException]],
+        failures: list[int],
+    ) -> None:
+        """Respawn every failed slot and re-run the current tick on it.
+
+        A dead worker takes down *all* engines resident in its slot,
+        so recovery is per slot: terminate the executor, fork a fresh
+        one, rebuild each of its shards (seed → latest snapshot →
+        replay of the buffered payloads under fresh epochs), then
+        re-issue the failed tick.  Anything that goes wrong here —
+        budget exhausted, teardown incomplete, replay failure —
+        raises, and the driver falls back to the serial re-run.
+        """
+        assert self._seeds is not None
+        slots = sorted(
+            {shard_id % len(self._pools) for shard_id in failures}
+        )
+        first_error = outcomes[failures[0]]
+        for slot in slots:
+            self._respawns += 1
+            if self._respawns > MAX_RESPAWNS:
+                raise RuntimeError(
+                    f"shard pool respawn budget ({MAX_RESPAWNS}) "
+                    f"exhausted; last failure: {first_error}"
+                )
+            reason = next(
+                str(outcomes[index]) or type(outcomes[index]).__name__
+                for index in failures
+                if index % len(self._pools) == slot
+            )
+            self._respawn_slot(slot, payloads, outcomes, reason)
+
+    def _respawn_slot(
+        self,
+        slot: int,
+        payloads: list[TickPayload],
+        outcomes: list[Union[TickReply, BaseException]],
+        reason: str,
+    ) -> None:
+        assert self._seeds is not None
+        if not _terminate_executor(self._pools[slot]):
+            raise RuntimeError(
+                f"slot {slot} teardown did not complete; forking a "
+                "replacement worker would risk a deadlock"
+            )
+        self._pools[slot] = ProcessPoolExecutor(max_workers=1)
+        pool = self._pools[slot]
+        for shard_id in range(self._num_shards):
+            if shard_id % len(self._pools) != slot:
+                continue
+            pool.submit(
+                _build_engine, self._spec, shard_id, self._seeds[shard_id]
+            ).result()
+            if self._snapshots is not None:
+                pool.submit(
+                    _restore_shard, shard_id, self._snapshots[shard_id]
+                ).result()
+            replayed = 0
+            for payload in self._replay[shard_id]:
+                self._replay_payload(pool, shard_id, payload)
+                replayed += 1
+            outcomes[shard_id] = self._replay_payload(
+                pool, shard_id, payloads[shard_id]
+            )
+            record_recovery(
+                "worker-respawn",
+                shard=shard_id,
+                slot=slot,
+                reason=reason,
+                replayed_ticks=replayed,
+                tick=self._ticks - 1,
+            )
+
+    def _replay_payload(
+        self,
+        pool: ProcessPoolExecutor,
+        shard_id: int,
+        payload: TickPayload,
+    ) -> TickReply:
+        """Re-run one buffered payload on a freshly respawned shard.
+
+        Replays consume no driver RNG (payloads carry only pre-drawn
+        arrays) and use fresh epochs, so a tick-keyed fault cannot
+        re-fire during its own recovery.
+        """
+        self._epoch += 1
+        epoch = self._epoch
+        if self._transport == "shmem":
+            control = self._stage_request(shard_id, payload, epoch, None)
+            settled = self._settle(pool.submit(_run_tick_shm, *control))
+            if isinstance(settled, BaseException):
+                raise settled
+            (fresh,) = self._arenas[shard_id][1].read(epoch)
+            assert fresh is not None
+            return (fresh, settled)
+        self._payload_bytes += _payload_nbytes(payload)
+        settled = self._settle(
+            pool.submit(_run_tick, shard_id, payload, epoch)
+        )
+        if isinstance(settled, BaseException):
+            raise settled
+        return settled  # type: ignore[no-any-return]
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Every shard's state (sensor clones included), in shard order.
+
+        Under supervision the states become the new recovery baseline
+        and the replay buffer resets — the checkpoint cadence is what
+        bounds replay memory.
+        """
+        futures = [
+            self._pool_for(shard_id).submit(_snapshot_shard, shard_id)
+            for shard_id in range(self._num_shards)
+        ]
+        states = [future.result() for future in futures]
+        if self._supervise:
+            self._snapshots = states
+            self._replay = [[] for _ in range(self._num_shards)]
+        return states
+
+    def restore(self, states: list[dict[str, Any]]) -> None:
+        """Overwrite every shard's state (a checkpoint-resume start)."""
+        futures = [
+            self._pool_for(shard_id).submit(_restore_shard, shard_id, state)
+            for shard_id, state in enumerate(states)
+        ]
+        for future in futures:
+            future.result()
+        if self._supervise:
+            self._snapshots = list(states)
+            self._replay = [[] for _ in range(self._num_shards)]
 
     @staticmethod
     def _garble_request_header(request: ShmArena) -> None:

@@ -409,7 +409,16 @@ class ShmArena:
             # outlive it.  Retire the object (bounded by the growth
             # count) and let interpreter exit reclaim the memory — the
             # name is still unlinked below, so nothing leaks on disk.
-            _RETIRED_SEGMENTS.append(segment)
+            #
+            # Looked up via globals(): at interpreter shutdown this
+            # runs from __del__ *after* the module's globals may have
+            # been cleared to None, and a bare name reference would
+            # raise — aborting before the unlink below and leaking the
+            # segment on disk.  Losing the retire list itself is fine
+            # then (the process is exiting; the OS unmaps everything).
+            retired = globals().get("_RETIRED_SEGMENTS")
+            if retired is not None:
+                retired.append(segment)
         try:
             segment.unlink()
         except FileNotFoundError:  # noqa: RP007 — already unlinked (tracker or a racing close); the goal state

@@ -169,6 +169,71 @@ class DarknetSensor:
         self._pending_pairs = 0
         self._unique_pairs = None
 
+    # -- checkpoint support -------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Copy of the observation state, without compacting.
+
+        Chunk layout is internal bookkeeping — two states with
+        different chunkings answer every query identically — so the
+        snapshot preserves the chunks as-is rather than forcing a
+        merge on the checkpoint path.
+        """
+        return {
+            "probe_counts": self._probe_counts.copy(),
+            "pair_chunks": [chunk.copy() for chunk in self._pair_chunks],
+            "pending_pairs": int(self._pending_pairs),
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Overwrite the observation state from a snapshot."""
+        counts = np.asarray(snapshot["probe_counts"], dtype=np.int64)
+        if len(counts) != self._bin_count:
+            raise ValueError(
+                f"DarknetSensor.state_restore: snapshot has "
+                f"{len(counts)} /24 bins, sensor {self.name!r} has "
+                f"{self._bin_count}"
+            )
+        self._probe_counts[:] = counts
+        self._pair_chunks = [
+            np.asarray(chunk, dtype=np.uint64).copy()
+            for chunk in snapshot["pair_chunks"]
+        ]
+        self._pending_pairs = int(snapshot["pending_pairs"])
+        self._unique_pairs = None
+
+    @staticmethod
+    def merge_snapshots(snapshots: list) -> dict:
+        """Fold per-shard snapshots of one sensor into one snapshot.
+
+        The data-only analogue of :meth:`absorb`: shard boundaries
+        are /24-aligned, so each /24 bin's probes all came from one
+        shard — counts add and pair chunks concatenate exactly.  Used
+        when a pool-mode checkpoint (per-shard sensor clones) is
+        restored into an in-process run whose shards share a single
+        sensor object.
+        """
+        if not snapshots:
+            raise ValueError("merge_snapshots: need at least one snapshot")
+        merged = {
+            "probe_counts": np.asarray(
+                snapshots[0]["probe_counts"], dtype=np.int64
+            ).copy(),
+            "pair_chunks": [
+                np.asarray(chunk, dtype=np.uint64)
+                for snapshot in snapshots
+                for chunk in snapshot["pair_chunks"]
+            ],
+            "pending_pairs": sum(
+                int(snapshot["pending_pairs"]) for snapshot in snapshots
+            ),
+        }
+        for snapshot in snapshots[1:]:
+            merged["probe_counts"] += np.asarray(
+                snapshot["probe_counts"], dtype=np.int64
+            )
+        return merged
+
 
 #: Anonymized IMS blocks from the paper with their published sizes.
 #: True locations are confidential; these synthetic positions are

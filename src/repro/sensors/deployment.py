@@ -135,6 +135,53 @@ class SensorGrid:
         self._payload_counts[:] = 0
         self._alert_times[:] = np.nan
 
+    # -- checkpoint support -------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Copy of the per-sensor counts and alert times."""
+        return {
+            "payload_counts": self._payload_counts.copy(),
+            "alert_times": self._alert_times.copy(),
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Overwrite counts and alert times from a snapshot."""
+        counts = np.asarray(snapshot["payload_counts"], dtype=np.int64)
+        times = np.asarray(snapshot["alert_times"], dtype=np.float64)
+        if len(counts) != len(self._prefixes) or len(times) != len(
+            self._prefixes
+        ):
+            raise ValueError(
+                f"SensorGrid.state_restore: snapshot covers "
+                f"{len(counts)} sensors, this grid has "
+                f"{len(self._prefixes)}"
+            )
+        self._payload_counts[:] = counts
+        self._alert_times[:] = times
+
+    @staticmethod
+    def merge_snapshots(snapshots: list) -> dict:
+        """Fold per-shard snapshots of one grid into one snapshot.
+
+        The data-only analogue of :meth:`absorb`: each /24 sensor's
+        probes all land in one shard, so counts add and each alert
+        time is the element-wise earliest non-NaN.
+        """
+        if not snapshots:
+            raise ValueError("merge_snapshots: need at least one snapshot")
+        counts = np.asarray(
+            snapshots[0]["payload_counts"], dtype=np.int64
+        ).copy()
+        times = np.asarray(
+            snapshots[0]["alert_times"], dtype=np.float64
+        ).copy()
+        for snapshot in snapshots[1:]:
+            counts += np.asarray(snapshot["payload_counts"], dtype=np.int64)
+            theirs = np.asarray(snapshot["alert_times"], dtype=np.float64)
+            take = ~np.isnan(theirs) & (np.isnan(times) | (theirs < times))
+            times[take] = theirs[take]
+        return {"payload_counts": counts, "alert_times": times}
+
 
 def place_one_per_block(
     blocks: Iterable[CIDRBlock], rng: np.random.Generator

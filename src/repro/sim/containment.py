@@ -86,3 +86,16 @@ class QuorumTriggeredContainment:
             return np.zeros_like(deliverable)
         keep = rng.random(deliverable.shape) >= self.block_probability
         return deliverable & keep
+
+    # -- checkpoint support -------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """The controller's only mutable state: the latched trigger."""
+        return {"triggered_at": self.triggered_at}
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Overwrite the latched trigger time from a snapshot."""
+        triggered_at = snapshot["triggered_at"]
+        self.triggered_at = (
+            None if triggered_at is None else float(triggered_at)
+        )

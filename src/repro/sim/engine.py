@@ -22,8 +22,9 @@ minute.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +41,9 @@ from repro.sim.arena import TickArena
 from repro.sim.containment import QuorumTriggeredContainment
 from repro.traces.record import TraceRecorder
 from repro.worms.base import WormModel
+
+if TYPE_CHECKING:
+    from repro.runtime.checkpoint import Checkpointer
 
 
 @dataclass(frozen=True)
@@ -425,24 +429,41 @@ class EpidemicSimulator:
         config: SimulationConfig,
         rng: np.random.Generator,
         seed_addrs: Optional[np.ndarray] = None,
+        checkpointer: Optional["Checkpointer"] = None,
+        resume: Optional[dict] = None,
     ) -> SimulationResult:
         """Run one outbreak to the horizon or the stop fraction.
 
         ``seed_addrs`` overrides the random seed choice (must be
-        population members).
+        population members).  ``checkpointer`` persists the full run
+        state at its tick cadence; ``resume`` is a validated payload
+        from :func:`repro.runtime.checkpoint.load_checkpoint` — the
+        run restores every piece of mutable state (including the
+        generator's bit-generator state, which already accounts for
+        the seed draw) and continues from the next tick, bitwise-
+        identical to a run that was never interrupted.
         """
         population = self.population
-        if seed_addrs is None:
-            if config.seed_count > population.size:
-                raise ValueError("more seeds than hosts")
-            seed_addrs = rng.choice(
-                population.addresses(), size=config.seed_count, replace=False
-            )
-        seed_addrs = np.asarray(seed_addrs, dtype=np.uint32)
+        if resume is not None:
+            # The snapshot's worm state is deep-copied so a pool-
+            # failure re-run restoring from the same payload starts
+            # from unconsumed state.
+            state = copy.deepcopy(resume["worm_state"])
+            infected_now = np.empty(0, dtype=np.uint32)
+        else:
+            if seed_addrs is None:
+                if config.seed_count > population.size:
+                    raise ValueError("more seeds than hosts")
+                seed_addrs = rng.choice(
+                    population.addresses(),
+                    size=config.seed_count,
+                    replace=False,
+                )
+            seed_addrs = np.asarray(seed_addrs, dtype=np.uint32)
 
-        state = self.worm.new_state()
-        infected_now = population.infect(seed_addrs)
-        self.worm.add_hosts(state, infected_now, rng)
+            state = self.worm.new_state()
+            infected_now = population.infect(seed_addrs)
+            self.worm.add_hosts(state, infected_now, rng)
 
         sensor_index = None
         if (
@@ -488,10 +509,44 @@ class EpidemicSimulator:
         infection_times: list[float] = [0.0] * len(infected_now)
         total_probes = 0
         delivered_probes = 0
+        start_tick = 0
+        if resume is not None:
+            rng.bit_generator.state = resume["rng_state"]
+            population.state_restore(resume["population"])
+            for sensor, snapshot in zip(self.sensors, resume["sensors"]):
+                sensor.state_restore(snapshot)
+            for grid, snapshot in zip(self.sensor_grids, resume["grids"]):
+                grid.state_restore(snapshot)
+            if (
+                self.containment is not None
+                and resume["containment"] is not None
+            ):
+                self.containment.state_restore(resume["containment"])
+            if (
+                self.trace_recorder is not None
+                and resume["trace"] is not None
+            ):
+                self.trace_recorder.state_restore(resume["trace"])
+            # A None carry means the writing run proved the
+            # accumulator stays 0.0 (uniform fast path), so the
+            # zero-initialized buffer above is already exact.
+            carry = resume["accumulator"]
+            if carry is not None:
+                carry = np.asarray(carry, dtype=float)
+                if fused:
+                    arena.accumulator(len(carry))[:] = carry
+                else:
+                    accumulator_buffer[: len(carry)] = carry
+            times = list(resume["times"])
+            infected_counts = list(resume["infected_counts"])
+            infection_times = list(resume["infection_times"])
+            total_probes = int(resume["total_probes"])
+            delivered_probes = int(resume["delivered_probes"])
+            start_tick = int(resume["tick"]) + 1
         timer = stage_timer()
 
         num_ticks = int(np.ceil(config.max_time / config.tick_seconds))
-        for tick in range(num_ticks):
+        for tick in range(start_tick, num_ticks):
             now = (tick + 1) * config.tick_seconds
             timer.start()
 
@@ -703,6 +758,45 @@ class EpidemicSimulator:
             timer.tick()
             if population.fraction_infected >= config.stop_at_fraction:
                 break
+            if checkpointer is not None and checkpointer.due(tick):
+                if uniform_fast:
+                    carry = None
+                elif fused:
+                    carry = arena.accumulator(state.num_hosts).copy()
+                else:
+                    carry = accumulator_buffer[: state.num_hosts].copy()
+                checkpointer.write(
+                    tick,
+                    {
+                        "rng_state": rng.bit_generator.state,
+                        "worm_state": state,
+                        "population": population.state_snapshot(),
+                        "sensors": [
+                            sensor.state_snapshot()
+                            for sensor in self.sensors
+                        ],
+                        "grids": [
+                            grid.state_snapshot()
+                            for grid in self.sensor_grids
+                        ],
+                        "containment": (
+                            self.containment.state_snapshot()
+                            if self.containment is not None
+                            else None
+                        ),
+                        "trace": (
+                            self.trace_recorder.state_snapshot()
+                            if self.trace_recorder is not None
+                            else None
+                        ),
+                        "accumulator": carry,
+                        "times": list(times),
+                        "infected_counts": list(infected_counts),
+                        "infection_times": list(infection_times),
+                        "total_probes": total_probes,
+                        "delivered_probes": delivered_probes,
+                    },
+                )
 
         return SimulationResult(
             times=np.array(times),

@@ -50,14 +50,19 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.population.model import HostPopulation
+from repro.runtime.checkpoint import CheckpointError, record_recovery
 from repro.runtime.perf import stage_timer
+from repro.sensors.darknet import DarknetSensor
+from repro.sensors.deployment import SensorGrid
 from repro.sensors.index import SensorIndex
 from repro.sim.arena import TickArena
 from repro.sim.engine import SimulationResult, _FusedVerdict
 
 if TYPE_CHECKING:
+    from repro.runtime.checkpoint import Checkpointer
     from repro.runtime.shardpool import ShardPool
     from repro.sim.spec import SimulationSpec
+    from repro.worms.base import WormState
 
 #: End of the IPv4 address space (exclusive upper bound of any shard).
 ADDRESS_SPACE_END = 1 << 32
@@ -314,6 +319,48 @@ class ShardEngine:
         fresh = self.finish(now, sources, targets, slots, det)
         return fresh, self.delivered_probes - before
 
+    # -- checkpoint support -------------------------------------------
+
+    def state_snapshot(self, include_sensors: bool = True) -> dict:
+        """Copy of this shard's mutable state.
+
+        ``include_sensors`` is True in pool workers, whose sensor and
+        grid objects are private clones; in-process engines share the
+        caller's sensor objects, so the driver snapshots those once
+        globally and passes False here.
+        """
+        snapshot: dict = {
+            "population": self.population.state_snapshot(),
+            "delivered_probes": int(self.delivered_probes),
+            "sensors": None,
+            "grids": None,
+        }
+        if include_sensors:
+            snapshot["sensors"] = [
+                sensor.state_snapshot() for sensor in self.sensors
+            ]
+            snapshot["grids"] = [
+                grid.state_snapshot() for grid in self.grids
+            ]
+        return snapshot
+
+    def state_restore(
+        self, snapshot: dict, *, restore_sensors: bool = True
+    ) -> None:
+        """Overwrite this shard's mutable state from a snapshot.
+
+        ``restore_sensors`` is False when the driver restores shared
+        in-process sensor objects globally (merged across shards)
+        instead of per engine.
+        """
+        self.population.state_restore(snapshot["population"])
+        self.delivered_probes = int(snapshot["delivered_probes"])
+        if restore_sensors and snapshot.get("sensors") is not None:
+            for sensor, state in zip(self.sensors, snapshot["sensors"]):
+                sensor.state_restore(state)
+            for grid, state in zip(self.grids, snapshot["grids"]):
+                grid.state_restore(state)
+
 
 #: Above this shard count the O(K·n) counting partition loses to the
 #: O(n log n) stable argsort it replaces, so ``route`` falls back.
@@ -431,6 +478,20 @@ class ShardedSimulator:
         bitwise-identical; ``"shmem"`` silently falls back to pickle
         where POSIX shared memory is unavailable.  Ignored when
         ``workers == 1``.
+    heartbeat:
+        Optional per-shard reply deadline (seconds) for pooled ticks;
+        a worker that misses it counts as failed and is respawned
+        (under supervision) or triggers the serial re-run.
+    checkpointer:
+        Optional :class:`~repro.runtime.checkpoint.Checkpointer`; the
+        driver snapshots the full run state at its cadence, and pool
+        mode enables per-slot supervision (snapshot + replay recovery
+        instead of the full serial re-run).
+    resume:
+        Optional validated payload from
+        :func:`~repro.runtime.checkpoint.load_checkpoint`; the run
+        restores it and continues from the next tick, bitwise-
+        identical to a run that was never interrupted.
     """
 
     def __init__(
@@ -438,6 +499,9 @@ class ShardedSimulator:
         spec: "SimulationSpec",
         workers: int = 1,
         transport: str = "shmem",
+        heartbeat: Optional[float] = None,
+        checkpointer: Optional["Checkpointer"] = None,
+        resume: Optional[dict] = None,
     ):
         plan = spec.shard_plan
         if plan is None:
@@ -484,10 +548,24 @@ class ShardedSimulator:
                 "ShardedSimulator.transport: expected 'shmem' or "
                 f"'pickle', got {transport!r}"
             )
+        if heartbeat is not None and heartbeat <= 0:
+            raise ValueError(
+                "ShardedSimulator.heartbeat must be positive, "
+                f"got {heartbeat}"
+            )
+        if resume is not None and resume.get("mode") not in (None, "shard"):
+            raise CheckpointError(
+                f"checkpoint.mode: snapshot was written by a "
+                f"{resume.get('mode')!r} run but this run executes "
+                "as 'shard'"
+            )
         self.spec = spec
         self.plan = plan
         self.workers = workers
         self.transport = transport
+        self.heartbeat = heartbeat
+        self.checkpointer = checkpointer
+        self.resume = resume
         #: Filled after a pooled run: per-transport byte counters from
         #: :meth:`repro.runtime.shardpool.ShardPool.stats`.
         self.transport_stats: Optional[dict[str, int | str]] = None
@@ -507,6 +585,7 @@ class ShardedSimulator:
                 return self._run(rng, pooled=True)
             except _ShardPoolFailure as failure:
                 self.spec.population.reset()
+                record_recovery("serial-rerun", reason=str(failure))
                 warnings.warn(
                     f"shard worker pool failed ({failure}); re-running "
                     "all shards in-process (results are identical)",
@@ -525,7 +604,12 @@ class ShardedSimulator:
         config = spec.config
         population = spec.population  # global source of truth
 
-        if spec.seed_addrs is None:
+        if self.resume is not None:
+            # The restored bit-generator state already accounts for
+            # the seed draw; the restored populations already carry
+            # the seed infections.
+            seed_addrs = np.empty(0, dtype=np.uint32)
+        elif spec.seed_addrs is None:
             if config.seed_count > population.size:
                 raise ValueError("more seeds than hosts")
             seed_addrs = rng.choice(
@@ -551,6 +635,11 @@ class ShardedSimulator:
                         num_shards,
                         self.workers,
                         transport=self.transport,
+                        heartbeat=self.heartbeat,
+                        # Supervision needs the checkpoint cadence to
+                        # bound the replay buffer; without one, a pool
+                        # failure degrades to the serial re-run.
+                        supervise=self.checkpointer is not None,
                     )
                 except Exception as error:
                     raise _ShardPoolFailure(str(error)) from error
@@ -587,23 +676,36 @@ class ShardedSimulator:
         containment = spec.containment
         num_shards = self.plan.num_shards
 
-        state = worm.new_state()
-        infected_now = population.infect(seed_addrs)
-        worm.add_hosts(state, infected_now, rng)
-        seed_owner = self.plan.owner_of(infected_now)
-        if pool is not None:
-            pool.seed(
-                [
-                    infected_now[seed_owner == shard_id]
-                    for shard_id in range(num_shards)
-                ]
-            )
+        resume = self.resume
+        if resume is None:
+            state = worm.new_state()
+            infected_now = population.infect(seed_addrs)
+            worm.add_hosts(state, infected_now, rng)
+            seed_owner = self.plan.owner_of(infected_now)
+            if pool is not None:
+                pool.seed(
+                    [
+                        infected_now[seed_owner == shard_id]
+                        for shard_id in range(num_shards)
+                    ]
+                )
+            else:
+                for shard_id, engine in enumerate(engines):
+                    engine.seed(infected_now[seed_owner == shard_id])
         else:
-            for shard_id, engine in enumerate(engines):
-                engine.seed(infected_now[seed_owner == shard_id])
+            # Deep-copied so the pool-failure re-run restoring from
+            # the same payload starts from unconsumed worm state.
+            state = copy.deepcopy(resume["worm_state"])
+            infected_now = np.empty(0, dtype=np.uint32)
+            self._restore_engines(resume, engines, pool)
         pending_immunize: list[list[np.ndarray]] = [
             [] for _ in range(num_shards)
         ]
+        if resume is not None:
+            pending_immunize = [
+                [np.array(batch, dtype=np.uint32) for batch in queued]
+                for queued in resume["pending_immunize"]
+            ]
 
         # Per-host policy membership cache for the det verdict tables
         # (mirrors the engine's host_policy_indices cache; consumes no
@@ -628,10 +730,35 @@ class ShardedSimulator:
         infection_times: list[float] = [0.0] * len(infected_now)
         total_probes = 0
         delivered_probes = 0
+        start_tick = 0
+        if resume is not None:
+            rng.bit_generator.state = resume["rng_state"]
+            population.state_restore(resume["population"])
+            if containment is not None and resume["containment"] is not None:
+                containment.state_restore(resume["containment"])
+            if (
+                spec.trace_recorder is not None
+                and resume["trace"] is not None
+            ):
+                spec.trace_recorder.state_restore(resume["trace"])
+            # A None carry means the writing run proved the
+            # accumulator stays 0.0 (uniform fast path), so the
+            # arena's zero-filled growth is already exact.
+            carry = resume["accumulator"]
+            if carry is not None:
+                carry = np.asarray(carry, dtype=float)
+                arena.accumulator(len(carry))[:] = carry
+            times = list(resume["times"])
+            infected_counts = list(resume["infected_counts"])
+            infection_times = list(resume["infection_times"])
+            total_probes = int(resume["total_probes"])
+            delivered_probes = int(resume["delivered_probes"])
+            start_tick = int(resume["tick"]) + 1
 
+        checkpointer = self.checkpointer
         timer = stage_timer()
         num_ticks = int(np.ceil(config.max_time / config.tick_seconds))
-        for tick in range(num_ticks):
+        for tick in range(start_tick, num_ticks):
             now = (tick + 1) * config.tick_seconds
             timer.start()
 
@@ -881,6 +1008,23 @@ class ShardedSimulator:
             timer.tick()
             if population.fraction_infected >= config.stop_at_fraction:
                 break
+            if checkpointer is not None and checkpointer.due(tick):
+                self._capture(
+                    checkpointer,
+                    tick,
+                    rng,
+                    state,
+                    engines,
+                    pool,
+                    arena,
+                    uniform_fast,
+                    pending_immunize,
+                    times,
+                    infected_counts,
+                    infection_times,
+                    total_probes,
+                    delivered_probes,
+                )
 
         if pool is not None:
             try:
@@ -900,6 +1044,147 @@ class ShardedSimulator:
             population_size=population.size,
             total_probes=total_probes,
             delivered_probes=delivered_probes,
+        )
+
+    # -- checkpoint plumbing -------------------------------------------
+
+    def _restore_engines(
+        self,
+        resume: dict,
+        engines: list[ShardEngine],
+        pool: Optional["ShardPool"],
+    ) -> None:
+        """Load per-shard state from a resume payload into the shards.
+
+        Pool-mode checkpoints store per-shard sensor clones inside
+        each engine snapshot (``layout == "pool"``); in-process
+        checkpoints store engine snapshots without sensors plus one
+        global snapshot per shared sensor object
+        (``layout == "inproc"``).  A pool checkpoint restores into an
+        in-process run by merging the per-shard sensor states (exact:
+        shard boundaries are /24-aligned); the reverse split is not
+        defined, so restoring an in-process checkpoint into pool
+        workers refuses by name.
+        """
+        spec = self.spec
+        layout = resume.get("layout")
+        if pool is not None:
+            if layout != "pool":
+                raise CheckpointError(
+                    f"checkpoint.layout: snapshot stores {layout!r} "
+                    "shard state (shared in-process sensors), which "
+                    "cannot be split back into per-shard pool clones — "
+                    "resume with shard_workers=1, or restore a "
+                    "pool-mode checkpoint"
+                )
+            try:
+                pool.seed(
+                    [np.empty(0, dtype=np.uint32)]
+                    * self.plan.num_shards
+                )
+                pool.restore(resume["engines"])
+            except Exception as error:
+                raise _ShardPoolFailure(str(error)) from error
+            return
+        for engine, snapshot in zip(engines, resume["engines"]):
+            engine.state_restore(snapshot, restore_sensors=False)
+        if layout == "pool":
+            for index, sensor in enumerate(spec.sensors):
+                sensor.state_restore(
+                    DarknetSensor.merge_snapshots(
+                        [
+                            snapshot["sensors"][index]
+                            for snapshot in resume["engines"]
+                        ]
+                    )
+                )
+            for index, grid in enumerate(spec.sensor_grids):
+                grid.state_restore(
+                    SensorGrid.merge_snapshots(
+                        [
+                            snapshot["grids"][index]
+                            for snapshot in resume["engines"]
+                        ]
+                    )
+                )
+        else:
+            for sensor, snapshot in zip(spec.sensors, resume["sensors"]):
+                sensor.state_restore(snapshot)
+            for grid, snapshot in zip(spec.sensor_grids, resume["grids"]):
+                grid.state_restore(snapshot)
+
+    def _capture(
+        self,
+        checkpointer: "Checkpointer",
+        tick: int,
+        rng: np.random.Generator,
+        state: "WormState",
+        engines: list[ShardEngine],
+        pool: Optional["ShardPool"],
+        arena: TickArena,
+        uniform_fast: bool,
+        pending_immunize: list[list[np.ndarray]],
+        times: list[float],
+        infected_counts: list[int],
+        infection_times: list[float],
+        total_probes: int,
+        delivered_probes: int,
+    ) -> None:
+        """Write one shard-mode checkpoint of the full run state."""
+        spec = self.spec
+        if pool is not None:
+            try:
+                engines_state = pool.snapshot()
+            except Exception as error:
+                raise _ShardPoolFailure(str(error)) from error
+            layout = "pool"
+            sensor_state = None
+            grid_state = None
+        else:
+            engines_state = [
+                engine.state_snapshot(include_sensors=False)
+                for engine in engines
+            ]
+            layout = "inproc"
+            sensor_state = [
+                sensor.state_snapshot() for sensor in spec.sensors
+            ]
+            grid_state = [
+                grid.state_snapshot() for grid in spec.sensor_grids
+            ]
+        carry = None
+        if not uniform_fast:
+            carry = arena.accumulator(state.num_hosts).copy()
+        checkpointer.write(
+            tick,
+            {
+                "layout": layout,
+                "rng_state": rng.bit_generator.state,
+                "worm_state": state,
+                "population": spec.population.state_snapshot(),
+                "engines": engines_state,
+                "sensors": sensor_state,
+                "grids": grid_state,
+                "containment": (
+                    spec.containment.state_snapshot()
+                    if spec.containment is not None
+                    else None
+                ),
+                "trace": (
+                    spec.trace_recorder.state_snapshot()
+                    if spec.trace_recorder is not None
+                    else None
+                ),
+                "accumulator": carry,
+                "pending_immunize": [
+                    list(queued) for queued in pending_immunize
+                ],
+                "times": list(times),
+                "infected_counts": list(infected_counts),
+                "infection_times": list(infection_times),
+                "total_probes": total_probes,
+                "delivered_probes": delivered_probes,
+            },
         )
 
 

@@ -24,6 +24,7 @@ serial engine otherwise.  Results are bitwise-identical either way.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
@@ -33,6 +34,12 @@ from repro.env.environment import NetworkEnvironment
 from repro.env.topology import Topology
 from repro.net.kernels import kernels_enabled
 from repro.population.model import HostPopulation
+from repro.runtime.checkpoint import (
+    Checkpointer,
+    load_checkpoint,
+    record_recovery,
+    spec_hash,
+)
 from repro.sensors.darknet import DarknetSensor
 from repro.sensors.deployment import SensorGrid
 from repro.sim.containment import QuorumTriggeredContainment
@@ -90,6 +97,12 @@ class SimulationSpec:
     seed_addrs:
         Optional explicit seed hosts (otherwise ``seed_count`` hosts
         are drawn uniformly at run time).
+    checkpoint_every:
+        Optional tick cadence for mid-run checkpoints (see
+        :mod:`repro.runtime.checkpoint`); ``None`` disables them.
+        Cadence never changes results — it is deliberately excluded
+        from the checkpoint spec hash, so a run may be restored under
+        a different cadence.
     """
 
     worm: WormModel
@@ -108,6 +121,7 @@ class SimulationSpec:
     patch_rate: float = 0.0
     shards: Union[ShardPlan, int, None] = None
     seed_addrs: Optional[np.ndarray] = None
+    checkpoint_every: Optional[int] = None
 
     def __post_init__(self) -> None:
         set_ = object.__setattr__
@@ -207,6 +221,19 @@ class SimulationSpec:
                     f"got shape {seed_addrs.shape}"
                 )
             set_(self, "seed_addrs", seed_addrs)
+        if self.checkpoint_every is not None:
+            if not isinstance(self.checkpoint_every, (int, np.integer)):
+                raise _type_error(
+                    "checkpoint_every",
+                    "an int tick cadence or None",
+                    self.checkpoint_every,
+                )
+            if self.checkpoint_every < 1:
+                raise ValueError(
+                    "SimulationSpec.checkpoint_every must be at least 1, "
+                    f"got {self.checkpoint_every}"
+                )
+            set_(self, "checkpoint_every", int(self.checkpoint_every))
 
     # -- construction helpers -----------------------------------------
 
@@ -303,6 +330,9 @@ def simulate(
     *,
     shard_workers: int = 1,
     shard_transport: str = "shmem",
+    checkpoint_dir: "Union[str, os.PathLike[str], None]" = None,
+    restore_from: "Union[str, os.PathLike[str], None]" = None,
+    shard_heartbeat: Optional[float] = None,
 ) -> SimulationResult:
     """Run one outbreak described by a spec.
 
@@ -315,6 +345,14 @@ def simulate(
     ``shard_transport`` picks how pooled batches move — shared-memory
     arenas (``"shmem"``, default) or the executor pickle pipe
     (``"pickle"``) — with no effect on results.
+
+    ``checkpoint_dir`` (with ``spec.checkpoint_every`` set) persists
+    the full run state at the spec's cadence; ``restore_from`` names a
+    checkpoint file or directory to resume — the snapshot is validated
+    against this spec's hash and execution mode before any state is
+    touched, and the resumed run continues bitwise-identically to an
+    uninterrupted one.  ``shard_heartbeat`` bounds how long a pooled
+    tick waits on any one shard worker before treating it as hung.
     """
     generator = (
         rng
@@ -322,12 +360,50 @@ def simulate(
         else np.random.default_rng(rng)
     )
     plan = spec.shard_plan
-    if plan is not None and kernels_enabled():
+    sharded = plan is not None and kernels_enabled()
+    mode = "shard" if sharded else "serial"
+    checkpointer = None
+    if checkpoint_dir is not None:
+        if spec.checkpoint_every is None:
+            raise ValueError(
+                "SimulationSpec.checkpoint_every: checkpoint_dir was "
+                "given but the spec has no checkpoint cadence — set "
+                "checkpoint_every"
+            )
+        checkpointer = Checkpointer(
+            checkpoint_dir,
+            every=spec.checkpoint_every,
+            spec_hash=spec_hash(spec),
+            mode=mode,
+        )
+    resume = None
+    if restore_from is not None:
+        resume = load_checkpoint(
+            restore_from,
+            expected_spec_hash=spec_hash(spec),
+            expected_mode=mode,
+        )
+        record_recovery(
+            "restore",
+            tick=int(resume["tick"]),
+            mode=mode,
+            path=str(restore_from),
+        )
+    if sharded:
         return ShardedSimulator(
-            spec, workers=shard_workers, transport=shard_transport
+            spec,
+            workers=shard_workers,
+            transport=shard_transport,
+            heartbeat=shard_heartbeat,
+            checkpointer=checkpointer,
+            resume=resume,
         ).run(generator)
     return spec.build_simulator().run(
-        spec.config, generator, seed_addrs=spec.seed_addrs
+        spec.config,
+        generator,
+        seed_addrs=spec.seed_addrs,
+        checkpointer=checkpointer,
+        resume=resume,
     )
 
 
@@ -335,6 +411,8 @@ def run_spec_trial(
     spec: SimulationSpec,
     seed: "int | np.random.SeedSequence",
     shard_workers: int = 1,
+    checkpoint_dir: "Union[str, os.PathLike[str], None]" = None,
+    restore_from: "Union[str, os.PathLike[str], None]" = None,
 ) -> SimulationResult:
     """Module-level (picklable) trial entry point for specs.
 
@@ -343,7 +421,13 @@ def run_spec_trial(
     pickles the callable plus ``(spec, seed)``, and the generator is
     built on whichever worker the trial lands on.
     """
-    return simulate(spec, seed, shard_workers=shard_workers)
+    return simulate(
+        spec,
+        seed,
+        shard_workers=shard_workers,
+        checkpoint_dir=checkpoint_dir,
+        restore_from=restore_from,
+    )
 
 
 __all__ = [

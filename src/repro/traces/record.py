@@ -175,6 +175,34 @@ class TraceRecorder:
         )
         self._count += len(targets)
 
+    # -- checkpoint support -------------------------------------------
+
+    def state_snapshot(self) -> dict:
+        """Copy of the recorded chunks and the worm name table.
+
+        Chunk arrays are never mutated after :meth:`record` appends
+        them, so sharing them with the snapshot would be safe — they
+        are copied anyway so a snapshot's lifetime is independent of
+        the recorder's.
+        """
+        return {
+            "chunks": [
+                tuple(column.copy() for column in chunk)
+                for chunk in self._chunks
+            ],
+            "worm_names": list(self._worm_names),
+            "count": int(self._count),
+        }
+
+    def state_restore(self, snapshot: dict) -> None:
+        """Overwrite the recorded events from a snapshot."""
+        self._chunks = [
+            tuple(np.asarray(column) for column in chunk)
+            for chunk in snapshot["chunks"]
+        ]
+        self._worm_names = list(snapshot["worm_names"])
+        self._count = int(snapshot["count"])
+
     def finish(self) -> ProbeTrace:
         """Assemble the immutable trace (recorder stays usable)."""
         if not self._chunks:

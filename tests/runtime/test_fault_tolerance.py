@@ -16,8 +16,10 @@ from repro.runtime import (
     FaultPlan,
     ResultCache,
     RetryPolicy,
+    RunReport,
     Trial,
     TrialJournal,
+    TrialOutcome,
     TrialRunner,
     results_equal,
 )
@@ -266,3 +268,46 @@ class TestNestedRunners:
         assert report.ok
         assert report.outcomes[0].status == "retried"
         assert results_equal(list(report.results), list(clean))
+
+
+def ok_report(**overrides):
+    """A one-trial all-ok RunReport to hang recovery events off."""
+    kwargs = dict(
+        outcomes=(
+            TrialOutcome(index=0, label="t0", status="ok", attempts=1),
+        ),
+        results=(1,),
+    )
+    kwargs.update(overrides)
+    return RunReport(**kwargs)
+
+
+class TestRecoveryReporting:
+    """RunReport surfaces checkpoint/supervision events to the CLI."""
+
+    EVENTS = (
+        {"kind": "checkpoint", "tick": 4},
+        {"kind": "checkpoint", "tick": 9},
+        {"kind": "worker-respawn", "shard": 2, "reason": "exit code 86"},
+    )
+
+    def test_checkpoints_are_not_recoveries(self):
+        report = ok_report(recovery_events=self.EVENTS)
+        assert len(report.recovery_events) == 3
+        assert [e["kind"] for e in report.recoveries] == ["worker-respawn"]
+
+    def test_uneventful_tolerates_routine_checkpoints(self):
+        assert ok_report(recovery_events=self.EVENTS[:2]).uneventful
+        assert not ok_report(recovery_events=self.EVENTS).uneventful
+
+    def test_summary_counts_both_kinds(self):
+        summary = ok_report(recovery_events=self.EVENTS).summary()
+        assert "2 checkpoint(s)" in summary
+        assert "1 recovery event(s)" in summary
+
+    def test_describe_details_each_recovery(self):
+        described = ok_report(recovery_events=self.EVENTS).describe()
+        assert "recovery: worker-respawn" in described
+        assert "shard=2" in described and "exit code 86" in described
+        # Routine checkpoints stay out of the detail lines.
+        assert "recovery: checkpoint" not in described

@@ -78,6 +78,60 @@ class TestCrashTolerance:
         journal = TrialJournal(journal_path, resume=True)
         assert len(journal) == 0 and journal.dropped_lines == 0
 
+    def test_garbled_midfile_line_skips_but_keeps_the_rest(
+        self, journal_path
+    ):
+        # A disk hiccup (not just a trailing torn append) garbles a
+        # line *between* two good records; both good lines must load.
+        journal = TrialJournal(journal_path)
+        journal.record("a", status="ok", attempts=1)
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "torn", "sta\x00\x7f garbage\n')
+        journal.record("c", status="ok", attempts=2)
+
+        reloaded = TrialJournal(journal_path, resume=True)
+        assert reloaded.completed("a")
+        assert reloaded.completed("c")
+        assert not reloaded.completed("torn")
+        assert len(reloaded) == 2
+        assert reloaded.dropped_lines == 1
+
+    def test_keyless_midfile_record_skips_but_keeps_the_rest(
+        self, journal_path
+    ):
+        # Parsable JSON without a string "key" is equally garbage.
+        journal = TrialJournal(journal_path)
+        journal.record("a", status="ok", attempts=1)
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"status": "ok", "attempts": 1}\n')
+            handle.write('{"key": 17, "status": "ok"}\n')
+        journal.record("c", status="ok", attempts=1)
+
+        reloaded = TrialJournal(journal_path, resume=True)
+        assert reloaded.completed("a") and reloaded.completed("c")
+        assert len(reloaded) == 2
+        assert reloaded.dropped_lines == 2
+
+
+class TestExtraFields:
+    def test_extra_fields_round_trip(self, journal_path):
+        # The checkpoint index rides tick/file/spec_hash through the
+        # journal this way; they must survive a reload verbatim.
+        journal = TrialJournal(journal_path)
+        journal.record(
+            "tick:7",
+            status="ok",
+            attempts=1,
+            tick=7,
+            file="tick-00000007.ckpt",
+            spec_hash="abc123",
+        )
+        reloaded = TrialJournal(journal_path, resume=True)
+        entry = reloaded.entries["tick:7"]
+        assert entry["tick"] == 7
+        assert entry["file"] == "tick-00000007.ckpt"
+        assert entry["spec_hash"] == "abc123"
+
 
 class TestFreshStart:
     def test_without_resume_a_stale_file_is_truncated(self, journal_path):
