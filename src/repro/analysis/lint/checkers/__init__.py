@@ -9,6 +9,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.flow.checkers import (
+    DispatchWindowChecker,
     KernelGateCoverageChecker,
     PoolBoundaryPicklabilityChecker,
     RngOrderingChecker,
@@ -42,6 +43,7 @@ CHECKER_CLASSES: tuple[type[Checker], ...] = (
     RngOrderingChecker,
     PoolBoundaryPicklabilityChecker,
     KernelGateCoverageChecker,
+    DispatchWindowChecker,
 )
 
 

@@ -51,7 +51,7 @@ from typing import Any, Sequence
 
 from repro.experiments import registry
 from repro.runtime.cache import ResultCache
-from repro.runtime.perf import format_stages, perf_collection
+from repro.runtime.perf import perf_collection
 
 
 def _parse_override(text: str) -> tuple[str, Any]:
@@ -160,6 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
         "(experiments that accept a `shards` keyword only); an "
         "execution-topology knob like --workers — results are "
         "bitwise-identical to an unsharded run",
+    )
+    parser.add_argument(
+        "--shard-transport",
+        choices=("ring", "shmem", "pickle"),
+        default=None,
+        help="how pooled shard batches move between driver and "
+        "workers (experiments that accept a `shard_transport` keyword "
+        "only): 'ring' streams dispatches through persistent "
+        "shared-memory command rings (default), 'shmem' submits one "
+        "executor task per shard-tick over shared-memory arenas, "
+        "'pickle' ships arrays through the executor pipe; results are "
+        "bitwise-identical either way",
     )
     parser.add_argument(
         "--checkpoint-every",
@@ -305,6 +317,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
         overrides["shards"] = args.shards
     for flag, name in (
+        ("--shard-transport", "shard_transport"),
         ("--checkpoint-every", "checkpoint_every"),
         ("--checkpoint-dir", "checkpoint_dir"),
         ("--restore-from", "restore_from"),
@@ -350,12 +363,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"invalid value for {args.experiment!r}: {error}")
     print(campaign.formatted())
     report = campaign.report
-    if report is not None and report.perf_stages:
-        print(
-            "[perf] "
-            + format_stages(report.perf_stages, report.perf_ticks),
-            file=sys.stderr,
-        )
+    perf_line = report.perf_summary() if report is not None else None
+    if perf_line is not None:
+        print(f"[perf] {perf_line}", file=sys.stderr)
     if report is not None and (
         not report.uneventful or report.recovery_events
     ):

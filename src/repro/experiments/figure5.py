@@ -120,6 +120,7 @@ def _hitlist_trial(
     seed: "np.random.SeedSequence | int",
     shards: Optional[int] = None,
     shard_workers: int = 1,
+    shard_transport: str = "ring",
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     restore_from: Optional[str] = None,
@@ -133,7 +134,9 @@ def _hitlist_trial(
     exchange contract), so internet-scale populations can split their
     per-tick work, and ``shard_workers`` fans those shards out over a
     process pool (supervised — respawn from the latest checkpoint —
-    when checkpointing is on).  ``checkpoint_every``/``checkpoint_dir``
+    when checkpointing is on; ``shard_transport`` picks the pool's
+    wire, see :func:`repro.sim.spec.simulate`).
+    ``checkpoint_every``/``checkpoint_dir``
     snapshot
     mid-run state (per hit-list size, in a ``hitlist-<N>`` subdir),
     and ``restore_from`` resumes from the latest snapshot there —
@@ -176,6 +179,7 @@ def _hitlist_trial(
         spec,
         rng,
         shard_workers=shard_workers,
+        shard_transport=shard_transport,
         checkpoint_dir=(
             os.path.join(checkpoint_dir, subdir)
             if checkpoint_dir is not None
@@ -212,6 +216,7 @@ def run_infection(
     workers: int = 1,
     shards: Optional[int] = None,
     shard_workers: int = 1,
+    shard_transport: str = "ring",
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     restore_from: Optional[str] = None,
@@ -246,6 +251,7 @@ def run_infection(
                 max_time=max_time,
                 shards=shards,
                 shard_workers=shard_workers,
+                shard_transport=shard_transport,
                 checkpoint_every=checkpoint_every,
                 checkpoint_dir=checkpoint_dir,
                 restore_from=restore_from,
@@ -293,6 +299,7 @@ def run_detection(
     workers: int = 1,
     shards: Optional[int] = None,
     shard_workers: int = 1,
+    shard_transport: str = "ring",
     checkpoint_every: Optional[int] = None,
     checkpoint_dir: Optional[str] = None,
     restore_from: Optional[str] = None,
@@ -308,6 +315,7 @@ def run_detection(
         workers=workers,
         shards=shards,
         shard_workers=shard_workers,
+        shard_transport=shard_transport,
         checkpoint_every=checkpoint_every,
         checkpoint_dir=checkpoint_dir,
         restore_from=restore_from,

@@ -14,10 +14,45 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Iterator, Mapping, Optional
+from typing import Iterator, Mapping, Optional, Protocol
 
 #: Engine stages, in tick order (also the display order).
 STAGES = ("generate", "filter", "dispatch", "infect")
+
+#: Sharded-driver stages, in tick order.  Pool mode's streamed
+#: pipeline laps ``stage`` (per-shard bucket gather), ``dispatch``
+#: (staging + ring write), ``wait`` (reply latency) and ``collect``
+#: (reply reads) where the in-process paths lap ``route``/``exchange``
+#: and ``shards``.
+SHARD_STAGES = (
+    "generate",
+    "filter",
+    "route",
+    "exchange",
+    "stage",
+    "dispatch",
+    "wait",
+    "collect",
+    "shards",
+    "transport",
+    "merge",
+)
+
+#: Display order: engine stages first, then the sharded-driver-only
+#: stage names, then (in :func:`format_stages`) anything unknown.
+_KNOWN_STAGES = STAGES + tuple(
+    stage for stage in SHARD_STAGES if stage not in STAGES
+)
+
+
+class StageTimer(Protocol):
+    """What the tick loops (and the shard pool) expect of a timer."""
+
+    def start(self) -> None: ...
+
+    def lap(self, stage: str) -> None: ...
+
+    def tick(self) -> None: ...
 
 
 class StageTimings:
@@ -36,8 +71,10 @@ class StageTimings:
 
 def format_stages(seconds: Mapping[str, float], ticks: int) -> str:
     """One-line human summary, known stages first."""
-    ordered = [stage for stage in STAGES if stage in seconds]
-    ordered += [stage for stage in sorted(seconds) if stage not in STAGES]
+    ordered = [stage for stage in _KNOWN_STAGES if stage in seconds]
+    ordered += [
+        stage for stage in sorted(seconds) if stage not in _KNOWN_STAGES
+    ]
     parts = [f"{stage} {seconds[stage]:.3f}s" for stage in ordered]
     total = sum(seconds.values())
     parts.append(f"total {total:.3f}s over {ticks} ticks")

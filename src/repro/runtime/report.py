@@ -94,9 +94,12 @@ class RunReport:
 
     ``perf_stages``/``perf_ticks`` are filled only when the campaign
     ran under :func:`repro.runtime.perf.perf_collection` (the CLI's
-    ``--perf``): cumulative engine-stage seconds
-    (generate/filter/dispatch/infect) and tick count across every
-    in-process trial.
+    ``--perf``): cumulative stage seconds and tick count across every
+    in-process trial.  Serial runs lap the four engine stages
+    (generate/filter/dispatch/infect); sharded runs lap the driver
+    stages of :data:`repro.runtime.perf.SHARD_STAGES` — pool mode's
+    streamed pipeline reports ``stage``/``dispatch``/``wait``/
+    ``collect`` instead of the in-process ``shards`` lap.
 
     ``recovery_events`` are the checkpoint/restore/supervision events
     collected by :func:`repro.runtime.checkpoint.recovery_collection`
@@ -196,6 +199,19 @@ class RunReport:
         if self.recoveries:
             text += f"; {len(self.recoveries)} recovery event(s)"
         return text
+
+    def perf_summary(self) -> Optional[str]:
+        """The one-line ``--perf`` stage digest, or ``None`` without one.
+
+        Stages print in pipeline order (engine stages, then the
+        sharded-driver stages, then anything unknown alphabetically)
+        via :func:`repro.runtime.perf.format_stages`.
+        """
+        if not self.perf_stages:
+            return None
+        from repro.runtime.perf import format_stages
+
+        return format_stages(self.perf_stages, self.perf_ticks)
 
     def describe(self) -> str:
         """The multi-line report: summary, failures, fallbacks, recoveries."""

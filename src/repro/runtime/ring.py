@@ -1,0 +1,366 @@
+"""Persistent SPSC command rings for the shard pool's ring transport.
+
+The shared-memory transport (:mod:`repro.runtime.shmem`) moved the
+*bulk* arrays out of the executor pipe, but each shard-tick still cost
+one ``ProcessPoolExecutor.submit`` round trip — pickle a control
+tuple, wake the executor's management thread, queue, unpickle, run,
+pickle the result back.  This module replaces that per-tick control
+path with one fixed-size single-producer/single-consumer ring per
+direction, living in its own shared-memory segment: the driver
+*writes* a ~100 B command and *sets* a doorbell
+(:class:`multiprocessing.Event`); the resident worker pump pops it,
+runs the tick, and pushes a reply through the opposite ring.  One
+write + one wake per shard-tick, no executor machinery on the path.
+
+**Segment layout**::
+
+    header | magic u32 | version u32 | capacity u32 | slot_bytes u32 |
+           | head u64 | tail u64 |
+    slots  | capacity x ( seq u64 | message bytes ) |
+
+**Slot protocol** (bounded SPSC, per-slot sequence numbers):
+
+* initially ``slot[i].seq == i``;
+* the producer's ticket ``t`` claims slot ``t % capacity``: the slot
+  is free when its ``seq == t``; the producer writes the message
+  *first*, then publishes ``seq = t + 1`` — the sequence word is the
+  release flag, so a consumer never sees a half-written message under
+  a published sequence;
+* the consumer's ticket ``t`` reads slot ``t % capacity`` when its
+  ``seq == t + 1``, decodes (and validates) the message, then frees
+  the slot by publishing ``seq = t + capacity``.
+
+``head``/``tail`` in the header persist each side's next ticket (the
+producer owns ``head``, the consumer owns ``tail`` — SPSC, so no
+write races).  They are *resume hints*, not synchronization: a pump
+that re-attaches after a pause picks its ticket up from the header
+and continues exactly where the previous pump stopped; the per-slot
+sequences remain the actual ordering protocol.
+
+**Messages** are a fixed struct (kind, shard, epoch, tick time, two
+integer values) plus two short length-prefixed strings — segment
+names on the command side, an error text on the reply side.  Every
+pop validates the message kind, so a clobbered slot surfaces as
+:class:`RingError` (the shard pool treats it exactly like a garbled
+shared-memory header: fail the shard, degrade or respawn).
+
+Ownership mirrors :class:`~repro.runtime.shmem.ShmArena`: the driver
+creates and unlinks ring segments; workers only ever attach.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.runtime.shmem import _create_segment, attach
+
+if TYPE_CHECKING:
+    from multiprocessing.shared_memory import SharedMemory
+
+
+class RingError(RuntimeError):
+    """A ring segment or message failed validation (garbled/foreign) —
+    recoverable by failing the shard like any transport fault."""
+
+
+#: ``b"RPRG"`` little-endian: *r*epro *p*robe *r*in*g*.
+MAGIC = 0x47525052
+
+#: Bump on any incompatible layout change; attachers reject mismatches.
+VERSION = 1
+
+#: Header: magic u32, version u32, capacity u32, slot_bytes u32,
+#: head u64, tail u64.
+_HEADER = struct.Struct("<IIIIQQ")
+
+#: Fixed message prefix: kind u32, shard u32, epoch u64, now f64,
+#: value i64, aux i64, text lengths u16 x 2 (+pad to 48).
+_MESSAGE = struct.Struct("<IIQdqqHH4x")
+
+#: Per-slot sequence word.
+_SEQ = struct.Struct("<Q")
+
+#: Whole slot: sequence word + one encoded message.
+SLOT_BYTES = 256
+
+#: Bytes available for the two strings after the fixed prefix.
+_TEXT_BYTES = SLOT_BYTES - _SEQ.size - _MESSAGE.size
+
+#: Default ring capacity (slots).  Commands outstanding per worker are
+#: bounded by its resident shard count, so a handful of slots suffice;
+#: a full ring is back-pressure, not an error.
+DEFAULT_CAPACITY = 8
+
+#: The sequence protocol needs at least two slots: a producer's
+#: "published" word is ``ticket + 1`` and a consumer's "freed" word is
+#: ``ticket + capacity``, so with one slot the full and free states
+#: collide and the producer would overwrite an unconsumed message.
+MIN_CAPACITY = 2
+
+# Message kinds.  Anything else read back from a slot is corruption.
+KIND_TICK = 1
+KIND_STOP = 2
+KIND_DONE = 3
+KIND_ERROR = 4
+
+_KINDS = frozenset((KIND_TICK, KIND_STOP, KIND_DONE, KIND_ERROR))
+
+
+@dataclass(frozen=True)
+class RingMessage:
+    """One command or reply riding a ring slot.
+
+    ``text``/``text2`` carry the request/reply segment names on the
+    command side and the error text (``text``) on the reply side;
+    together they must fit the slot's string area (long error texts
+    are truncated by :meth:`SpscRing.try_push`).
+    """
+
+    kind: int
+    shard: int
+    epoch: int
+    now: float = 0.0
+    value: int = 0
+    aux: int = 0
+    text: str = ""
+    text2: str = ""
+
+
+class SpscRing:
+    """One direction of a driver↔worker channel in shared memory.
+
+    The creating side (:meth:`create`, always the driver) owns the
+    segment and unlinks it on :meth:`close`; the attaching side
+    (:meth:`attach`, the worker pump) only maps it.  Each object is
+    used in exactly one role — producer (:meth:`try_push`) or
+    consumer (:meth:`try_pop`) — and keeps its ticket in the header
+    so a successor object can resume the same role.
+    """
+
+    __slots__ = ("_segment", "_owner", "_capacity", "_push_ticket", "_pop_ticket", "_closed")
+
+    def __init__(self, segment: "SharedMemory", owner: bool):
+        buf = segment.buf
+        if len(buf) < _HEADER.size:
+            raise RingError(
+                f"ring segment maps only {len(buf)} bytes — no header"
+            )
+        magic, version, capacity, slot_bytes, head, tail = _HEADER.unpack_from(buf, 0)
+        if magic != MAGIC:
+            raise RingError(
+                f"bad ring magic {magic:#010x} (expected {MAGIC:#010x})"
+            )
+        if version != VERSION:
+            raise RingError(
+                f"ring protocol version {version} (expected {VERSION})"
+            )
+        if slot_bytes != SLOT_BYTES:
+            raise RingError(
+                f"ring slot size {slot_bytes} (expected {SLOT_BYTES})"
+            )
+        needed = _HEADER.size + capacity * SLOT_BYTES
+        if capacity < MIN_CAPACITY or len(buf) < needed:
+            raise RingError(
+                f"ring capacity {capacity} does not fit the "
+                f"{len(buf)}-byte segment"
+            )
+        self._segment = segment
+        self._owner = owner
+        self._capacity = capacity
+        self._push_ticket = head
+        self._pop_ticket = tail
+        self._closed = False
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def create(cls, tag: str, capacity: int = DEFAULT_CAPACITY) -> "SpscRing":
+        """A fresh driver-owned ring with every slot free."""
+        if capacity < MIN_CAPACITY:
+            raise ValueError(
+                f"ring capacity must be >= {MIN_CAPACITY}, got {capacity}"
+                " (one slot cannot distinguish full from free)"
+            )
+        segment = _create_segment(tag, _HEADER.size + capacity * SLOT_BYTES)
+        _HEADER.pack_into(
+            segment.buf, 0, MAGIC, VERSION, capacity, SLOT_BYTES, 0, 0
+        )
+        for index in range(capacity):
+            _SEQ.pack_into(segment.buf, cls._slot_offset_for(index), index)
+        return cls(segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SpscRing":
+        """Map an existing ring (worker side; never unlinks)."""
+        return cls(attach(name), owner=False)
+
+    @staticmethod
+    def _slot_offset_for(index: int) -> int:
+        return _HEADER.size + index * SLOT_BYTES
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """The segment's name (what the other side attaches)."""
+        return self._segment.name
+
+    @property
+    def capacity(self) -> int:
+        """How many messages the ring holds before back-pressure."""
+        return self._capacity
+
+    # -- the SPSC protocol ---------------------------------------------
+
+    def _seq(self, offset: int) -> int:
+        value: int = _SEQ.unpack_from(self._segment.buf, offset)[0]
+        return value
+
+    def try_push(self, message: RingMessage) -> bool:
+        """Publish one message; ``False`` when the ring is full.
+
+        The message bytes are written before the slot's sequence word,
+        so a concurrent consumer either sees the previous (free)
+        sequence or a fully written message — never a torn one.
+        """
+        if self._closed:
+            raise RingError("ring is closed")
+        ticket = self._push_ticket
+        offset = self._slot_offset_for(ticket % self._capacity)
+        if self._seq(offset) != ticket:
+            return False
+        text = message.text.encode()
+        text2 = message.text2.encode()
+        if len(text) + len(text2) > _TEXT_BYTES:
+            # Only error texts can realistically overflow; keep the
+            # head of the message and drop the rest.
+            text = text[: max(0, _TEXT_BYTES - len(text2))]
+        buf = self._segment.buf
+        body = offset + _SEQ.size
+        _MESSAGE.pack_into(
+            buf,
+            body,
+            message.kind,
+            message.shard,
+            message.epoch,
+            message.now,
+            message.value,
+            message.aux,
+            len(text),
+            len(text2),
+        )
+        strings = body + _MESSAGE.size
+        buf[strings : strings + len(text)] = text
+        buf[strings + len(text) : strings + len(text) + len(text2)] = text2
+        _SEQ.pack_into(buf, offset, ticket + 1)
+        self._push_ticket = ticket + 1
+        # Persist the producer ticket so a successor producer object
+        # (after a pump pause/restart) resumes at the right slot.
+        struct.pack_into("<Q", buf, 16, self._push_ticket)
+        return True
+
+    def try_pop(self) -> Optional[RingMessage]:
+        """Consume one message; ``None`` when the ring is empty.
+
+        Raises :class:`RingError` on a slot whose decoded kind is not
+        a known message kind — a clobbered or foreign slot.  The slot
+        is *not* freed in that case; the channel is considered dead.
+        """
+        if self._closed:
+            raise RingError("ring is closed")
+        ticket = self._pop_ticket
+        offset = self._slot_offset_for(ticket % self._capacity)
+        if self._seq(offset) != ticket + 1:
+            return None
+        buf = self._segment.buf
+        body = offset + _SEQ.size
+        kind, shard, epoch, now, value, aux, text_len, text2_len = _MESSAGE.unpack_from(buf, body)
+        if kind not in _KINDS or text_len + text2_len > _TEXT_BYTES:
+            raise RingError(
+                f"ring slot {ticket % self._capacity} is garbled "
+                f"(kind {kind:#x})"
+            )
+        strings = body + _MESSAGE.size
+        text = bytes(buf[strings : strings + text_len]).decode(errors="replace")
+        text2 = bytes(
+            buf[strings + text_len : strings + text_len + text2_len]
+        ).decode(errors="replace")
+        _SEQ.pack_into(buf, offset, ticket + self._capacity)
+        self._pop_ticket = ticket + 1
+        # Persist the consumer ticket (see try_push).
+        struct.pack_into("<Q", buf, 24, self._pop_ticket)
+        return RingMessage(
+            kind=kind,
+            shard=shard,
+            epoch=epoch,
+            now=now,
+            value=value,
+            aux=aux,
+            text=text,
+            text2=text2,
+        )
+
+    # -- test / fault hooks --------------------------------------------
+
+    def garble_last_push(self) -> None:
+        """Clobber the most recently pushed slot's message kind.
+
+        Fault-injection hook for the ``garble-ring`` transport fault:
+        the consumer's next :meth:`try_pop` of that slot raises
+        :class:`RingError` instead of returning a message.
+        """
+        if self._push_ticket == 0:
+            raise RingError("nothing pushed yet")
+        offset = self._slot_offset_for(
+            (self._push_ticket - 1) % self._capacity
+        )
+        struct.pack_into(
+            "<I", self._segment.buf, offset + _SEQ.size, 0xDEADBEEF
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap (and, for the owner, unlink); safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+        except BufferError:  # noqa: RP007 — a live view pins the mapping; it outlives the object harmlessly
+            pass
+        if self._owner:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # noqa: RP007 — already unlinked; the goal state
+                pass
+
+    def __enter__(self) -> "SpscRing":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:  # noqa: RP007 — interpreter-teardown close; nothing left to tell
+            pass
+
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "MIN_CAPACITY",
+    "KIND_DONE",
+    "KIND_ERROR",
+    "KIND_STOP",
+    "KIND_TICK",
+    "MAGIC",
+    "RingError",
+    "RingMessage",
+    "SLOT_BYTES",
+    "SpscRing",
+    "VERSION",
+]

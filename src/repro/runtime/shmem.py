@@ -444,12 +444,86 @@ class ShmArena:
             pass
 
 
+class ShmDoubleBuffer:
+    """An epoch-parity pair of :class:`ShmArena` buffers.
+
+    The §4.12 frame protocol tags every message with its epoch, and
+    the shard pool advances the epoch once per tick — so parity
+    (``epoch & 1``) deterministically alternates buffers between
+    consecutive ticks.  Staging tick ``N + 1`` therefore never touches
+    the buffer holding tick ``N``'s message: a reader still pinning
+    tick ``N``'s frames (a zero-copy loan, or a worker racing a
+    doorbell) keeps seeing the *old epoch's intact message*, never a
+    torn frame, and an expected-epoch read of the wrong buffer fails
+    loudly as a stale-epoch :class:`ShmProtocolError`.
+
+    Growth and retirement are per buffer: each side grows
+    independently through :meth:`ShmArena.ensure`, and the
+    BufferError-safe retirement path (``_RETIRED_SEGMENTS``) covers
+    the standby buffer exactly like the active one — a loaned view
+    into either side pins only that side's old mapping.
+    """
+
+    __slots__ = ("tag", "_buffers", "_closed")
+
+    def __init__(self, tag: str, capacity: int = MIN_CAPACITY) -> None:
+        self.tag = tag
+        self._buffers = (
+            ShmArena(f"{tag}a", capacity),
+            ShmArena(f"{tag}b", capacity),
+        )
+        self._closed = False
+
+    def arena(self, epoch: int) -> ShmArena:
+        """The buffer carrying (or about to carry) ``epoch``."""
+        if self._closed:
+            raise ShmProtocolError(f"double buffer {self.tag} is closed")
+        return self._buffers[epoch & 1]
+
+    def ensure(self, epoch: int, nbytes: int) -> bool:
+        """Grow ``epoch``'s buffer to hold ``nbytes``; True if grown."""
+        return self.arena(epoch).ensure(nbytes)
+
+    def write(
+        self, epoch: int, frames: Sequence[Optional[np.ndarray]]
+    ) -> None:
+        """Stage one message into ``epoch``'s buffer."""
+        self.arena(epoch).write(epoch, frames)
+
+    def read(
+        self, epoch: int, copy: bool = True
+    ) -> list[Optional[np.ndarray]]:
+        """Deserialize ``epoch``'s message from its parity buffer."""
+        return self.arena(epoch).read(epoch, copy=copy)
+
+    def close(self) -> None:
+        """Unlink both buffers; safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
+        for buffer in self._buffers:
+            buffer.close()
+
+    def __enter__(self) -> "ShmDoubleBuffer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:  # noqa: RP007 — interpreter-teardown close; nothing left to tell
+            pass
+
+
 __all__ = [
     "MAGIC",
     "MIN_CAPACITY",
     "NAME_PREFIX",
     "VERSION",
     "ShmArena",
+    "ShmDoubleBuffer",
     "ShmProtocolError",
     "attach",
     "capacity_for",

@@ -45,7 +45,7 @@ from __future__ import annotations
 import copy
 import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
@@ -456,6 +456,65 @@ class _Exchange:
         out[self.order] = permuted
         return out
 
+    def stream(
+        self, targets: np.ndarray
+    ) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(shard_id, bucket)`` in shard order, incrementally.
+
+        The streamed counterpart of :meth:`route` for pipelined
+        dispatch: each counting-sort bucket (the stable ascending
+        index array of one shard's probes) is yielded the moment it is
+        computed, *before* later shards have been partitioned — so a
+        consumer can gather and dispatch shard ``k`` while shards
+        ``k+1..K-1`` are still unrouted.  Gathering each bucket with
+        :meth:`gather` produces exactly the per-shard slices that
+        :meth:`route` + :meth:`permute` + :meth:`slices` would — same
+        stable order, same disjoint coverage — which is why streamed
+        dispatch preserves bitwise equivalence.  Buckets are fresh
+        arrays; the scratch mask is an arena loan reused per shard.
+        """
+        num_shards = self.plan.num_shards
+        count = len(targets)
+        if num_shards == 1:
+            yield 0, np.arange(count)
+            return
+        if num_shards > _COUNTING_PARTITION_MAX_SHARDS:
+            # The argsort fallback is inherently whole-batch; stream
+            # the slices of the one permutation it produces.
+            self.route(targets)
+            assert self.order is not None and self.offsets is not None
+            for shard_id in range(num_shards):
+                yield shard_id, self.order[
+                    self.offsets[shard_id] : self.offsets[shard_id + 1]
+                ]
+            return
+        mask = self.arena.request("mask", count, np.bool_)
+        shifted = self.arena.request("shifted", count, np.uint32)
+        for shard_id in range(num_shards):
+            lo, hi = self.plan.interval(shard_id)
+            if lo == 0:
+                np.less(targets, np.uint32(hi), out=mask)
+            else:
+                np.subtract(targets, np.uint32(lo), out=shifted)
+                np.less(shifted, np.uint32(hi - lo), out=mask)
+            yield shard_id, np.flatnonzero(mask)
+
+    def gather(
+        self, values: np.ndarray, bucket: np.ndarray, name: str
+    ) -> np.ndarray:
+        """One shard's slice of a batch array, in stable batch order.
+
+        The streamed analogue of :meth:`permute` + :meth:`slices` for
+        a single shard.  The result is an arena loan reused for the
+        *next* shard's gather under the same ``name`` — the consumer
+        must serialize or copy it before then (the pool's transports
+        all do: shared-memory staging is synchronous, and the pickle
+        path copies before submitting).
+        """
+        out = self.arena.request(name, len(bucket), values.dtype)
+        np.take(values, bucket, out=out)
+        return out
+
 
 class ShardedSimulator:
     """Drives one outbreak across K address-space shards.
@@ -471,13 +530,18 @@ class ShardedSimulator:
         capped at ``workers`` concurrent pools.
     transport:
         How per-tick batches move between driver and pool workers:
-        ``"shmem"`` (default) stages arrays in shared-memory arenas
-        (:mod:`repro.runtime.shmem`) and ships only a tiny control
-        tuple per shard per tick; ``"pickle"`` serializes the arrays
-        through the pool's normal argument path.  Both transports are
-        bitwise-identical; ``"shmem"`` silently falls back to pickle
-        where POSIX shared memory is unavailable.  Ignored when
-        ``workers == 1``.
+        ``"ring"`` (default) stages arrays in double-buffered
+        shared-memory arenas and streams each shard's dispatch
+        through a persistent per-worker command ring the moment its
+        routed slice is ready (:mod:`repro.runtime.ring`) — no
+        executor round trip on the tick path; ``"shmem"`` stages
+        arrays in single-buffered arenas
+        (:mod:`repro.runtime.shmem`) and ships a tiny control tuple
+        per shard per tick through the executor; ``"pickle"``
+        serializes the arrays through the pool's normal argument
+        path.  All transports are bitwise-identical; the
+        shared-memory ones silently fall back to pickle where POSIX
+        shared memory is unavailable.  Ignored when ``workers == 1``.
     heartbeat:
         Optional per-shard reply deadline (seconds) for pooled ticks;
         a worker that misses it counts as failed and is respawned
@@ -498,7 +562,7 @@ class ShardedSimulator:
         self,
         spec: "SimulationSpec",
         workers: int = 1,
-        transport: str = "shmem",
+        transport: str = "ring",
         heartbeat: Optional[float] = None,
         checkpointer: Optional["Checkpointer"] = None,
         resume: Optional[dict] = None,
@@ -543,10 +607,10 @@ class ShardedSimulator:
                         "process-pool shard mode needs grids without "
                         "prior observations"
                     )
-        if transport not in ("shmem", "pickle"):
+        if transport not in ("ring", "shmem", "pickle"):
             raise ValueError(
-                "ShardedSimulator.transport: expected 'shmem' or "
-                f"'pickle', got {transport!r}"
+                "ShardedSimulator.transport: expected 'ring', 'shmem' "
+                f"or 'pickle', got {transport!r}"
             )
         if heartbeat is not None and heartbeat <= 0:
             raise ValueError(
@@ -566,9 +630,10 @@ class ShardedSimulator:
         self.heartbeat = heartbeat
         self.checkpointer = checkpointer
         self.resume = resume
-        #: Filled after a pooled run: per-transport byte counters from
+        #: Filled after a pooled run: per-transport byte/round-trip
+        #: counters and overlap timings from
         #: :meth:`repro.runtime.shardpool.ShardPool.stats`.
-        self.transport_stats: Optional[dict[str, int | str]] = None
+        self.transport_stats: Optional[dict[str, int | float | str]] = None
 
     # -- public entry -------------------------------------------------
 
@@ -853,115 +918,138 @@ class ShardedSimulator:
 
                 timer.lap("filter")
 
-                # The exchange: route every probe to the shard owning
-                # its target, preserving batch order per shard.
-                exchange.route(flat_targets)
-                timer.lap("route")
-                shard_targets = exchange.slices(
-                    exchange.permute(flat_targets, "targets")
-                )
-                shard_sources = exchange.slices(
-                    exchange.permute(flat_sources, "sources")
-                )
-                shard_policy: list[Optional[np.ndarray]]
-                if source_indices is not None:
-                    shard_policy = list(
-                        exchange.slices(
-                            exchange.permute(source_indices, "policy")
-                        )
-                    )
-                else:
-                    shard_policy = [None] * num_shards
-                shard_loss: list[Optional[np.ndarray]]
-                if loss_active:
-                    shard_loss = list(
-                        exchange.slices(exchange.permute(loss_ok, "loss"))
-                    )
-                else:
-                    shard_loss = [None] * num_shards
-                timer.lap("exchange")
-
                 fresh_per_shard: list[np.ndarray] = []
-                if needs_global_mask:
-                    # Containment / tracing need the whole batch's
-                    # mask in original order: collect per-shard
-                    # deterministic verdicts, compose globally, then
-                    # hand each shard its final delivered mask.
-                    det_perm = np.empty(len(flat_targets), dtype=bool)
-                    det_slices = exchange.slices(det_perm)
-                    slot_list = []
-                    for shard_id, engine in enumerate(engines):
-                        det, slots = engine.deterministic(
-                            shard_sources[shard_id],
-                            shard_targets[shard_id],
-                            shard_policy[shard_id],
-                        )
-                        det_slices[shard_id][:] = det
-                        slot_list.append(slots)
-                    ok = exchange.scatter(
-                        det_perm, np.empty(len(flat_targets), dtype=bool)
-                    )
-                    np.logical_and(ok, loss_ok, out=ok)
-                    if containment is not None:
-                        ok = containment.filter_probes(ok, now, rng)
-                    delivered_probes += int(ok.sum())
-                    mask_slices = exchange.slices(
-                        exchange.permute(ok, "delivered")
-                    )
-                    if spec.trace_recorder is not None:
-                        spec.trace_recorder.record(
-                            now,
-                            flat_sources[ok],
-                            flat_targets[ok],
-                            worm=worm.name,
-                        )
-                    for shard_id, engine in enumerate(engines):
-                        fresh_per_shard.append(
-                            engine.finish(
-                                now,
-                                shard_sources[shard_id],
-                                shard_targets[shard_id],
-                                slot_list[shard_id],
-                                mask_slices[shard_id],
-                            )
-                        )
-                    timer.lap("shards")
-                elif pool is not None:
-                    payloads = []
-                    for shard_id in range(num_shards):
-                        immunize = _drain_pending(
-                            pending_immunize, shard_id
-                        )
-                        payloads.append(
-                            (
-                                now,
-                                shard_sources[shard_id],
-                                shard_targets[shard_id],
-                                shard_policy[shard_id],
-                                shard_loss[shard_id],
-                                immunize,
-                            )
-                        )
+                if pool is not None:
+                    # Streamed pipelined dispatch: each shard's routed
+                    # bucket is gathered and handed to the pool the
+                    # moment the counting partition produces it, so the
+                    # first workers compute while the driver is still
+                    # partitioning and staging the rest.  Every RNG
+                    # draw already happened above, in serial batch
+                    # order — the overlap window consumes none (the
+                    # RP105 flow rule polices this).
                     try:
-                        replies = pool.tick(payloads)
+                        pool.begin_tick()
+                        for shard_id, bucket in exchange.stream(
+                            flat_targets
+                        ):
+                            payload = (
+                                now,
+                                exchange.gather(
+                                    flat_sources, bucket, "sources"
+                                ),
+                                exchange.gather(
+                                    flat_targets, bucket, "targets"
+                                ),
+                                exchange.gather(
+                                    source_indices, bucket, "policy"
+                                )
+                                if source_indices is not None
+                                else None,
+                                exchange.gather(loss_ok, bucket, "loss")
+                                if loss_active
+                                else None,
+                                _drain_pending(pending_immunize, shard_id),
+                            )
+                            timer.lap("stage")
+                            pool.dispatch_shard(shard_id, payload)
+                            timer.lap("dispatch")
+                        replies = pool.collect(timer)
                     except Exception as error:
                         raise _ShardPoolFailure(str(error)) from error
                     for fresh, delivered in replies:
                         fresh_per_shard.append(fresh)
                         delivered_probes += delivered
-                    timer.lap("transport")
                 else:
-                    for shard_id, engine in enumerate(engines):
-                        fresh, delivered = engine.process(
-                            now,
-                            shard_sources[shard_id],
-                            shard_targets[shard_id],
-                            shard_policy[shard_id],
-                            shard_loss[shard_id],
+                    # The exchange: route every probe to the shard
+                    # owning its target, preserving batch order per
+                    # shard.
+                    exchange.route(flat_targets)
+                    timer.lap("route")
+                    shard_targets = exchange.slices(
+                        exchange.permute(flat_targets, "targets")
+                    )
+                    shard_sources = exchange.slices(
+                        exchange.permute(flat_sources, "sources")
+                    )
+                    shard_policy: list[Optional[np.ndarray]]
+                    if source_indices is not None:
+                        shard_policy = list(
+                            exchange.slices(
+                                exchange.permute(source_indices, "policy")
+                            )
                         )
-                        fresh_per_shard.append(fresh)
-                        delivered_probes += delivered
-                    timer.lap("shards")
+                    else:
+                        shard_policy = [None] * num_shards
+                    shard_loss: list[Optional[np.ndarray]]
+                    if loss_active:
+                        shard_loss = list(
+                            exchange.slices(
+                                exchange.permute(loss_ok, "loss")
+                            )
+                        )
+                    else:
+                        shard_loss = [None] * num_shards
+                    timer.lap("exchange")
+
+                    if needs_global_mask:
+                        # Containment / tracing need the whole batch's
+                        # mask in original order: collect per-shard
+                        # deterministic verdicts, compose globally,
+                        # then hand each shard its final delivered
+                        # mask.
+                        det_perm = np.empty(len(flat_targets), dtype=bool)
+                        det_slices = exchange.slices(det_perm)
+                        slot_list = []
+                        for shard_id, engine in enumerate(engines):
+                            det, slots = engine.deterministic(
+                                shard_sources[shard_id],
+                                shard_targets[shard_id],
+                                shard_policy[shard_id],
+                            )
+                            det_slices[shard_id][:] = det
+                            slot_list.append(slots)
+                        ok = exchange.scatter(
+                            det_perm,
+                            np.empty(len(flat_targets), dtype=bool),
+                        )
+                        np.logical_and(ok, loss_ok, out=ok)
+                        if containment is not None:
+                            ok = containment.filter_probes(ok, now, rng)
+                        delivered_probes += int(ok.sum())
+                        mask_slices = exchange.slices(
+                            exchange.permute(ok, "delivered")
+                        )
+                        if spec.trace_recorder is not None:
+                            spec.trace_recorder.record(
+                                now,
+                                flat_sources[ok],
+                                flat_targets[ok],
+                                worm=worm.name,
+                            )
+                        for shard_id, engine in enumerate(engines):
+                            fresh_per_shard.append(
+                                engine.finish(
+                                    now,
+                                    shard_sources[shard_id],
+                                    shard_targets[shard_id],
+                                    slot_list[shard_id],
+                                    mask_slices[shard_id],
+                                )
+                            )
+                        timer.lap("shards")
+                    else:
+                        for shard_id, engine in enumerate(engines):
+                            fresh, delivered = engine.process(
+                                now,
+                                shard_sources[shard_id],
+                                shard_targets[shard_id],
+                                shard_policy[shard_id],
+                                shard_loss[shard_id],
+                            )
+                            fresh_per_shard.append(fresh)
+                            delivered_probes += delivered
+                        timer.lap("shards")
 
                 # Merge the infection streams: per-shard arrays are
                 # sorted-unique within disjoint ascending intervals,

@@ -329,7 +329,7 @@ def simulate(
     rng: SeedLike,
     *,
     shard_workers: int = 1,
-    shard_transport: str = "shmem",
+    shard_transport: str = "ring",
     checkpoint_dir: "Union[str, os.PathLike[str], None]" = None,
     restore_from: "Union[str, os.PathLike[str], None]" = None,
     shard_heartbeat: Optional[float] = None,
@@ -342,8 +342,10 @@ def simulate(
     ``kernel_override(False)`` the same spec takes the serial
     reference path, like every compiled kernel.  ``shard_workers > 1``
     fans shards out over worker processes (results unchanged);
-    ``shard_transport`` picks how pooled batches move — shared-memory
-    arenas (``"shmem"``, default) or the executor pickle pipe
+    ``shard_transport`` picks how pooled batches move — the pipelined
+    command-ring transport over double-buffered shared-memory arenas
+    (``"ring"``, default), single-buffered arenas with one executor
+    submit per shard-tick (``"shmem"``), or the executor pickle pipe
     (``"pickle"``) — with no effect on results.
 
     ``checkpoint_dir`` (with ``spec.checkpoint_every`` set) persists

@@ -1,0 +1,62 @@
+"""RP105 fixture: RNG consumption inside the dispatch window.
+
+Violations: a direct draw between ``dispatch_shard`` and ``collect``,
+and a generator handed to a consuming helper inside the window.
+Clean: draws before the first dispatch, draws after the last collect,
+a window-free function, and a reasoned suppression.  A bare ``noqa``
+inside the window is reported as missing its reason.
+"""
+
+import numpy as np
+
+
+def _jitter(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def dirty_tick(pool, shards, rng: np.random.Generator) -> list:
+    loss = rng.random(64)  # clean: pre-window draw, serial order
+    pool.begin_tick()
+    for shard_id in range(shards):
+        pool.dispatch_shard(shard_id, loss[shard_id])
+        rng.random()  # violation: draw inside the overlap window
+    return pool.collect()
+
+
+def leaky_tick(pool, shards, rng: np.random.Generator) -> list:
+    pool.begin_tick()
+    for shard_id in range(shards):
+        pool.dispatch_shard(shard_id, None)
+        _jitter(rng)  # violation: generator flows to a consumer
+    return pool.collect()
+
+
+def clean_tick(pool, shards, rng: np.random.Generator) -> list:
+    draws = rng.random(shards)  # clean: all draws precede dispatch
+    pool.begin_tick()
+    for shard_id in range(shards):
+        pool.dispatch_shard(shard_id, draws[shard_id])
+    replies = pool.collect()
+    rng.random()  # clean: the window closed at collect above
+    return replies
+
+
+def windowless(rng: np.random.Generator) -> float:
+    # clean: no dispatch_shard/collect pair, no window at all.
+    return float(rng.random())
+
+
+def blessed_tick(pool, shards, rng: np.random.Generator) -> list:
+    pool.begin_tick()
+    for shard_id in range(shards):
+        pool.dispatch_shard(shard_id, None)
+        rng.random()  # noqa: RP105 -- fixture: draw provably replayed outside the window
+    return pool.collect()
+
+
+def unexplained_tick(pool, shards, rng: np.random.Generator) -> list:
+    pool.begin_tick()
+    for shard_id in range(shards):
+        pool.dispatch_shard(shard_id, None)
+        rng.random()  # noqa: RP105
+    return pool.collect()

@@ -1,0 +1,280 @@
+"""Tests for the persistent SPSC command rings (ring transport layer).
+
+Covers the slot protocol in isolation: wraparound past the ring
+capacity, back-pressure when full, ticket resume through the header's
+head/tail hints, garbled-slot detection, text truncation, and the
+doorbell missed-wake self-heal (a consumer polling with a timeout
+drains pushes whose wake-up was lost).  The end-to-end pool behavior
+rides on :mod:`tests.sim.test_sharded`.
+"""
+
+import glob
+import threading
+
+import pytest
+
+from repro.runtime.ring import (
+    DEFAULT_CAPACITY,
+    MIN_CAPACITY,
+    KIND_DONE,
+    KIND_ERROR,
+    KIND_STOP,
+    KIND_TICK,
+    MAGIC,
+    RingError,
+    RingMessage,
+    SLOT_BYTES,
+    SpscRing,
+)
+from repro.runtime.shmem import shared_memory_available
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+pytestmark = needs_shm
+
+
+def message(ticket, **overrides):
+    fields = {
+        "kind": KIND_TICK,
+        "shard": ticket % 7,
+        "epoch": ticket + 1,
+        "now": float(ticket) * 0.5,
+        "value": ticket * 11,
+        "aux": -ticket,
+        "text": f"q{ticket}",
+        "text2": f"r{ticket}",
+    }
+    fields.update(overrides)
+    return RingMessage(**fields)
+
+
+def shm_segments():
+    return set(glob.glob("/dev/shm/rs*"))
+
+
+class TestSlotProtocol:
+    def test_round_trip_preserves_every_field(self):
+        with SpscRing.create("rt", capacity=2) as ring:
+            sent = RingMessage(
+                kind=KIND_ERROR,
+                shard=3,
+                epoch=41,
+                now=12.25,
+                value=-9,
+                aux=1 << 40,
+                text="ValueError: boom",
+                text2="q3-name",
+            )
+            assert ring.try_push(sent)
+            assert ring.try_pop() == sent
+
+    def test_empty_ring_pops_none(self):
+        with SpscRing.create("empty", capacity=2) as ring:
+            assert ring.try_pop() is None
+
+    def test_all_kinds_accepted(self):
+        with SpscRing.create("kinds", capacity=4) as ring:
+            for kind in (KIND_TICK, KIND_STOP, KIND_DONE, KIND_ERROR):
+                assert ring.try_push(message(0, kind=kind))
+            for kind in (KIND_TICK, KIND_STOP, KIND_DONE, KIND_ERROR):
+                popped = ring.try_pop()
+                assert popped is not None and popped.kind == kind
+
+    def test_wraparound_past_capacity(self):
+        # Three full revolutions: slot reuse must keep messages intact
+        # and ordered.
+        capacity = 4
+        with SpscRing.create("wrap", capacity=capacity) as ring:
+            for ticket in range(3 * capacity):
+                assert ring.try_push(message(ticket))
+                popped = ring.try_pop()
+                assert popped == message(ticket)
+
+    def test_full_ring_is_backpressure_not_error(self):
+        capacity = 3
+        with SpscRing.create("full", capacity=capacity) as ring:
+            for ticket in range(capacity):
+                assert ring.try_push(message(ticket))
+            # Full: push returns False (no exception, nothing lost).
+            assert not ring.try_push(message(capacity))
+            # Draining one slot frees exactly one push.
+            assert ring.try_pop() == message(0)
+            assert ring.try_push(message(capacity))
+            assert not ring.try_push(message(capacity + 1))
+            for ticket in range(1, capacity + 1):
+                assert ring.try_pop() == message(ticket)
+            assert ring.try_pop() is None
+
+    def test_long_error_text_is_truncated_not_rejected(self):
+        with SpscRing.create("trunc", capacity=2) as ring:
+            sent = message(0, text="x" * (2 * SLOT_BYTES), text2="keep")
+            assert ring.try_push(sent)
+            popped = ring.try_pop()
+            assert popped is not None
+            # text2 (the segment name side) survives whole; text keeps
+            # its head and fits the slot alongside it.
+            assert popped.text2 == "keep"
+            assert popped.text == "x" * (len(popped.text))
+            assert 0 < len(popped.text) < 2 * SLOT_BYTES
+
+    def test_garbled_slot_raises_on_pop(self):
+        with SpscRing.create("garble", capacity=2) as ring:
+            assert ring.try_push(message(0))
+            ring.garble_last_push()
+            with pytest.raises(RingError, match="garbled"):
+                ring.try_pop()
+
+    def test_garble_requires_a_prior_push(self):
+        with SpscRing.create("nopush", capacity=2) as ring:
+            with pytest.raises(RingError, match="nothing pushed"):
+                ring.garble_last_push()
+
+    def test_closed_ring_rejects_traffic(self):
+        ring = SpscRing.create("closed", capacity=2)
+        ring.close()
+        with pytest.raises(RingError, match="closed"):
+            ring.try_push(message(0))
+        with pytest.raises(RingError, match="closed"):
+            ring.try_pop()
+
+
+class TestTicketResume:
+    def test_successor_objects_resume_from_header_hints(self):
+        # A pump pause/restart builds *new* SpscRing objects on the
+        # same segment; head/tail in the header must hand the tickets
+        # over so the protocol continues where it stopped.
+        owner = SpscRing.create("resume", capacity=4)
+        try:
+            consumer = SpscRing.attach(owner.name)
+            for ticket in range(3):
+                assert owner.try_push(message(ticket))
+            assert consumer.try_pop() == message(0)
+            consumer.close()
+
+            # Fresh consumer: must resume at ticket 1, not replay 0.
+            successor = SpscRing.attach(owner.name)
+            assert successor.try_pop() == message(1)
+            assert successor.try_pop() == message(2)
+            assert successor.try_pop() is None
+
+            # Fresh producer on the same segment: resumes at ticket 3.
+            producer = SpscRing.attach(owner.name)
+            assert producer.try_push(message(3))
+            assert successor.try_pop() == message(3)
+            producer.close()
+            successor.close()
+        finally:
+            owner.close()
+
+    def test_resume_across_wraparound(self):
+        owner = SpscRing.create("rewrap", capacity=2)
+        try:
+            consumer = SpscRing.attach(owner.name)
+            for ticket in range(5):
+                assert owner.try_push(message(ticket))
+                assert consumer.try_pop() == message(ticket)
+            consumer.close()
+            successor = SpscRing.attach(owner.name)
+            assert owner.try_push(message(5))
+            assert successor.try_pop() == message(5)
+            successor.close()
+        finally:
+            owner.close()
+
+
+class TestSegmentValidation:
+    @pytest.mark.parametrize("capacity", [0, 1])
+    def test_create_rejects_degenerate_capacity(self, capacity):
+        # One slot cannot tell "published" (ticket+1) from "freed"
+        # (ticket+capacity): the producer would overwrite unconsumed
+        # messages.  MIN_CAPACITY pins the protocol's floor.
+        assert MIN_CAPACITY == 2
+        with pytest.raises(ValueError, match="capacity"):
+            SpscRing.create("badcap", capacity=capacity)
+
+    def test_attach_rejects_foreign_magic(self):
+        with SpscRing.create("magic", capacity=2) as ring:
+            import struct
+
+            struct.pack_into("<I", ring._segment.buf, 0, MAGIC ^ 0xFF)
+            with pytest.raises(RingError, match="bad ring magic"):
+                SpscRing.attach(ring.name)
+
+    def test_attach_rejects_version_skew(self):
+        with SpscRing.create("ver", capacity=2) as ring:
+            import struct
+
+            struct.pack_into("<I", ring._segment.buf, 4, 99)
+            with pytest.raises(RingError, match="version 99"):
+                SpscRing.attach(ring.name)
+
+    def test_default_capacity_is_small(self):
+        # The ring is a control channel, not a data plane; a handful of
+        # slots bounds the segment to a few KiB.
+        with SpscRing.create("defaults") as ring:
+            assert ring.capacity == DEFAULT_CAPACITY
+
+
+class TestDoorbellSelfHeal:
+    def test_missed_wake_is_absorbed_by_the_poll_timeout(self):
+        # The pump waits on its doorbell with a timeout precisely so a
+        # lost Event.set() stalls one poll interval, not forever.  Model
+        # the pump as a thread that never receives a wake-up: every
+        # message must still drain via the timeout path.
+        doorbell = threading.Event()
+        drained = []
+        stop = object()
+
+        with SpscRing.create("bell", capacity=4) as ring:
+            consumer = SpscRing.attach(ring.name)
+
+            def pump():
+                while True:
+                    msg = consumer.try_pop()
+                    if msg is None:
+                        # Missed wake: wait() times out, loop re-polls.
+                        doorbell.wait(timeout=0.01)
+                        doorbell.clear()
+                        continue
+                    if msg.kind == KIND_STOP:
+                        drained.append(stop)
+                        return
+                    drained.append(msg)
+
+            thread = threading.Thread(target=pump)
+            thread.start()
+            try:
+                for ticket in range(6):
+                    while not ring.try_push(message(ticket)):
+                        pass  # pragma: no cover - tiny ring backpressure
+                    # Deliberately never ring the doorbell.
+                assert ring.try_push(message(6, kind=KIND_STOP))
+            finally:
+                thread.join(timeout=10.0)
+            assert not thread.is_alive()
+            consumer.close()
+
+        assert drained[-1] is stop
+        assert [m for m in drained[:-1]] == [message(t) for t in range(6)]
+
+
+class TestLifecycle:
+    def test_owner_close_unlinks_and_is_idempotent(self):
+        before = shm_segments()
+        ring = SpscRing.create("life", capacity=2)
+        name = ring.name
+        assert f"/dev/shm/{name}" in shm_segments() - before
+        ring.close()
+        ring.close()
+        assert shm_segments() == before
+
+    def test_attacher_close_does_not_unlink(self):
+        with SpscRing.create("keep", capacity=2) as ring:
+            attached = SpscRing.attach(ring.name)
+            attached.close()
+            # The owner's segment survives the attacher's close.
+            successor = SpscRing.attach(ring.name)
+            successor.close()

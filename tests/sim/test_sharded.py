@@ -361,7 +361,7 @@ class TestShardedValidation:
 
 
 class TestShardPool:
-    @pytest.mark.parametrize("transport", ["shmem", "pickle"])
+    @pytest.mark.parametrize("transport", ["ring", "shmem", "pickle"])
     def test_pool_run_equals_unsharded(self, transport):
         reference = figure_spec(seed=23, num_hosts=1500, max_time=10.0)
         pooled = figure_spec(
@@ -454,3 +454,111 @@ class TestShmTransportFaults:
         assert pooled_result == simulate(reference, 37)
         assert_sensor_state_equal(reference, pooled)
         assert set(glob.glob("/dev/shm/rs*")) == segments_before
+
+
+class TestRingTransport:
+    """The pipelined ring transport: counters, faults, back-pressure.
+
+    Bitwise equivalence for the happy path rides on
+    ``TestShardPool.test_pool_run_equals_unsharded``; this class pins
+    the transport-specific contracts — control traffic amortized off
+    the executor pipe, the two ring-specific injected faults, and a
+    one-slot ring forcing the back-pressure loop.
+    """
+
+    def test_tick_path_stays_off_the_executor_pipe(self):
+        simulator = ShardedSimulator(
+            figure_spec(seed=31, num_hosts=1500, max_time=10.0, shards=4),
+            workers=2,
+            transport="ring",
+        )
+        simulator.run(np.random.default_rng(31))
+        stats = simulator.transport_stats
+        assert stats["transport"] == "ring"
+        # Exactly one ring round trip per shard per tick...
+        assert stats["ring_round_trips"] == stats["ticks"] * 4
+        # ...zero pickled payload bytes on the tick path...
+        assert stats["pipe_bytes"] == 0
+        assert stats["payload_bytes"] > 0
+        # ...and executor submits bounded by setup/teardown, not ticks:
+        # far below one round trip per shard per tick.
+        assert 0 < stats["submit_round_trips"] < stats["ring_round_trips"]
+        assert stats["ring_bytes"] >= 2 * stats["ring_round_trips"]
+        assert stats["dispatch_overlap_s"] >= 0.0
+
+    @pytest.mark.parametrize("kind", ["garble-ring"])
+    def test_garbled_ring_slot_degrades_to_serial_bitwise(
+        self, kind, monkeypatch
+    ):
+        import glob
+        import json
+
+        from repro.runtime.shardpool import FAULT_ENV
+
+        segments_before = set(glob.glob("/dev/shm/rs*"))
+        monkeypatch.setenv(
+            FAULT_ENV,
+            json.dumps({"kind": kind, "shard": 1, "epoch": 3}),
+        )
+        reference = figure_spec(seed=37, num_hosts=1500, max_time=10.0)
+        pooled = figure_spec(
+            seed=37, num_hosts=1500, max_time=10.0, shards=2
+        )
+        with pytest.warns(RuntimeWarning, match="re-running"):
+            pooled_result = simulate(
+                pooled, 37, shard_workers=2, shard_transport="ring"
+            )
+        monkeypatch.delenv(FAULT_ENV)
+        assert pooled_result == simulate(reference, 37)
+        assert_sensor_state_equal(reference, pooled)
+        assert set(glob.glob("/dev/shm/rs*")) == segments_before
+
+    def test_stale_doorbell_self_heals_without_degrading(self, monkeypatch):
+        # A withheld doorbell is a *lost wake-up*, not corruption: the
+        # pump's poll timeout must absorb it with no warning, no
+        # fallback, and the identical bitwise result.
+        import glob
+        import json
+        import warnings
+
+        from repro.runtime.shardpool import FAULT_ENV
+
+        segments_before = set(glob.glob("/dev/shm/rs*"))
+        monkeypatch.setenv(
+            FAULT_ENV,
+            json.dumps({"kind": "stale-doorbell", "shard": 1, "epoch": 3}),
+        )
+        reference = figure_spec(seed=37, num_hosts=1500, max_time=10.0)
+        pooled = figure_spec(
+            seed=37, num_hosts=1500, max_time=10.0, shards=2
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            pooled_result = simulate(
+                pooled, 37, shard_workers=2, shard_transport="ring"
+            )
+        monkeypatch.delenv(FAULT_ENV)
+        assert pooled_result == simulate(reference, 37)
+        assert_sensor_state_equal(reference, pooled)
+        assert set(glob.glob("/dev/shm/rs*")) == segments_before
+
+    def test_tiny_ring_backpressure_keeps_equivalence(self, monkeypatch):
+        # Shrink every ring to the protocol minimum (two slots) while
+        # each worker hosts four shards: the driver's per-tick pushes
+        # outrun the ring and must wait out the back-pressure loop
+        # (re-ringing the doorbell) without losing or reordering work.
+        from repro.runtime.ring import MIN_CAPACITY
+
+        import repro.runtime.shardpool as shardpool
+
+        monkeypatch.setattr(shardpool, "_RING_SLOTS", MIN_CAPACITY)
+        reference = figure_spec(seed=23, num_hosts=1500, max_time=10.0)
+        pooled = figure_spec(
+            seed=23, num_hosts=1500, max_time=10.0, shards=8
+        )
+        reference_result = simulate(reference, 23)
+        pooled_result = simulate(
+            pooled, 23, shard_workers=2, shard_transport="ring"
+        )
+        assert pooled_result == reference_result
+        assert_sensor_state_equal(reference, pooled)
